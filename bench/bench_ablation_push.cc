@@ -1,0 +1,34 @@
+// Ablation: push threshold (paper Sec 6.2 text — "we do not show the
+// results which illustrate similar performance for different values of
+// push threshold (0.1; 0.5; 0.7)").
+//
+// Shape to reproduce: hit ratio and background traffic are nearly flat
+// across the three thresholds.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flower;
+  SimConfig base = bench::ConfigFromArgs(argc, argv);
+  bench::PrintHeader("Ablation: push threshold {0.1, 0.5, 0.7}", base);
+
+  std::printf("  %-10s %-12s %-14s %-12s\n", "threshold", "hit_ratio",
+              "background_bps", "lookup_ms");
+  double hr_min = 1.0, hr_max = 0.0;
+  for (double thr : {0.1, 0.5, 0.7}) {
+    SimConfig c = base;
+    c.push_threshold = thr;
+    RunResult r = RunExperiment(c, SystemKind::kFlower);
+    hr_min = std::min(hr_min, r.final_hit_ratio);
+    hr_max = std::max(hr_max, r.final_hit_ratio);
+    std::printf("  %-10s %-12s %-14s %-12s\n", bench::Fmt(thr, 1).c_str(),
+                bench::Fmt(r.final_hit_ratio).c_str(),
+                bench::Fmt(r.background_bps, 1).c_str(),
+                bench::Fmt(r.mean_lookup_ms, 1).c_str());
+  }
+  bench::PrintComparison("hit ratio spread across thresholds",
+                         "similar performance",
+                         bench::Fmt(hr_max - hr_min, 3));
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace flower {
+namespace bench {
+
+SimConfig PaperConfig() {
+  SimConfig c;  // defaults are the paper's Table 1 already
+  return c;
+}
+
+SimConfig QuickConfig() {
+  SimConfig c;
+  c.num_topology_nodes = 1500;
+  c.num_websites = 30;
+  c.num_active_websites = 4;
+  c.max_content_overlay_size = 50;
+  c.queries_per_second = 3.0;
+  c.duration = 6 * kHour;
+  return c;
+}
+
+SimConfig ConfigFromArgs(int argc, char** argv) {
+  SimConfig c = PaperConfig();
+  int start = 1;
+  if (argc > 1 && std::strcmp(argv[1], "quick") == 0) {
+    c = QuickConfig();
+    start = 2;
+  }
+  for (int a = start; a < argc; ++a) {
+    std::string tok = argv[a];
+    size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "expected key=value, got %s\n", tok.c_str());
+      std::exit(1);
+    }
+    Status s = c.Apply(tok.substr(0, eq), tok.substr(eq + 1));
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return c;
+}
+
+void PrintHeader(const std::string& title, const SimConfig& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("  %s\n", config.ToString().c_str());
+  std::printf("==============================================================\n");
+}
+
+void PrintComparison(const std::string& what, const std::string& paper,
+                     const std::string& measured) {
+  std::printf("  %-44s paper: %-14s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+std::string Fmt(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+}  // namespace bench
+}  // namespace flower

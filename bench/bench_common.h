@@ -1,0 +1,39 @@
+// Shared scaffolding for the experiment drivers that regenerate the
+// paper's tables and figures (see DESIGN.md Sec 4 for the index).
+#ifndef FLOWERCDN_BENCH_BENCH_COMMON_H_
+#define FLOWERCDN_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "common/config.h"
+#include "workload/runner.h"
+
+namespace flower {
+namespace bench {
+
+/// The paper's evaluation setup (Table 1 + Sec 6.1): 5000-node topology,
+/// k = 6 localities, 100 websites on the D-ring, 6 active, 500 objects per
+/// site, S_co = 100, 6 queries/s, 24 h, T_gossip = 30 min, L_gossip = 10,
+/// V_gossip = 50, push threshold 0.1.
+SimConfig PaperConfig();
+
+/// Scaled-down setup for quick sanity runs (pass "quick" as argv[1]).
+SimConfig QuickConfig();
+
+/// Parses CLI: optional leading "quick", then key=value overrides.
+/// Exits with a message on bad input.
+SimConfig ConfigFromArgs(int argc, char** argv);
+
+/// Prints a header naming the experiment and the config.
+void PrintHeader(const std::string& title, const SimConfig& config);
+
+/// Prints a paper-vs-measured comparison line.
+void PrintComparison(const std::string& what, const std::string& paper,
+                     const std::string& measured);
+
+std::string Fmt(double v, int decimals = 3);
+
+}  // namespace bench
+}  // namespace flower
+
+#endif  // FLOWERCDN_BENCH_BENCH_COMMON_H_

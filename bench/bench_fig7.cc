@@ -1,0 +1,52 @@
+// Figure 7: lookup latency.
+//  (a) Flower-CDN average lookup latency vs time: drops during warm-up and
+//      stabilizes around ~120 ms (paper).
+//  (b) distribution: 87% of Flower-CDN queries resolve within 150 ms while
+//      61% of Squirrel's take more than 1050 ms (paper).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flower;
+  SimConfig c = bench::ConfigFromArgs(argc, argv);
+  bench::PrintHeader("Figure 7: lookup latency", c);
+
+  RunResult flower = RunExperiment(c, SystemKind::kFlower);
+  RunResult squirrel = RunExperiment(c, SystemKind::kSquirrelDirectory);
+
+  std::printf("  (a) average lookup latency per window [ms]\n");
+  std::printf("  %-10s %-12s\n", "hour", "flower");
+  double per_hour = static_cast<double>(kHour) /
+                    static_cast<double>(c.metrics_window);
+  for (size_t i = 0; i < flower.lookup_ms_by_window.size(); ++i) {
+    std::printf("  %-10s %-12s\n",
+                bench::Fmt(static_cast<double>(i + 1) / per_hour, 1).c_str(),
+                bench::Fmt(flower.lookup_ms_by_window[i], 1).c_str());
+  }
+  size_t n = flower.lookup_ms_by_window.size();
+  if (n >= 2) {
+    bench::PrintComparison(
+        "(a) stabilized average lookup", "~120 ms",
+        bench::Fmt(flower.lookup_ms_by_window[n - 1], 1) + " ms");
+  }
+
+  std::printf("\n  (b) lookup latency distribution\n");
+  const double kBuckets[] = {150, 300, 450, 600, 750, 900, 1050};
+  std::printf("  %-12s %-10s %-10s\n", "< ms", "flower", "squirrel");
+  for (double b : kBuckets) {
+    std::printf("  %-12s %-10s %-10s\n", bench::Fmt(b, 0).c_str(),
+                bench::Fmt(flower.LookupFractionBelow(b)).c_str(),
+                bench::Fmt(squirrel.LookupFractionBelow(b)).c_str());
+  }
+  bench::PrintComparison("(b) flower queries within 150 ms", "87%",
+                         bench::Fmt(100 * flower.LookupFractionBelow(150), 1) +
+                             "%");
+  bench::PrintComparison(
+      "(b) squirrel queries over 1050 ms", "61%",
+      bench::Fmt(100 * (1 - squirrel.LookupFractionBelow(1050)), 1) + "%");
+  bench::PrintComparison(
+      "mean lookup reduction factor", "~9x",
+      bench::Fmt(squirrel.mean_lookup_ms / flower.mean_lookup_ms, 1) + "x");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 8: transfer distance.
+//  (a) Flower-CDN average transfer distance vs time: high while origin
+//      servers provide objects, then drops to ~80 ms (paper).
+//  (b) distribution: 59% of Flower-CDN queries served from within 100 ms
+//      vs 17% for Squirrel (paper).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flower;
+  SimConfig c = bench::ConfigFromArgs(argc, argv);
+  bench::PrintHeader("Figure 8: transfer distance", c);
+
+  RunResult flower = RunExperiment(c, SystemKind::kFlower);
+  RunResult squirrel = RunExperiment(c, SystemKind::kSquirrelDirectory);
+
+  std::printf("  (a) average transfer distance per window [ms]\n");
+  std::printf("  %-10s %-12s\n", "hour", "flower");
+  double per_hour = static_cast<double>(kHour) /
+                    static_cast<double>(c.metrics_window);
+  for (size_t i = 0; i < flower.transfer_ms_by_window.size(); ++i) {
+    std::printf("  %-10s %-12s\n",
+                bench::Fmt(static_cast<double>(i + 1) / per_hour, 1).c_str(),
+                bench::Fmt(flower.transfer_ms_by_window[i], 1).c_str());
+  }
+  size_t n = flower.transfer_ms_by_window.size();
+  if (n >= 2) {
+    bench::PrintComparison(
+        "(a) warm transfer distance", "~80 ms",
+        bench::Fmt(flower.transfer_ms_by_window[n - 1], 1) + " ms");
+    bench::PrintComparison(
+        "(a) cold start higher than warm", "drops after warm-up",
+        bench::Fmt(flower.transfer_ms_by_window[0], 1) + " -> " +
+            bench::Fmt(flower.transfer_ms_by_window[n - 1], 1) + " ms");
+  }
+
+  std::printf("\n  (b) transfer distance distribution\n");
+  const double kBuckets[] = {50, 100, 200, 300, 400, 500};
+  std::printf("  %-12s %-10s %-10s\n", "< ms", "flower", "squirrel");
+  for (double b : kBuckets) {
+    std::printf("  %-12s %-10s %-10s\n", bench::Fmt(b, 0).c_str(),
+                bench::Fmt(flower.TransferFractionBelow(b)).c_str(),
+                bench::Fmt(squirrel.TransferFractionBelow(b)).c_str());
+  }
+  bench::PrintComparison(
+      "(b) flower transfers within 100 ms", "59%",
+      bench::Fmt(100 * flower.TransferFractionBelow(100), 1) + "%");
+  bench::PrintComparison(
+      "(b) squirrel transfers within 100 ms", "17%",
+      bench::Fmt(100 * squirrel.TransferFractionBelow(100), 1) + "%");
+  bench::PrintComparison(
+      "mean transfer reduction factor", "~2x",
+      bench::Fmt(squirrel.mean_transfer_ms / flower.mean_transfer_ms, 1) +
+          "x");
+  return 0;
+}

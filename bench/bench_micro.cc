@@ -1,0 +1,174 @@
+// Microbenchmarks (google-benchmark) for the hot data structures of the
+// simulator and the protocols: event queue, Bloom filters, view merges,
+// Zipf sampling, Chord routing steps, topology latency lookups.
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "dht/chord_ring.h"
+#include "gossip/view.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace flower {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue q;
+    for (int64_t i = 0; i < batch; ++i) {
+      q.Push(static_cast<SimTime>(rng.Next() % 100000), []() {});
+    }
+    SimTime t;
+    while (!q.empty()) benchmark::DoNotOptimize(q.Pop(&t));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim(1);
+    int count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.Schedule(i, [&count]() { ++count; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_BloomAdd(benchmark::State& state) {
+  BloomFilter f(4000, 5);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    f.Add(k++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomAdd);
+
+void BM_BloomQuery(benchmark::State& state) {
+  BloomFilter f(4000, 5);
+  for (uint64_t k = 0; k < 500; ++k) f.Add(k);
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.MaybeContains(probe++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_SummaryRebuild(benchmark::State& state) {
+  const int64_t objects = state.range(0);
+  std::vector<ObjectId> ids;
+  for (int64_t i = 0; i < objects; ++i) {
+    ids.push_back(Mix64(static_cast<uint64_t>(i)));
+  }
+  ContentSummary s(static_cast<int>(objects), 8, 5);
+  for (auto _ : state) {
+    s.Rebuild(ids);
+  }
+  state.SetItemsProcessed(state.iterations() * objects);
+}
+BENCHMARK(BM_SummaryRebuild)->Arg(100)->Arg(500);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(500, 0.8);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_ViewMerge(benchmark::State& state) {
+  Rng rng(1);
+  auto summary = std::make_shared<ContentSummary>(500, 8, 5);
+  std::vector<ViewEntry> incoming;
+  for (int i = 0; i < 10; ++i) {
+    ViewEntry e;
+    e.addr = static_cast<PeerAddress>(100 + i);
+    e.age = static_cast<int>(rng.Index(5));
+    e.summary = summary;
+    incoming.push_back(e);
+  }
+  View view(50);
+  for (int i = 0; i < 50; ++i) {
+    ViewEntry e;
+    e.addr = static_cast<PeerAddress>(i);
+    e.age = static_cast<int>(rng.Index(10));
+    e.summary = summary;
+    view.Insert(e, 9999);
+  }
+  for (auto _ : state) {
+    View copy = view;
+    copy.Merge(incoming, std::nullopt, 9999);
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(BM_ViewMerge);
+
+void BM_TopologyLatency(benchmark::State& state) {
+  SimConfig config;
+  config.num_topology_nodes = 5000;
+  Rng rng(1);
+  Topology topo(config, &rng);
+  Rng pick(2);
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(pick.Index(5000));
+    NodeId b = static_cast<NodeId>(pick.Index(5000));
+    benchmark::DoNotOptimize(topo.Latency(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopologyLatency);
+
+void BM_ChordOracleNeighborRead(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  SimConfig config;
+  config.num_topology_nodes = static_cast<int>(n) + 10;
+  Simulator sim(1);
+  Topology topo(config, sim.rng());
+  Network net(&sim, &topo);
+  ChordConfig cc;
+  cc.id_bits = 32;
+  ChordRing ring(cc);
+  std::vector<std::unique_ptr<ChordNode>> nodes;
+  for (int64_t i = 0; i < n; ++i) {
+    Key id = ring.space().Clamp(Mix64(static_cast<uint64_t>(i) + 1));
+    while (ring.Contains(id)) id = ring.space().Add(id, 1);
+    auto node = std::make_unique<ChordNode>(&sim, &net, &ring, id);
+    node->Activate(static_cast<NodeId>(i));
+    node->JoinStructural();
+    nodes.push_back(std::move(node));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nodes[i % nodes.size()]->successor());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChordOracleNeighborRead)->Arg(100)->Arg(1000);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+}  // namespace
+}  // namespace flower
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Table 2(a): effect of gossip length L_gossip on hit ratio and background
+// bandwidth (T_gossip = 30 min, V_gossip = 50).
+//
+// Paper rows:  L=5 -> HR 0.823, 37 bps | L=10 -> 0.86, 74 bps
+//              L=20 -> 0.89, 147 bps
+// Shape to reproduce: bandwidth roughly x2 from L=5 to 10 and x2 again to
+// 20; hit ratio improves only marginally.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flower;
+  SimConfig base = bench::ConfigFromArgs(argc, argv);
+  bench::PrintHeader("Table 2(a): varying L_gossip (T=30min, V=50)", base);
+
+  struct Row {
+    int lgossip;
+    double paper_hr;
+    double paper_bps;
+  };
+  const Row rows[] = {{5, 0.823, 37}, {10, 0.86, 74}, {20, 0.89, 147}};
+
+  std::printf("  %-8s %-22s %-22s\n", "L", "hit ratio (paper)",
+              "background bps (paper)");
+  double bps_l5 = 0, bps_l20 = 0;
+  for (const Row& row : rows) {
+    SimConfig c = base;
+    c.gossip_length = row.lgossip;
+    RunResult r = RunExperiment(c, SystemKind::kFlower);
+    if (row.lgossip == 5) bps_l5 = r.background_bps;
+    if (row.lgossip == 20) bps_l20 = r.background_bps;
+    std::printf("  %-8d %-7s (%0.3f)        %-8s (%0.0f)\n", row.lgossip,
+                bench::Fmt(r.final_hit_ratio).c_str(), row.paper_hr,
+                bench::Fmt(r.background_bps, 1).c_str(), row.paper_bps);
+  }
+  bench::PrintComparison("bandwidth ratio L=20 / L=5", "147/37 = 4.0x",
+                         bench::Fmt(bps_l20 / bps_l5, 2) + "x");
+  return 0;
+}

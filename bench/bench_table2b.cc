@@ -1,0 +1,43 @@
+// Table 2(b): effect of gossip period T_gossip on hit ratio and background
+// bandwidth (L_gossip = 10, V_gossip = 50).
+//
+// Paper rows: T=1min -> HR 0.94, 2239 bps | T=30min -> 0.86, 74 bps
+//             T=1h   -> 0.81, 37 bps
+// Shape: bandwidth scales ~1/T (x60 from 1 h to 1 min); hit ratio rises
+// slowly with gossip frequency.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flower;
+  SimConfig base = bench::ConfigFromArgs(argc, argv);
+  bench::PrintHeader("Table 2(b): varying T_gossip (L=10, V=50)", base);
+
+  struct Row {
+    SimTime period;
+    const char* label;
+    double paper_hr;
+    double paper_bps;
+  };
+  const Row rows[] = {{1 * kMinute, "1 min", 0.94, 2239},
+                      {30 * kMinute, "30 min", 0.86, 74},
+                      {1 * kHour, "1 hour", 0.81, 37}};
+
+  std::printf("  %-8s %-22s %-22s\n", "T", "hit ratio (paper)",
+              "background bps (paper)");
+  double bps_fast = 0, bps_slow = 0;
+  for (const Row& row : rows) {
+    SimConfig c = base;
+    c.gossip_period = row.period;
+    RunResult r = RunExperiment(c, SystemKind::kFlower);
+    if (row.period == 1 * kMinute) bps_fast = r.background_bps;
+    if (row.period == 1 * kHour) bps_slow = r.background_bps;
+    std::printf("  %-8s %-7s (%0.2f)         %-9s (%0.0f)\n", row.label,
+                bench::Fmt(r.final_hit_ratio).c_str(), row.paper_hr,
+                bench::Fmt(r.background_bps, 1).c_str(), row.paper_bps);
+  }
+  bench::PrintComparison("bandwidth ratio T=1min / T=1h", "2239/37 = 60x",
+                         bench::Fmt(bps_fast / bps_slow, 1) + "x");
+  return 0;
+}

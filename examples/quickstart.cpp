@@ -1,0 +1,44 @@
+// Quickstart: run a small Flower-CDN simulation and print the paper's four
+// metrics. Any config knob can be overridden on the command line as
+// key=value, e.g.:
+//   ./quickstart duration=2h gossip_period=5min num_websites=20
+#include <cstdio>
+
+#include "common/config.h"
+#include "workload/runner.h"
+
+int main(int argc, char** argv) {
+  flower::SimConfig config;
+  // A small default scenario so the quickstart finishes in seconds.
+  config.num_topology_nodes = 1200;
+  config.num_websites = 20;
+  config.num_active_websites = 4;
+  config.max_content_overlay_size = 40;
+  config.duration = 6 * flower::kHour;
+  config.queries_per_second = 3.0;
+
+  flower::Status status = config.ApplyArgs(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Flower-CDN quickstart\n  config: %s\n\n",
+              config.ToString().c_str());
+
+  flower::RunResult flower_run =
+      flower::RunExperiment(config, flower::SystemKind::kFlower);
+  std::printf("  %s\n", flower::FormatRunSummary(flower_run).c_str());
+
+  flower::RunResult squirrel_run =
+      flower::RunExperiment(config, flower::SystemKind::kSquirrelDirectory);
+  std::printf("  %s\n\n", flower::FormatRunSummary(squirrel_run).c_str());
+
+  std::printf("  lookup  < 150 ms : flower %.0f%%  squirrel %.0f%%\n",
+              100 * flower_run.LookupFractionBelow(150),
+              100 * squirrel_run.LookupFractionBelow(150));
+  std::printf("  transfer< 100 ms : flower %.0f%%  squirrel %.0f%%\n",
+              100 * flower_run.TransferFractionBelow(100),
+              100 * squirrel_run.TransferFractionBelow(100));
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "bloom/bloom_filter.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace flower {
+
+BloomFilter::BloomFilter(size_t num_bits, int num_hashes)
+    : num_bits_(num_bits),
+      num_hashes_(num_hashes),
+      bits_((num_bits + 63) / 64, 0) {
+  assert(num_bits > 0);
+  assert(num_hashes > 0);
+}
+
+void BloomFilter::Positions(uint64_t key, std::vector<size_t>* out) const {
+  out->clear();
+  uint64_t h1 = Mix64(key);
+  uint64_t h2 = Mix64(key ^ 0x5851f42d4c957f2dULL) | 1;  // odd step
+  for (int i = 0; i < num_hashes_; ++i) {
+    out->push_back(static_cast<size_t>((h1 + static_cast<uint64_t>(i) * h2) %
+                                       num_bits_));
+  }
+}
+
+void BloomFilter::Add(uint64_t key) {
+  std::vector<size_t> pos;
+  Positions(key, &pos);
+  for (size_t p : pos) bits_[p / 64] |= (1ULL << (p % 64));
+  ++insertions_;
+}
+
+bool BloomFilter::MaybeContains(uint64_t key) const {
+  std::vector<size_t> pos;
+  Positions(key, &pos);
+  for (size_t p : pos) {
+    if ((bits_[p / 64] & (1ULL << (p % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Clear() {
+  for (auto& w : bits_) w = 0;
+  insertions_ = 0;
+}
+
+void BloomFilter::UnionWith(const BloomFilter& other) {
+  assert(other.num_bits_ == num_bits_);
+  assert(other.num_hashes_ == num_hashes_);
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  insertions_ += other.insertions_;
+}
+
+size_t BloomFilter::CountSetBits() const {
+  size_t count = 0;
+  for (uint64_t w : bits_) count += static_cast<size_t>(__builtin_popcountll(w));
+  return count;
+}
+
+double BloomFilter::EstimatedFpRate() const {
+  double k = static_cast<double>(num_hashes_);
+  double n = static_cast<double>(insertions_);
+  double m = static_cast<double>(num_bits_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace flower

@@ -1,0 +1,53 @@
+// Bloom filter used for content and directory summaries (Fan et al.,
+// "Summary Cache", SIGCOMM 1998 — the paper's citation [9]).
+#ifndef FLOWERCDN_BLOOM_BLOOM_FILTER_H_
+#define FLOWERCDN_BLOOM_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flower {
+
+class BloomFilter {
+ public:
+  /// Creates a filter with `num_bits` bits and `num_hashes` hash functions.
+  BloomFilter(size_t num_bits, int num_hashes);
+
+  void Add(uint64_t key);
+
+  /// True if the key *may* be present; false means definitely absent.
+  bool MaybeContains(uint64_t key) const;
+
+  void Clear();
+
+  /// Bitwise union with another filter of identical geometry.
+  void UnionWith(const BloomFilter& other);
+
+  size_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  size_t CountSetBits() const;
+  uint64_t num_insertions() const { return insertions_; }
+
+  /// Theoretical false-positive rate for the current insertion count:
+  /// (1 - e^{-kn/m})^k.
+  double EstimatedFpRate() const;
+
+  bool operator==(const BloomFilter& other) const {
+    return num_bits_ == other.num_bits_ && num_hashes_ == other.num_hashes_ &&
+           bits_ == other.bits_;
+  }
+
+ private:
+  // Double hashing: position_i = h1 + i * h2 (mod m).
+  void Positions(uint64_t key, std::vector<size_t>* out) const;
+
+  size_t num_bits_;
+  int num_hashes_;
+  std::vector<uint64_t> bits_;
+  uint64_t insertions_ = 0;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_BLOOM_BLOOM_FILTER_H_

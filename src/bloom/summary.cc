@@ -1,0 +1,19 @@
+#include "bloom/summary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flower {
+
+ContentSummary::ContentSummary(int capacity, int bits_per_object,
+                               int num_hashes)
+    : filter_(static_cast<size_t>(std::max(capacity, 1)) *
+                  static_cast<size_t>(bits_per_object),
+              num_hashes) {}
+
+void ContentSummary::Rebuild(const std::vector<ObjectId>& objects) {
+  filter_.Clear();
+  for (ObjectId id : objects) filter_.Add(id);
+}
+
+}  // namespace flower

@@ -1,0 +1,179 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace flower {
+
+namespace {
+
+bool ParseInt(const std::string& v, int64_t* out) {
+  char* end = nullptr;
+  long long x = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') return false;
+  *out = x;
+  return true;
+}
+
+bool ParseDouble(const std::string& v, double* out) {
+  char* end = nullptr;
+  double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') return false;
+  *out = x;
+  return true;
+}
+
+bool ParseBool(const std::string& v, bool* out) {
+  if (v == "true" || v == "1" || v == "on") {
+    *out = true;
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+// Accepts "500", "500ms", "30s", "30min", "24h".
+bool ParseTime(const std::string& v, SimTime* out) {
+  size_t i = 0;
+  while (i < v.size() && (isdigit(v[i]) || v[i] == '-')) ++i;
+  if (i == 0) return false;
+  int64_t num;
+  if (!ParseInt(v.substr(0, i), &num)) return false;
+  std::string unit = v.substr(i);
+  SimTime mult;
+  if (unit.empty() || unit == "ms") {
+    mult = kMillisecond;
+  } else if (unit == "s") {
+    mult = kSecond;
+  } else if (unit == "min" || unit == "m") {
+    mult = kMinute;
+  } else if (unit == "h") {
+    mult = kHour;
+  } else {
+    return false;
+  }
+  *out = num * mult;
+  return true;
+}
+
+}  // namespace
+
+Status SimConfig::Apply(const std::string& key, const std::string& value) {
+  int64_t i;
+  double d;
+  bool b;
+  SimTime t;
+
+#define INT_KEY(name, field)                                             \
+  if (key == name) {                                                     \
+    if (!ParseInt(value, &i))                                            \
+      return Status::InvalidArgument("bad int for " + key);              \
+    field = static_cast<decltype(field)>(i);                             \
+    return Status::Ok();                                                 \
+  }
+#define DOUBLE_KEY(name, field)                                          \
+  if (key == name) {                                                     \
+    if (!ParseDouble(value, &d))                                         \
+      return Status::InvalidArgument("bad double for " + key);           \
+    field = d;                                                           \
+    return Status::Ok();                                                 \
+  }
+#define BOOL_KEY(name, field)                                            \
+  if (key == name) {                                                     \
+    if (!ParseBool(value, &b))                                           \
+      return Status::InvalidArgument("bad bool for " + key);             \
+    field = b;                                                           \
+    return Status::Ok();                                                 \
+  }
+#define TIME_KEY(name, field)                                            \
+  if (key == name) {                                                     \
+    if (!ParseTime(value, &t))                                           \
+      return Status::InvalidArgument("bad time for " + key);             \
+    field = t;                                                           \
+    return Status::Ok();                                                 \
+  }
+
+  INT_KEY("seed", seed)
+  INT_KEY("num_topology_nodes", num_topology_nodes)
+  INT_KEY("num_localities", num_localities)
+  TIME_KEY("min_intra_latency", min_intra_latency)
+  TIME_KEY("max_intra_latency", max_intra_latency)
+  TIME_KEY("min_inter_latency", min_inter_latency)
+  TIME_KEY("max_inter_latency", max_inter_latency)
+  INT_KEY("num_websites", num_websites)
+  INT_KEY("num_active_websites", num_active_websites)
+  INT_KEY("num_objects_per_website", num_objects_per_website)
+  DOUBLE_KEY("zipf_alpha", zipf_alpha)
+  INT_KEY("object_size_bits", object_size_bits)
+  INT_KEY("max_content_overlay_size", max_content_overlay_size)
+  DOUBLE_KEY("new_client_probability", new_client_probability)
+  DOUBLE_KEY("queries_per_second", queries_per_second)
+  TIME_KEY("duration", duration)
+  TIME_KEY("gossip_period", gossip_period)
+  INT_KEY("gossip_length", gossip_length)
+  INT_KEY("view_size", view_size)
+  DOUBLE_KEY("push_threshold", push_threshold)
+  TIME_KEY("keepalive_period", keepalive_period)
+  INT_KEY("dead_age_limit", dead_age_limit)
+  INT_KEY("view_age_limit", view_age_limit)
+  INT_KEY("summary_bits_per_object", summary_bits_per_object)
+  INT_KEY("summary_num_hashes", summary_num_hashes)
+  DOUBLE_KEY("directory_summary_threshold", directory_summary_threshold)
+  INT_KEY("directory_summary_neighbors", directory_summary_neighbors)
+  INT_KEY("chord_id_bits", chord_id_bits)
+  INT_KEY("locality_id_bits", locality_id_bits)
+  INT_KEY("scaleup_extra_bits", scaleup_extra_bits)
+  INT_KEY("scaleup_instances", scaleup_instances)
+  INT_KEY("chord_successor_list", chord_successor_list)
+  TIME_KEY("chord_stabilize_period", chord_stabilize_period)
+  TIME_KEY("chord_fix_fingers_period", chord_fix_fingers_period)
+  BOOL_KEY("chord_oracle_maintenance", chord_oracle_maintenance)
+  BOOL_KEY("churn_enabled", churn_enabled)
+  TIME_KEY("churn_mean_session", churn_mean_session)
+  TIME_KEY("churn_mean_downtime", churn_mean_downtime)
+  DOUBLE_KEY("churn_fail_probability", churn_fail_probability)
+  BOOL_KEY("active_replication", active_replication)
+  INT_KEY("replication_top_objects", replication_top_objects)
+  TIME_KEY("replication_period", replication_period)
+  TIME_KEY("metrics_window", metrics_window)
+
+#undef INT_KEY
+#undef DOUBLE_KEY
+#undef BOOL_KEY
+#undef TIME_KEY
+
+  return Status::InvalidArgument("unknown config key: " + key);
+}
+
+Status SimConfig::ApplyArgs(int argc, char** argv) {
+  for (int a = 1; a < argc; ++a) {
+    std::string tok = argv[a];
+    size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key=value, got: " + tok);
+    }
+    Status s = Apply(tok.substr(0, eq), tok.substr(eq + 1));
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+std::string SimConfig::ToString() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " topology=" << num_topology_nodes
+     << " localities=" << num_localities << " websites=" << num_websites
+     << " active=" << num_active_websites
+     << " objects/site=" << num_objects_per_website
+     << " zipf=" << zipf_alpha << " S_co=" << max_content_overlay_size
+     << " qps=" << queries_per_second
+     << " duration=" << duration / kHour << "h"
+     << " T_gossip=" << gossip_period / kMinute << "min"
+     << " L_gossip=" << gossip_length << " V_gossip=" << view_size
+     << " push_thr=" << push_threshold;
+  return os.str();
+}
+
+}  // namespace flower

@@ -1,0 +1,112 @@
+// Simulation configuration: every tunable of the system in one struct,
+// with defaults from the paper's Table 1 and Section 6.1.
+#ifndef FLOWERCDN_COMMON_CONFIG_H_
+#define FLOWERCDN_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace flower {
+
+struct SimConfig {
+  // --- Reproducibility -----------------------------------------------------
+  uint64_t seed = 42;
+
+  // --- Underlying topology (paper Table 1 / BRITE-inspired model) ----------
+  int num_topology_nodes = 5000;
+  int num_localities = 6;          // k
+  SimTime min_intra_latency = 10;  // ms, link latency range 10..500 overall
+  SimTime max_intra_latency = 100;
+  SimTime min_inter_latency = 100;
+  SimTime max_inter_latency = 500;
+  /// Relative population of each locality ("non-uniformly populated").
+  /// Resized/renormalized to num_localities.
+  std::vector<double> locality_weights = {0.28, 0.22, 0.17, 0.13, 0.11, 0.09};
+
+  // --- Websites and objects -------------------------------------------------
+  int num_websites = 100;             // |W| on the D-ring
+  int num_active_websites = 6;        // websites receiving queries
+  int num_objects_per_website = 500;  // paper text Sec 6.1 (Table 1 says 100)
+  double zipf_alpha = 0.8;            // object popularity skew
+  uint64_t object_size_bits = 10 * 8 * 1024;  // nominal 10 KB web page
+
+  // --- Overlay / membership -------------------------------------------------
+  int max_content_overlay_size = 100;  // S_co
+  /// Probability that a query originates at a not-yet-joined client while
+  /// the target overlay still has capacity (otherwise an existing member).
+  double new_client_probability = 0.5;
+
+  // --- Workload --------------------------------------------------------------
+  double queries_per_second = 6.0;
+  SimTime duration = 24 * kHour;
+
+  // --- Gossip (paper Table 1 defaults) ---------------------------------------
+  SimTime gossip_period = 30 * kMinute;  // T_gossip
+  int gossip_length = 10;                // L_gossip, entries per exchange
+  int view_size = 50;                    // V_gossip
+  double push_threshold = 0.1;           // fraction of changed entries
+  SimTime keepalive_period = 10 * kMinute;
+  int dead_age_limit = 4;  // T_dead, in age ticks (aged every T_gossip)
+  /// View entries older than this many gossip rounds are treated as dead
+  /// contacts and dropped (prevents dead peers from circulating in
+  /// exchanged view subsets indefinitely).
+  int view_age_limit = 12;
+
+  // --- Summaries (Fan et al. sizing, paper Table 1) ---------------------------
+  int summary_bits_per_object = 8;
+  int summary_num_hashes = 5;
+  /// Directory summary refresh threshold: fraction of new object ids not yet
+  /// reflected in the last summary sent to neighbors.
+  double directory_summary_threshold = 0.1;
+  /// How many same-website D-ring neighbors a directory peer exchanges
+  /// directory summaries with (paper Fig 4 shows the two direct neighbors).
+  int directory_summary_neighbors = 2;
+
+  // --- DHT -------------------------------------------------------------------
+  int chord_id_bits = 40;        // m (website bits + locality bits + extra)
+  int locality_id_bits = 8;      // m1
+  int scaleup_extra_bits = 0;    // b (Sec 5.3), 0 = one directory per (ws,loc)
+  /// Directory instances created per (website, locality) at setup; must be
+  /// <= 2^scaleup_extra_bits. With >1, a full overlay forwards new clients
+  /// to the next instance's overlay (Sec 5.3).
+  int scaleup_instances = 1;
+  int chord_successor_list = 4;
+  SimTime chord_stabilize_period = 30 * kSecond;
+  SimTime chord_fix_fingers_period = 30 * kSecond;
+  /// If true, ring membership changes are applied structurally (oracle) and
+  /// finger tables refreshed exactly; if false, the full join/stabilize
+  /// protocol maintains the ring (slower, used by churn tests).
+  bool chord_oracle_maintenance = true;
+
+  // --- Churn (disabled by default; used in churn experiments) -----------------
+  bool churn_enabled = false;
+  SimTime churn_mean_session = 2 * kHour;
+  SimTime churn_mean_downtime = 30 * kMinute;
+  double churn_fail_probability = 0.5;  // fail vs. graceful leave
+
+  // --- Extensions --------------------------------------------------------------
+  bool active_replication = false;        // Sec 8 future work
+  int replication_top_objects = 10;
+  SimTime replication_period = 1 * kHour;
+
+  // --- Metrics -------------------------------------------------------------
+  SimTime metrics_window = 30 * kMinute;
+
+  /// Applies a "key=value" override; returns an error for unknown keys or
+  /// malformed values. Times accept suffixes ms, s, min, h.
+  Status Apply(const std::string& key, const std::string& value);
+
+  /// Applies argv-style overrides ("key=value" tokens).
+  Status ApplyArgs(int argc, char** argv);
+
+  /// Pretty-prints the configuration.
+  std::string ToString() const;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_COMMON_CONFIG_H_

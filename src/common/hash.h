@@ -1,0 +1,30 @@
+// String and integer hashing used for website/object identifiers.
+#ifndef FLOWERCDN_COMMON_HASH_H_
+#define FLOWERCDN_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace flower {
+
+/// FNV-1a 64-bit hash of a byte string. Used to derive website and object
+/// identifiers from URLs, mirroring the paper's hash(url).
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combines two 64-bit hashes into one.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_COMMON_HASH_H_

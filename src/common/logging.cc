@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flower {
+
+namespace {
+LogLevel g_level = []() {
+  const char* env = std::getenv("FLOWER_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  int v = std::atoi(env);
+  if (v < 0) v = 0;
+  if (v > 4) v = 4;
+  return static_cast<LogLevel>(v);
+}();
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLevel GlobalLogLevel() { return g_level; }
+void SetGlobalLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace internal
+}  // namespace flower

@@ -1,0 +1,50 @@
+// Minimal leveled logging. Controlled by FLOWER_LOG_LEVEL (0=off, 1=error,
+// 2=warn, 3=info, 4=debug); defaults to warn so simulations stay quiet.
+#ifndef FLOWERCDN_COMMON_LOGGING_H_
+#define FLOWERCDN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace flower {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Current global log level (read from FLOWER_LOG_LEVEL on first use).
+LogLevel GlobalLogLevel();
+
+/// Overrides the global level programmatically (tests, examples).
+void SetGlobalLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace flower
+
+#define FLOWER_LOG(level)                                                  \
+  if (static_cast<int>(::flower::LogLevel::k##level) >                     \
+      static_cast<int>(::flower::GlobalLogLevel())) {                      \
+  } else                                                                   \
+    ::flower::internal::LogMessage(::flower::LogLevel::k##level, __FILE__, \
+                                   __LINE__)                               \
+        .stream()
+
+#endif  // FLOWERCDN_COMMON_LOGGING_H_

@@ -1,0 +1,79 @@
+// Time-bucketed aggregation for "metric vs time" figures.
+#ifndef FLOWERCDN_COMMON_TIME_SERIES_H_
+#define FLOWERCDN_COMMON_TIME_SERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flower {
+
+/// Accumulates (time, value) samples into fixed-width time windows and
+/// exposes per-window mean / sum / count. Used to regenerate the paper's
+/// Figures 5-8(a), which plot a metric against simulation time.
+class TimeSeries {
+ public:
+  explicit TimeSeries(SimTime window);
+
+  void Add(SimTime t, double value);
+
+  /// Number of windows touched so far (index of last + 1).
+  size_t NumWindows() const { return windows_.size(); }
+
+  SimTime window() const { return window_; }
+  SimTime WindowStart(size_t i) const {
+    return static_cast<SimTime>(i) * window_;
+  }
+
+  double WindowMean(size_t i) const;
+  double WindowSum(size_t i) const;
+  uint64_t WindowCount(size_t i) const;
+
+  /// Mean of the last `n` non-empty windows (for headline "converged"
+  /// numbers). Returns 0 if no samples at all.
+  double TailMean(size_t n) const;
+
+ private:
+  struct Window {
+    double sum = 0;
+    uint64_t count = 0;
+  };
+
+  SimTime window_;
+  std::vector<Window> windows_;
+};
+
+/// Tracks a ratio (successes / trials) per time window, e.g. hit ratio.
+class RatioSeries {
+ public:
+  explicit RatioSeries(SimTime window);
+
+  void Add(SimTime t, bool success);
+
+  size_t NumWindows() const { return trials_.NumWindows(); }
+  SimTime WindowStart(size_t i) const { return trials_.WindowStart(i); }
+
+  /// Ratio within window i; 0 when the window has no trials.
+  double WindowRatio(size_t i) const;
+
+  /// Ratio over all samples so far.
+  double CumulativeRatio() const;
+
+  /// Ratio over the last `n` windows that contain trials.
+  double TailRatio(size_t n) const;
+
+  uint64_t total_trials() const { return total_trials_; }
+  uint64_t total_successes() const { return total_successes_; }
+
+ private:
+  TimeSeries trials_;     // count = trials per window
+  TimeSeries successes_;  // sum = successes per window
+  uint64_t total_trials_ = 0;
+  uint64_t total_successes_ = 0;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_COMMON_TIME_SERIES_H_

@@ -1,0 +1,43 @@
+// Core scalar types shared across the Flower-CDN codebase.
+#ifndef FLOWERCDN_COMMON_TYPES_H_
+#define FLOWERCDN_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace flower {
+
+/// Index of a node in the underlying network topology.
+using NodeId = uint32_t;
+
+/// Network address of a peer. Each simulated peer occupies exactly one
+/// topology node, so the address doubles as its NodeId.
+using PeerAddress = uint32_t;
+
+/// Simulated time in milliseconds.
+using SimTime = int64_t;
+
+/// Identifier of a cacheable object (hash of its URL).
+using ObjectId = uint64_t;
+
+/// Index of a website in the simulated universe W.
+using WebsiteId = uint32_t;
+
+/// Index of a network locality, in [0, k).
+using LocalityId = uint32_t;
+
+/// Identifier on the DHT ring (m-bit, m <= 64).
+using Key = uint64_t;
+
+inline constexpr PeerAddress kInvalidAddress =
+    std::numeric_limits<PeerAddress>::max();
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+inline constexpr SimTime kMillisecond = 1;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_COMMON_TYPES_H_

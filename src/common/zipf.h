@@ -1,0 +1,38 @@
+// Zipf-distributed sampling of object ranks.
+//
+// Web object popularity follows a Zipf-like distribution (Breslau et al.,
+// INFOCOM 1999, cited by the paper for its workload). A ZipfSampler draws
+// ranks r in [0, n) with P(r) proportional to 1 / (r+1)^alpha.
+#ifndef FLOWERCDN_COMMON_ZIPF_H_
+#define FLOWERCDN_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flower {
+
+class ZipfSampler {
+ public:
+  /// Builds a sampler over n ranks with the given exponent (alpha >= 0;
+  /// alpha = 0 degenerates to the uniform distribution).
+  ZipfSampler(size_t n, double alpha);
+
+  /// Draws a rank in [0, n). Rank 0 is the most popular.
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of the given rank.
+  double Probability(size_t rank) const;
+
+  size_t n() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1.0
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_COMMON_ZIPF_H_

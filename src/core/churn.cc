@@ -1,0 +1,56 @@
+#include "core/churn.h"
+
+namespace flower {
+
+ChurnManager::ChurnManager(FlowerSystem* system, const SimConfig& config,
+                           uint64_t seed)
+    : system_(system), config_(config), rng_(seed) {}
+
+void ChurnManager::Start() {
+  if (!config_.churn_enabled) return;
+  Simulator* sim = system_->context()->sim;
+  timer_ = sim->SchedulePeriodic(kTick, kTick, [this]() { Tick(); });
+}
+
+void ChurnManager::Stop() { timer_.Cancel(); }
+
+bool ChurnManager::IsBlackedOut(NodeId node) const {
+  auto it = blackout_until_.find(node);
+  if (it == blackout_until_.end()) return false;
+  return system_->context()->sim->Now() < it->second;
+}
+
+void ChurnManager::Tick() {
+  Simulator* sim = system_->context()->sim;
+  const double p_death = static_cast<double>(kTick) /
+                         static_cast<double>(config_.churn_mean_session);
+  SimTime blackout_end = sim->Now() + static_cast<SimTime>(rng_.Exponential(
+                             static_cast<double>(config_.churn_mean_downtime)));
+
+  for (ContentPeer* peer : system_->LiveContentPeers()) {
+    if (!peer->joined()) continue;  // only established members churn
+    if (!rng_.Bernoulli(p_death)) continue;
+    blackout_until_[peer->node()] = blackout_end;
+    if (rng_.Bernoulli(config_.churn_fail_probability)) {
+      peer->Fail();
+      ++failures_;
+    } else {
+      peer->Leave();
+      ++leaves_;
+    }
+  }
+  for (DirectoryPeer* dir : system_->LiveDirectories()) {
+    if (!rng_.Bernoulli(p_death)) continue;
+    blackout_until_[dir->node()] = blackout_end;
+    ++directory_deaths_;
+    if (rng_.Bernoulli(config_.churn_fail_probability)) {
+      dir->FailAbruptly();
+      ++failures_;
+    } else {
+      dir->LeaveGracefully();
+      ++leaves_;
+    }
+  }
+}
+
+}  // namespace flower

@@ -1,0 +1,505 @@
+#include "core/content_peer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "core/flower_system.h"
+
+namespace flower {
+
+ContentPeer::ContentPeer(FlowerContext* ctx, const Website* site,
+                         LocalityId locality, uint64_t rng_seed)
+    : ctx_(ctx),
+      site_(site),
+      locality_(locality),
+      rng_(rng_seed),
+      view_(ctx->config->view_size, ctx->config->view_age_limit) {
+  assert(site != nullptr);
+}
+
+ContentPeer::~ContentPeer() {
+  gossip_timer_.Cancel();
+  keepalive_timer_.Cancel();
+}
+
+void ContentPeer::Activate(NodeId node) {
+  ctx_->network->RegisterPeer(this, node);
+  alive_ = true;
+}
+
+// --- Query pipeline -----------------------------------------------------------
+
+void ContentPeer::RequestObject(ObjectId object) {
+  if (!alive_) return;
+  SimTime now = ctx_->sim->Now();
+  // Local-cache hits never become queries: only local misses reach the P2P
+  // system (web-cache semantics; this matches the paper's measured
+  // distributions, which contain no zero-latency mass).
+  if (content_.count(object) > 0) return;
+  if (pending_.count(object) > 0) {
+    ++duplicate_queries_;  // already in flight; piggyback on its result
+    return;
+  }
+  ++queries_started_;
+  ctx_->metrics->OnQuerySubmitted(now);
+  PendingQuery pq;
+  pq.submit = now;
+  pending_[object] = pq;
+  ContinueQuery(object);
+}
+
+void ContentPeer::ContinueQuery(ObjectId object) {
+  auto it = pending_.find(object);
+  if (it == pending_.end()) return;
+  PendingQuery* pq = &it->second;
+  if (joined_) {
+    if (TryPeerDirect(object, pq)) return;
+    SendToDirectory(object, pq);
+  } else {
+    SendViaDRing(object, pq);
+  }
+}
+
+std::unique_ptr<FlowerQueryMsg> ContentPeer::MakeQuery(
+    ObjectId object, SimTime submit, QueryStage stage) const {
+  auto q = std::make_unique<FlowerQueryMsg>(
+      site_->index, site_->dring_hash, object, address(), locality_, submit,
+      stage);
+  q->client_is_member = joined_;
+  return q;
+}
+
+bool ContentPeer::TryPeerDirect(ObjectId object, PendingQuery* pq) {
+  // Candidates: view entries whose summary may contain the object and that
+  // we have not asked yet this query.
+  std::vector<PeerAddress> candidates;
+  for (const ViewEntry& e : view_.entries()) {
+    if (!e.summary || e.addr == address()) continue;
+    if (!e.summary->MaybeContains(object)) continue;
+    if (std::find(pq->tried.begin(), pq->tried.end(), e.addr) !=
+        pq->tried.end()) {
+      continue;
+    }
+    candidates.push_back(e.addr);
+  }
+  if (candidates.empty()) return false;
+  PeerAddress target = candidates[rng_.Index(candidates.size())];
+  pq->tried.push_back(target);
+  pq->stage = QueryStage::kPeerDirect;
+  ctx_->network->Send(this, target,
+                      MakeQuery(object, pq->submit, QueryStage::kPeerDirect));
+  return true;
+}
+
+void ContentPeer::SendToDirectory(ObjectId object, PendingQuery* pq) {
+  if (!dir_pointer_.valid() || dir_pointer_.addr == address()) {
+    SendViaDRing(object, pq);
+    return;
+  }
+  pq->stage = QueryStage::kToDirectory;
+  ctx_->network->Send(
+      this, dir_pointer_.addr,
+      MakeQuery(object, pq->submit, QueryStage::kToDirectory));
+}
+
+void ContentPeer::SendViaDRing(ObjectId object, PendingQuery* pq) {
+  PeerAddress bootstrap = ctx_->system->BootstrapDirectory(&rng_);
+  if (bootstrap == kInvalidAddress) {
+    // No D-ring at all: go straight to the origin server.
+    pq->stage = QueryStage::kToServer;
+    ctx_->network->Send(this, site_->server_addr,
+                        MakeQuery(object, pq->submit, QueryStage::kToServer));
+    return;
+  }
+  pq->stage = QueryStage::kViaDRing;
+  Key key = ctx_->scheme->MakeKey(site_->dring_hash, locality_);
+  auto route = std::make_unique<RouteMsg>(
+      key, MakeQuery(object, pq->submit, QueryStage::kViaDRing));
+  ctx_->network->Send(this, bootstrap, std::move(route));
+}
+
+// --- Serving other peers ---------------------------------------------------------
+
+void ContentPeer::HandleIncomingQuery(std::unique_ptr<FlowerQueryMsg> query) {
+  if (content_.count(query->object) > 0) {
+    ctx_->metrics->OnLookupResolved(query->submit_time, ctx_->sim->Now(),
+                                    /*provider_is_server=*/false);
+    auto serve = std::make_unique<ServeMsg>(
+        query->object, query->website, query->website_hash, address(),
+        /*from_server=*/false, query->submit_time,
+        ctx_->config->object_size_bits);
+    if (!query->client_is_member && query->client_loc == locality_) {
+      // Seed the new client's view from ours (paper Sec 4.2) — only when
+      // the client joins *our* overlay; a cross-locality client gets its
+      // contacts from its own directory instead, so views never leak
+      // across overlays.
+      serve->view_subset = view_.SelectSubset(ctx_->config->gossip_length,
+                                              &rng_, query->client);
+      ViewEntry self_entry;
+      self_entry.addr = address();
+      self_entry.age = 0;
+      self_entry.summary = CurrentSummary();
+      serve->view_subset.push_back(self_entry);
+    }
+    ctx_->network->Send(this, query->client, std::move(serve));
+    return;
+  }
+  // We do not hold it: stale entry or Bloom false positive.
+  PeerAddress asker = query->sender;
+  auto nf = std::make_unique<NotFoundMsg>(query->object, query->website_hash,
+                                          query->stage);
+  if (query->stage == QueryStage::kDirRedirect ||
+      query->stage == QueryStage::kDirToDir) {
+    nf->query = std::move(query);  // echo context so the directory retries
+  }
+  ctx_->network->Send(this, asker, std::move(nf));
+}
+
+void ContentPeer::HandleServe(std::unique_ptr<ServeMsg> serve) {
+  SimTime now = ctx_->sim->Now();
+  SimTime distance = ctx_->network->Latency(serve->provider, address());
+  const Topology& topo = ctx_->network->topology();
+  Metrics::ProviderKind kind =
+      topo.LocalityOf(serve->provider) == topo.LocalityOf(node())
+          ? Metrics::ProviderKind::kLocalPeer
+          : Metrics::ProviderKind::kRemotePeer;
+  ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
+  pending_.erase(serve->object);
+  AddObject(serve->object);
+  if (!serve->view_subset.empty()) {
+    view_.Merge(serve->view_subset, std::nullopt, address());
+  }
+}
+
+void ContentPeer::HandleWelcome(std::unique_ptr<WelcomeMsg> welcome) {
+  view_.Merge(welcome->contacts, std::nullopt, address());
+  MergeDirPointer(DirectoryPointer{welcome->sender, 0});
+  if (!joined_) {
+    joined_ = true;
+    joined_at_ = ctx_->sim->Now();
+    StartOverlayTimers();
+  }
+}
+
+void ContentPeer::HandleNotFound(std::unique_ptr<NotFoundMsg> nf) {
+  auto it = pending_.find(nf->object);
+  if (it == pending_.end()) return;
+  ContinueQuery(nf->object);  // try the next candidate / fall back
+}
+
+// --- Gossip (Algorithm 4) ----------------------------------------------------------
+
+void ContentPeer::StartOverlayTimers() {
+  const SimConfig& cfg = *ctx_->config;
+  // Random phase so the overlay's gossip rounds are desynchronized.
+  SimTime gossip_offset =
+      static_cast<SimTime>(rng_.UniformInt(0, cfg.gossip_period - 1));
+  gossip_timer_ = ctx_->sim->SchedulePeriodic(gossip_offset, cfg.gossip_period,
+                                              [this]() {
+                                                ActiveGossipRound();
+                                              });
+  SimTime ka_offset =
+      static_cast<SimTime>(rng_.UniformInt(0, cfg.keepalive_period - 1));
+  keepalive_timer_ = ctx_->sim->SchedulePeriodic(
+      ka_offset, cfg.keepalive_period, [this]() { SendKeepalive(); });
+}
+
+std::shared_ptr<const ContentSummary> ContentPeer::CurrentSummary() {
+  if (summary_dirty_ || summary_ == nullptr) {
+    auto s = std::make_shared<ContentSummary>(
+        ctx_->config->num_objects_per_website,
+        ctx_->config->summary_bits_per_object,
+        ctx_->config->summary_num_hashes);
+    for (ObjectId o : content_) s->Add(o);
+    summary_ = std::move(s);
+    summary_dirty_ = false;
+  }
+  return summary_;
+}
+
+void ContentPeer::ActiveGossipRound() {
+  if (!alive_ || !joined_) return;
+  view_.IncrementAges();
+  view_.DropOlderThan(ctx_->config->view_age_limit);
+  ++dir_pointer_.age;
+  const ViewEntry* oldest = view_.SelectOldest();
+  if (oldest == nullptr) return;
+  auto req = std::make_unique<GossipRequestMsg>();
+  req->own_summary = CurrentSummary();
+  req->view_subset =
+      view_.SelectSubset(ctx_->config->gossip_length, &rng_, oldest->addr);
+  req->dir_pointer = dir_pointer_;
+  ctx_->network->Send(this, oldest->addr, std::move(req));
+}
+
+void ContentPeer::HandleGossipRequest(std::unique_ptr<GossipRequestMsg> req) {
+  // Passive behavior: answer with our own summary + subset + dir pointer,
+  // then merge what we received.
+  auto reply = std::make_unique<GossipReplyMsg>();
+  reply->own_summary = CurrentSummary();
+  reply->view_subset =
+      view_.SelectSubset(ctx_->config->gossip_length, &rng_, req->sender);
+  reply->dir_pointer = dir_pointer_;
+  ctx_->network->Send(this, req->sender, std::move(reply));
+
+  ViewEntry fresh;
+  fresh.addr = req->sender;
+  fresh.age = 0;
+  fresh.summary = req->own_summary;
+  view_.Merge(req->view_subset, fresh, address());
+  MergeDirPointer(req->dir_pointer);
+}
+
+void ContentPeer::HandleGossipReply(std::unique_ptr<GossipReplyMsg> reply) {
+  ViewEntry fresh;
+  fresh.addr = reply->sender;
+  fresh.age = 0;
+  fresh.summary = reply->own_summary;
+  view_.Merge(reply->view_subset, fresh, address());
+  MergeDirPointer(reply->dir_pointer);
+}
+
+void ContentPeer::MergeDirPointer(const DirectoryPointer& incoming) {
+  if (!incoming.valid()) return;
+  // Never adopt ourselves: gossip can still circulate pointers naming this
+  // address from a directory that lived on this node in a previous life
+  // (churn + node rebirth). Self-adoption would turn SendToDirectory into
+  // a zero-latency query-to-self loop.
+  if (incoming.addr == address()) return;
+  if (!dir_pointer_.valid() || incoming.age < dir_pointer_.age) {
+    bool changed = incoming.addr != dir_pointer_.addr;
+    dir_pointer_ = incoming;
+    if (changed && joined_ && !push_delta_.empty()) MaybePush();
+  }
+}
+
+// --- Push & keepalive (Algorithm 5 / Sec 5.1) ------------------------------------
+
+void ContentPeer::AddObject(ObjectId object) {
+  if (!content_.insert(object).second) return;
+  summary_dirty_ = true;
+  push_delta_.push_back(object);
+  MaybePush();
+}
+
+void ContentPeer::MaybePush() {
+  if (!joined_ || !dir_pointer_.valid() || push_delta_.empty()) return;
+  double frac = static_cast<double>(push_delta_.size()) /
+                static_cast<double>(std::max<size_t>(content_.size(), 1));
+  if (frac < ctx_->config->push_threshold) return;
+  auto push = std::make_unique<PushMsg>();
+  push->added = push_delta_;
+  ctx_->network->Send(this, dir_pointer_.addr, std::move(push));
+  dir_pointer_.age = 0;  // the push doubles as a liveness signal
+  push_delta_.clear();
+}
+
+void ContentPeer::SendKeepalive() {
+  if (!alive_ || !joined_ || !dir_pointer_.valid()) return;
+  ctx_->network->Send(this, dir_pointer_.addr,
+                      std::make_unique<KeepaliveMsg>());
+}
+
+// --- Directory failure handling (Sec 5.2) ------------------------------------------
+
+void ContentPeer::OnDirectoryUnreachable() {
+  if (replacing_directory_ || !joined_) return;
+  replacing_directory_ = true;
+  Key dir_key = ctx_->scheme->MakeKey(site_->dring_hash, locality_);
+  PeerAddress bootstrap = ctx_->system->BootstrapDirectory(&rng_);
+  if (bootstrap == kInvalidAddress) {
+    replacing_directory_ = false;
+    return;
+  }
+  auto req = std::make_unique<JoinDirectoryReq>(dir_key, address());
+  auto route = std::make_unique<RouteMsg>(dir_key, std::move(req));
+  ctx_->network->Send(this, bootstrap, std::move(route));
+}
+
+void ContentPeer::HandleJoinDirectoryResp(const JoinDirectoryResp& resp) {
+  replacing_directory_ = false;
+  if (resp.granted) {
+    PeerAddress result =
+        ctx_->system->PromoteReplacement(this, resp.dir_key);
+    if (result == address()) {
+      // We are now the directory peer; this object is defunct. Do not touch
+      // any member state past this point.
+      return;
+    }
+    if (result != kInvalidAddress) {
+      dir_pointer_ = DirectoryPointer{result, 0};
+    }
+  } else if (resp.current_dir.valid()) {
+    dir_pointer_ = DirectoryPointer{resp.current_dir.addr, 0};
+  }
+  if (dir_pointer_.valid()) {
+    // Re-introduce ourselves to the (new) directory with a full push.
+    auto push = std::make_unique<PushMsg>();
+    push->added.assign(content_.begin(), content_.end());
+    ctx_->network->Send(this, dir_pointer_.addr, std::move(push));
+    push_delta_.clear();
+  }
+}
+
+void ContentPeer::HandleDirectoryHandoff(
+    std::unique_ptr<DirectoryHandoffMsg> handoff) {
+  // The departing directory chose us as its successor (Sec 5.2).
+  if (ctx_->system->PromoteWithHandoff(this, std::move(handoff))) {
+    return;  // defunct: promoted in place
+  }
+}
+
+// --- Replication extension -----------------------------------------------------------
+
+void ContentPeer::HandleReplicaTransferCmd(const ReplicaTransferCmd& cmd) {
+  if (content_.count(cmd.object) == 0) return;
+  ctx_->network->Send(this, cmd.target,
+                      std::make_unique<ReplicaTransferMsg>(
+                          cmd.object, site_->dring_hash,
+                          ctx_->config->object_size_bits));
+}
+
+void ContentPeer::HandleReplicaTransfer(
+    std::unique_ptr<ReplicaTransferMsg> msg) {
+  AddObject(msg->object);
+}
+
+// --- Lifecycle ---------------------------------------------------------------------
+
+void ContentPeer::Leave() {
+  if (!alive_) return;
+  if (joined_ && dir_pointer_.valid()) {
+    ctx_->network->Send(this, dir_pointer_.addr,
+                        std::make_unique<LeaveMsg>());
+  }
+  Fail();
+}
+
+void ContentPeer::Fail() {
+  if (!alive_) return;
+  gossip_timer_.Cancel();
+  keepalive_timer_.Cancel();
+  alive_ = false;
+  ctx_->network->UnregisterPeer(this);
+}
+
+ContentPeer::PromotionState ContentPeer::PrepareForPromotion() {
+  gossip_timer_.Cancel();
+  keepalive_timer_.Cancel();
+  alive_ = false;
+  ctx_->network->UnregisterPeer(this);
+  PromotionState state{std::move(content_), std::move(view_), joined_at_};
+  return state;
+}
+
+// --- Message dispatch -----------------------------------------------------------------
+
+void ContentPeer::HandleMessage(MessagePtr msg) {
+  if (!alive_) return;
+  Message* raw = msg.get();
+  if (auto* q = dynamic_cast<FlowerQueryMsg*>(raw)) {
+    msg.release();
+    HandleIncomingQuery(std::unique_ptr<FlowerQueryMsg>(q));
+    return;
+  }
+  if (auto* s = dynamic_cast<ServeMsg*>(raw)) {
+    msg.release();
+    HandleServe(std::unique_ptr<ServeMsg>(s));
+    return;
+  }
+  if (auto* w = dynamic_cast<WelcomeMsg*>(raw)) {
+    msg.release();
+    HandleWelcome(std::unique_ptr<WelcomeMsg>(w));
+    return;
+  }
+  if (auto* nf = dynamic_cast<NotFoundMsg*>(raw)) {
+    msg.release();
+    HandleNotFound(std::unique_ptr<NotFoundMsg>(nf));
+    return;
+  }
+  if (auto* gr = dynamic_cast<GossipRequestMsg*>(raw)) {
+    msg.release();
+    HandleGossipRequest(std::unique_ptr<GossipRequestMsg>(gr));
+    return;
+  }
+  if (auto* gp = dynamic_cast<GossipReplyMsg*>(raw)) {
+    msg.release();
+    HandleGossipReply(std::unique_ptr<GossipReplyMsg>(gp));
+    return;
+  }
+  if (auto* jr = dynamic_cast<JoinDirectoryResp*>(raw)) {
+    HandleJoinDirectoryResp(*jr);
+    return;
+  }
+  if (auto* ho = dynamic_cast<DirectoryHandoffMsg*>(raw)) {
+    msg.release();
+    HandleDirectoryHandoff(std::unique_ptr<DirectoryHandoffMsg>(ho));
+    return;
+  }
+  if (auto* cmd = dynamic_cast<ReplicaTransferCmd*>(raw)) {
+    HandleReplicaTransferCmd(*cmd);
+    return;
+  }
+  if (auto* rt = dynamic_cast<ReplicaTransferMsg*>(raw)) {
+    msg.release();
+    HandleReplicaTransfer(std::unique_ptr<ReplicaTransferMsg>(rt));
+    return;
+  }
+  FLOWER_LOG(Debug) << "content peer " << address()
+                    << " ignoring unknown message";
+}
+
+void ContentPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
+  if (!alive_) return;
+  Message* raw = msg.get();
+  if (dynamic_cast<GossipRequestMsg*>(raw) != nullptr ||
+      dynamic_cast<GossipReplyMsg*>(raw) != nullptr) {
+    view_.Remove(dest);  // dead contact (Sec 5.4: treated like dead peers)
+    return;
+  }
+  if (auto* push = dynamic_cast<PushMsg*>(raw)) {
+    // Re-queue the delta and start directory replacement.
+    push_delta_.insert(push_delta_.begin(), push->added.begin(),
+                       push->added.end());
+    OnDirectoryUnreachable();
+    return;
+  }
+  if (dynamic_cast<KeepaliveMsg*>(raw) != nullptr) {
+    OnDirectoryUnreachable();
+    return;
+  }
+  if (auto* q = dynamic_cast<FlowerQueryMsg*>(raw)) {
+    switch (q->stage) {
+      case QueryStage::kPeerDirect:
+        view_.Remove(dest);
+        ContinueQuery(q->object);
+        return;
+      case QueryStage::kToDirectory: {
+        OnDirectoryUnreachable();
+        auto it = pending_.find(q->object);
+        if (it != pending_.end()) SendViaDRing(q->object, &it->second);
+        return;
+      }
+      case QueryStage::kViaDRing: {
+        auto it = pending_.find(q->object);
+        if (it != pending_.end()) SendViaDRing(q->object, &it->second);
+        return;
+      }
+      default:
+        FLOWER_LOG(Warn) << "query to stage " << static_cast<int>(q->stage)
+                         << " undeliverable";
+        return;
+    }
+  }
+  if (auto* route = dynamic_cast<RouteMsg*>(raw)) {
+    // Bootstrap entry point died before forwarding our routed message.
+    if (auto* q = dynamic_cast<FlowerQueryMsg*>(route->payload.get())) {
+      auto it = pending_.find(q->object);
+      if (it != pending_.end()) SendViaDRing(q->object, &it->second);
+    }
+    return;
+  }
+}
+
+}  // namespace flower

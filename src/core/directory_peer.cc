@@ -1,0 +1,698 @@
+#include "core/directory_peer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "core/flower_system.h"
+
+namespace flower {
+
+DirectoryPeer::DirectoryPeer(FlowerContext* ctx, const Website* site,
+                             LocalityId locality, uint32_t instance,
+                             uint64_t rng_seed)
+    : DRingNode(ctx, ctx->scheme->MakeDirectoryId(site->dring_hash, locality,
+                                                  instance)),
+      site_(site),
+      locality_(locality),
+      instance_(instance),
+      rng_(rng_seed),
+      view_(ctx->config->view_size, ctx->config->view_age_limit) {
+  set_app(this);
+}
+
+DirectoryPeer::~DirectoryPeer() {
+  age_timer_.Cancel();
+  replication_timer_.Cancel();
+}
+
+bool DirectoryPeer::Start(NodeId node) {
+  Activate(node);
+  if (!JoinStructural()) {
+    ctx_->network->UnregisterPeer(this);
+    return false;
+  }
+  alive_ = true;
+  const SimConfig& cfg = *ctx_->config;
+  SimTime offset = static_cast<SimTime>(rng_.UniformInt(0, cfg.gossip_period - 1));
+  age_timer_ = ctx_->sim->SchedulePeriodic(offset, cfg.gossip_period,
+                                           [this]() { AgeTick(); });
+  if (cfg.active_replication) {
+    SimTime roffset =
+        static_cast<SimTime>(rng_.UniformInt(0, cfg.replication_period - 1));
+    replication_timer_ = ctx_->sim->SchedulePeriodic(
+        roffset, cfg.replication_period, [this]() { ReplicationTick(); });
+  }
+  return true;
+}
+
+void DirectoryPeer::SeedFromPromotion(std::set<ObjectId> content, View view,
+                                      SimTime member_since) {
+  (void)member_since;
+  content_ = std::move(content);
+  view_ = std::move(view);
+  for (ObjectId o : content_) NoteNewObjectId(o);
+  MaybeRefreshNeighborSummaries();
+}
+
+void DirectoryPeer::InstallHandoff(const DirectoryHandoffMsg& handoff) {
+  for (const auto& e : handoff.entries) {
+    if (e.addr == address()) continue;  // our own old membership entry
+    IndexEntry& entry = index_[e.addr];
+    entry.age = e.age;
+    entry.joined_at = e.joined_at;
+    for (ObjectId o : e.objects) {
+      if (entry.objects.insert(o).second) {
+        ++holder_counts_[o];
+      }
+    }
+  }
+  for (const auto& s : handoff.summaries) {
+    if (s.dir_id == id()) continue;
+    summaries_[s.dir_id] = NeighborSummary{
+        s.addr, ctx_->scheme->LocalityOf(s.dir_id), s.summary};
+  }
+  // Neighbors already have a recent summary of this index (sent by our
+  // predecessor); start counting changes from here.
+  std::set<ObjectId> distinct;
+  for (const auto& [o, c] : holder_counts_) distinct.insert(o);
+  distinct.insert(content_.begin(), content_.end());
+  ids_in_last_sent_summary_ = distinct.size();
+  new_ids_since_summary_ = 0;
+}
+
+bool DirectoryPeer::OverlayFull() const {
+  return static_cast<int>(index_.size()) >=
+         ctx_->config->max_content_overlay_size;
+}
+
+const std::set<ObjectId>* DirectoryPeer::IndexObjectsOf(
+    PeerAddress addr) const {
+  auto it = index_.find(addr);
+  return it == index_.end() ? nullptr : &it->second.objects;
+}
+
+// --- Query processing (Algorithm 3) ------------------------------------------------
+
+void DirectoryPeer::Deliver(Key key, MessagePtr payload,
+                            const DeliveryInfo& info) {
+  (void)info;
+  Message* raw = payload.get();
+  if (auto* query = dynamic_cast<FlowerQueryMsg*>(raw)) {
+    payload.release();
+    auto owned = std::unique_ptr<FlowerQueryMsg>(query);
+    if (!ctx_->scheme->SameWebsite(key, id()) ||
+        owned->website_hash != site_->dring_hash) {
+      // No directory of the right website is reachable: fall back to the
+      // origin server of the queried website.
+      int ws = ctx_->catalog->FindByDRingHash(owned->website_hash);
+      if (ws >= 0) {
+        const Website& target =
+            ctx_->catalog->site(static_cast<WebsiteId>(ws));
+        owned->stage = QueryStage::kToServer;
+        ctx_->network->Send(this, target.server_addr, std::move(owned));
+      } else {
+        FLOWER_LOG(Warn) << "query for unknown website hash dropped";
+      }
+      return;
+    }
+    // Scale-up (Sec 5.3): a full overlay hands new clients of its locality
+    // to the next directory instance, whose overlay absorbs them.
+    if (ctx_->scheme->extra_bits() > 0 && OverlayFull() &&
+        !owned->client_is_member && owned->client_loc == locality_ &&
+        index_.count(owned->client) == 0) {
+      NodeRef next = successor();
+      if (next.valid() && next.addr != address() &&
+          ctx_->scheme->SameWebsite(next.id, id()) &&
+          ctx_->scheme->LocalityOf(next.id) == locality_) {
+        ctx_->network->Send(this, next.addr, std::move(owned));
+        return;
+      }
+    }
+    MaybeAdmitClient(*owned);
+    ProcessQuery(std::move(owned));
+    return;
+  }
+  if (auto* join = dynamic_cast<JoinDirectoryReq*>(raw)) {
+    HandleJoinDirectoryReq(*join);
+    return;
+  }
+  FLOWER_LOG(Warn) << "directory " << id() << " got unknown routed payload";
+}
+
+void DirectoryPeer::MaybeAdmitClient(const FlowerQueryMsg& query) {
+  if (query.client == address()) return;
+  if (query.client_loc != locality_) return;
+  auto it = index_.find(query.client);
+  if (it != index_.end()) {
+    it->second.age = 0;  // query contact doubles as a liveness signal
+    return;
+  }
+  if (OverlayFull()) return;  // Sec 6.1: no new clients past S_co
+  // Optimistic admission (Sec 3.4): entry with the requested object, age 0.
+  IndexEntry entry;
+  entry.age = 0;
+  entry.joined_at = ctx_->sim->Now();
+  entry.objects.insert(query.object);
+  index_[query.client] = std::move(entry);
+  if (++holder_counts_[query.object] == 1) NoteNewObjectId(query.object);
+  MaybeRefreshNeighborSummaries();
+
+  // Welcome the client with initial contacts from the directory index.
+  auto welcome = std::make_unique<WelcomeMsg>(site_->dring_hash, locality_);
+  std::vector<PeerAddress> members;
+  members.reserve(index_.size());
+  for (const auto& [addr, e] : index_) {
+    if (addr != query.client) members.push_back(addr);
+  }
+  size_t want = std::min<size_t>(members.size(),
+                                 static_cast<size_t>(ctx_->config->view_size));
+  for (size_t idx : rng_.SampleIndices(members.size(), want)) {
+    ViewEntry ve;
+    ve.addr = members[idx];
+    ve.age = 0;
+    welcome->contacts.push_back(ve);
+  }
+  ctx_->network->Send(this, query.client, std::move(welcome));
+}
+
+void DirectoryPeer::ProcessQuery(std::unique_ptr<FlowerQueryMsg> query) {
+  ++queries_processed_;
+  ++request_counts_[query->object];
+  // Redirect budget: under churn, stale claims can chain (dead holders,
+  // reborn nodes, inherited summaries). However the chain is formed, past
+  // this budget the origin server resolves the query.
+  if (++query->total_hops > 16) {
+    RedirectToServer(std::move(query));
+    return;
+  }
+  if (content_.count(query->object) > 0) {
+    ServeFromOwnContent(*query);
+    return;
+  }
+  if (RedirectToIndexHolder(query)) return;
+  if (RedirectViaViewSummaries(query)) return;
+  if (RedirectViaDirSummaries(query)) return;
+  RedirectToServer(std::move(query));
+}
+
+void DirectoryPeer::ServeFromOwnContent(const FlowerQueryMsg& query) {
+  ctx_->metrics->OnLookupResolved(query.submit_time, ctx_->sim->Now(),
+                                  /*provider_is_server=*/false);
+  auto serve = std::make_unique<ServeMsg>(
+      query.object, query.website, query.website_hash, address(),
+      /*from_server=*/false, query.submit_time,
+      ctx_->config->object_size_bits);
+  if (!query.client_is_member && query.client_loc == locality_ &&
+      !view_.empty()) {
+    serve->view_subset = view_.SelectSubset(ctx_->config->gossip_length,
+                                            &rng_, query.client);
+  }
+  ctx_->network->Send(this, query.client, std::move(serve));
+}
+
+bool DirectoryPeer::RedirectToIndexHolder(
+    std::unique_ptr<FlowerQueryMsg>& query) {
+  std::vector<PeerAddress> holders;
+  for (const auto& [addr, entry] : index_) {
+    if (addr == query->client) continue;
+    if (entry.objects.count(query->object) > 0) holders.push_back(addr);
+  }
+  if (holders.empty()) return false;
+  PeerAddress target = holders[rng_.Index(holders.size())];
+  query->stage = QueryStage::kDirRedirect;
+  ctx_->network->Send(this, target, std::move(query));
+  return true;
+}
+
+bool DirectoryPeer::RedirectViaViewSummaries(
+    std::unique_ptr<FlowerQueryMsg>& query) {
+  // Used by freshly promoted directories while the index rebuilds
+  // (Sec 5.2: "answers first queries from its content summaries").
+  std::vector<PeerAddress> candidates;
+  for (const ViewEntry& e : view_.entries()) {
+    if (!e.summary || e.addr == query->client || e.addr == address()) continue;
+    if (index_.count(e.addr) > 0) continue;  // already tried via the index
+    if (e.summary->MaybeContains(query->object)) candidates.push_back(e.addr);
+  }
+  if (candidates.empty()) return false;
+  PeerAddress target = candidates[rng_.Index(candidates.size())];
+  query->stage = QueryStage::kDirRedirect;
+  ctx_->network->Send(this, target, std::move(query));
+  return true;
+}
+
+bool DirectoryPeer::RedirectViaDirSummaries(
+    std::unique_ptr<FlowerQueryMsg>& query) {
+  if (query->dir_redirects >= 2) return false;  // bound dir-to-dir forwarding
+  std::vector<const NeighborSummary*> candidates;
+  for (const auto& [dir_id, ns] : summaries_) {
+    if (ns.addr == address() || !ns.summary) continue;
+    if (ns.summary->MaybeContains(query->object)) candidates.push_back(&ns);
+  }
+  if (candidates.empty()) return false;
+  const NeighborSummary* target = candidates[rng_.Index(candidates.size())];
+  ++query->dir_redirects;
+  query->stage = QueryStage::kDirToDir;
+  ctx_->network->Send(this, target->addr, std::move(query));
+  return true;
+}
+
+void DirectoryPeer::RedirectToServer(std::unique_ptr<FlowerQueryMsg> query) {
+  query->stage = QueryStage::kToServer;
+  ctx_->network->Send(this, site_->server_addr, std::move(query));
+}
+
+// --- Index maintenance ----------------------------------------------------------------
+
+void DirectoryPeer::AddObjectsToEntry(PeerAddress peer,
+                                      const std::vector<ObjectId>& add,
+                                      const std::vector<ObjectId>& remove) {
+  auto it = index_.find(peer);
+  if (it == index_.end()) {
+    // Unknown pusher: admit it if there is room (this happens while a
+    // promoted directory rebuilds its index from pushes, Sec 5.2).
+    if (OverlayFull()) return;
+    IndexEntry entry;
+    entry.age = 0;
+    entry.joined_at = ctx_->sim->Now();
+    it = index_.emplace(peer, std::move(entry)).first;
+  }
+  IndexEntry& entry = it->second;
+  entry.age = 0;
+  for (ObjectId o : add) {
+    if (entry.objects.insert(o).second) {
+      if (++holder_counts_[o] == 1) NoteNewObjectId(o);
+    }
+  }
+  for (ObjectId o : remove) {
+    if (entry.objects.erase(o) > 0) {
+      auto hit = holder_counts_.find(o);
+      if (hit != holder_counts_.end() && --hit->second == 0) {
+        holder_counts_.erase(hit);
+        NoteRemovedObjectId(o);
+      }
+    }
+  }
+  MaybeRefreshNeighborSummaries();
+}
+
+void DirectoryPeer::RemoveEntry(PeerAddress peer) {
+  auto it = index_.find(peer);
+  if (it == index_.end()) return;
+  for (ObjectId o : it->second.objects) {
+    auto hit = holder_counts_.find(o);
+    if (hit != holder_counts_.end() && --hit->second == 0) {
+      holder_counts_.erase(hit);
+      NoteRemovedObjectId(o);
+    }
+  }
+  index_.erase(it);
+}
+
+void DirectoryPeer::AgeTick() {
+  if (!alive_) return;
+  std::vector<PeerAddress> dead;
+  for (auto& [addr, entry] : index_) {
+    if (++entry.age >= ctx_->config->dead_age_limit) dead.push_back(addr);
+  }
+  for (PeerAddress addr : dead) RemoveEntry(addr);
+}
+
+// --- Directory summaries ---------------------------------------------------------------
+
+void DirectoryPeer::NoteNewObjectId(ObjectId id) {
+  (void)id;
+  ++new_ids_since_summary_;
+}
+
+void DirectoryPeer::NoteRemovedObjectId(ObjectId id) {
+  (void)id;
+  // Removals do not trigger refreshes (Sec 4.2.1: summaries tolerate
+  // slightly stale positives); counts rebuild at the next refresh.
+}
+
+std::vector<NodeRef> DirectoryPeer::SameWebsiteNeighbors() const {
+  std::vector<NodeRef> out;
+  size_t limit =
+      static_cast<size_t>(std::max(ctx_->config->directory_summary_neighbors,
+                                   0));
+  auto push_unique = [&](const NodeRef& r) {
+    if (out.size() >= limit) return;
+    if (!r.valid() || r.addr == address()) return;
+    if (!ctx_->scheme->SameWebsite(r.id, id())) return;
+    for (const NodeRef& e : out) {
+      if (e.addr == r.addr) return;
+    }
+    out.push_back(r);
+  };
+  // Direct ring neighbors first (paper Fig 4), then the successor list if a
+  // wider exchange is configured.
+  push_unique(predecessor());
+  push_unique(successor());
+  for (const NodeRef& r : SuccessorList()) push_unique(r);
+  return out;
+}
+
+std::shared_ptr<const ContentSummary> DirectoryPeer::BuildIndexSummary() {
+  auto s = std::make_shared<ContentSummary>(
+      ctx_->config->num_objects_per_website,
+      ctx_->config->summary_bits_per_object,
+      ctx_->config->summary_num_hashes);
+  for (const auto& [o, c] : holder_counts_) s->Add(o);
+  for (ObjectId o : content_) s->Add(o);
+  return s;
+}
+
+void DirectoryPeer::MaybeRefreshNeighborSummaries() {
+  if (new_ids_since_summary_ == 0) return;
+  size_t total = ids_in_last_sent_summary_ + new_ids_since_summary_;
+  double frac = static_cast<double>(new_ids_since_summary_) /
+                static_cast<double>(total);
+  if (frac < ctx_->config->directory_summary_threshold) return;
+  auto summary = BuildIndexSummary();
+  for (const NodeRef& n : SameWebsiteNeighbors()) {
+    ctx_->network->Send(this, n.addr,
+                        std::make_unique<DirectorySummaryMsg>(
+                            site_->dring_hash, locality_, id(), summary));
+  }
+  ids_in_last_sent_summary_ = total;
+  new_ids_since_summary_ = 0;
+}
+
+// --- Directory peer as a client ----------------------------------------------------------
+
+void DirectoryPeer::RequestObject(ObjectId object) {
+  if (!alive_) return;
+  SimTime now = ctx_->sim->Now();
+  // Local-cache hits never become queries (see ContentPeer::RequestObject).
+  if (content_.count(object) > 0) return;
+  if (pending_own_.count(object) > 0) {
+    pending_own_[object].push_back(now);
+    return;
+  }
+  ctx_->metrics->OnQuerySubmitted(now);
+  pending_own_[object] = {now};
+  auto q = std::make_unique<FlowerQueryMsg>(
+      site_->index, site_->dring_hash, object, address(), locality_, now,
+      QueryStage::kToDirectory);
+  q->client_is_member = true;
+  ProcessQuery(std::move(q));  // local lookup, no network hop
+}
+
+void DirectoryPeer::AddOwnObject(ObjectId object) {
+  if (!content_.insert(object).second) return;
+  if (holder_counts_.count(object) == 0) {
+    NoteNewObjectId(object);
+    MaybeRefreshNeighborSummaries();
+  }
+}
+
+void DirectoryPeer::HandleServe(std::unique_ptr<ServeMsg> serve) {
+  SimTime now = ctx_->sim->Now();
+  SimTime distance = ctx_->network->Latency(serve->provider, address());
+  auto it = pending_own_.find(serve->object);
+  if (it != pending_own_.end()) {
+    const Topology& topo = ctx_->network->topology();
+    Metrics::ProviderKind kind =
+        topo.LocalityOf(serve->provider) == topo.LocalityOf(node())
+            ? Metrics::ProviderKind::kLocalPeer
+            : Metrics::ProviderKind::kRemotePeer;
+    ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
+    pending_own_.erase(it);
+  }
+  AddOwnObject(serve->object);
+}
+
+// --- Replacement adjudication (Sec 5.2) -----------------------------------------------------
+
+void DirectoryPeer::HandleJoinDirectoryReq(const JoinDirectoryReq& req) {
+  ChordNode* current = ring()->Find(req.dir_key);
+  bool granted = (current == nullptr);
+  NodeRef current_ref =
+      current == nullptr ? NodeRef{} : current->self_ref();
+  ctx_->network->Send(this, req.candidate,
+                      std::make_unique<JoinDirectoryResp>(
+                          req.dir_key, granted, current_ref));
+}
+
+// --- Lifecycle -------------------------------------------------------------------------------
+
+void DirectoryPeer::LeaveGracefully() {
+  if (!alive_) return;
+  // Choose the most stable content peer (earliest join) as the successor.
+  PeerAddress chosen = kInvalidAddress;
+  SimTime best = 0;
+  for (const auto& [addr, entry] : index_) {
+    if (chosen == kInvalidAddress || entry.joined_at < best) {
+      chosen = addr;
+      best = entry.joined_at;
+    }
+  }
+  if (chosen != kInvalidAddress) {
+    auto handoff = std::make_unique<DirectoryHandoffMsg>();
+    handoff->dir_key = id();
+    for (const auto& [addr, entry] : index_) {
+      if (addr == chosen) continue;
+      DirectoryHandoffMsg::IndexEntryWire wire;
+      wire.addr = addr;
+      wire.age = entry.age;
+      wire.joined_at = entry.joined_at;
+      wire.objects.assign(entry.objects.begin(), entry.objects.end());
+      handoff->entries.push_back(std::move(wire));
+    }
+    for (const auto& [dir_id, ns] : summaries_) {
+      handoff->summaries.push_back(
+          DirectoryHandoffMsg::SummaryWire{dir_id, ns.addr, ns.summary});
+    }
+    ctx_->network->Send(this, chosen, std::move(handoff));
+  }
+  FailAbruptly();
+}
+
+void DirectoryPeer::FailAbruptly() {
+  if (!alive_) return;
+  alive_ = false;
+  age_timer_.Cancel();
+  replication_timer_.Cancel();
+  Fail();  // leaves the ring and the network
+}
+
+// --- Replication extension (Sec 8) ------------------------------------------------------------
+
+void DirectoryPeer::ReplicationTick() {
+  if (!alive_ || request_counts_.empty()) return;
+  std::vector<std::pair<uint64_t, ObjectId>> ranked;
+  ranked.reserve(request_counts_.size());
+  for (const auto& [obj, count] : request_counts_) {
+    // Offer only objects actually present in this overlay.
+    if (holder_counts_.count(obj) == 0 && content_.count(obj) == 0) continue;
+    ranked.emplace_back(count, obj);
+  }
+  if (ranked.empty()) return;
+  std::sort(ranked.rbegin(), ranked.rend());
+  auto offer = std::make_unique<ReplicationOfferMsg>();
+  int top = ctx_->config->replication_top_objects;
+  for (const auto& [count, obj] : ranked) {
+    if (static_cast<int>(offer->objects.size()) >= top) break;
+    offer->objects.push_back(obj);
+  }
+  for (const NodeRef& n : SameWebsiteNeighbors()) {
+    auto copy = std::make_unique<ReplicationOfferMsg>();
+    copy->objects = offer->objects;
+    ctx_->network->Send(this, n.addr, std::move(copy));
+  }
+}
+
+void DirectoryPeer::HandleReplicationOffer(const ReplicationOfferMsg& offer,
+                                           PeerAddress from) {
+  auto req = std::make_unique<ReplicationRequestMsg>();
+  for (ObjectId o : offer.objects) {
+    if (holder_counts_.count(o) == 0 && content_.count(o) == 0) {
+      req->wanted.push_back(o);
+    }
+  }
+  if (req->wanted.empty()) return;
+  if (!index_.empty()) {
+    size_t pick = rng_.Index(index_.size());
+    auto it = index_.begin();
+    std::advance(it, static_cast<long>(pick));
+    req->deposit_target = it->first;
+  } else {
+    req->deposit_target = address();  // deposit into our own content
+  }
+  ctx_->network->Send(this, from, std::move(req));
+}
+
+void DirectoryPeer::HandleReplicationRequest(
+    const ReplicationRequestMsg& req) {
+  for (ObjectId o : req.wanted) {
+    // Prefer a content peer holding the object; fall back to own content.
+    std::vector<PeerAddress> holders;
+    for (const auto& [addr, entry] : index_) {
+      if (entry.objects.count(o) > 0) holders.push_back(addr);
+    }
+    if (!holders.empty()) {
+      PeerAddress holder = holders[rng_.Index(holders.size())];
+      ctx_->network->Send(this, holder,
+                          std::make_unique<ReplicaTransferCmd>(
+                              o, req.deposit_target));
+    } else if (content_.count(o) > 0) {
+      ctx_->network->Send(this, req.deposit_target,
+                          std::make_unique<ReplicaTransferMsg>(
+                              o, site_->dring_hash,
+                              ctx_->config->object_size_bits));
+    }
+  }
+}
+
+// --- Message dispatch ---------------------------------------------------------------------------
+
+void DirectoryPeer::HandleMessage(MessagePtr msg) {
+  Message* raw = msg.get();
+  if (auto* query = dynamic_cast<FlowerQueryMsg*>(raw)) {
+    msg.release();
+    auto owned = std::unique_ptr<FlowerQueryMsg>(query);
+    MaybeAdmitClient(*owned);
+    ProcessQuery(std::move(owned));
+    return;
+  }
+  if (auto* push = dynamic_cast<PushMsg*>(raw)) {
+    AddObjectsToEntry(push->sender, push->added, push->removed);
+    return;
+  }
+  if (dynamic_cast<KeepaliveMsg*>(raw) != nullptr) {
+    auto it = index_.find(raw->sender);
+    if (it != index_.end()) {
+      it->second.age = 0;
+    } else if (!OverlayFull()) {
+      // A member we do not know (index rebuild after promotion).
+      IndexEntry entry;
+      entry.age = 0;
+      entry.joined_at = ctx_->sim->Now();
+      index_[raw->sender] = std::move(entry);
+    }
+    return;
+  }
+  if (dynamic_cast<LeaveMsg*>(raw) != nullptr) {
+    RemoveEntry(raw->sender);
+    return;
+  }
+  if (auto* nf = dynamic_cast<NotFoundMsg*>(raw)) {
+    // A redirect target did not have the object (stale entry / false
+    // positive): drop the claim and retry (Sec 5.1). The view entry must
+    // go too — a promoted directory's inherited view can carry a summary
+    // from a node's previous life (churned out and reborn with an empty
+    // cache), and RedirectViaViewSummaries would otherwise pick the same
+    // target forever.
+    if (nf->query != nullptr) {
+      AddObjectsToEntry(raw->sender, {}, {nf->object});
+      view_.Remove(raw->sender);
+      ++redirect_failures_;
+      ProcessQuery(std::move(nf->query));
+    }
+    return;
+  }
+  if (auto* ds = dynamic_cast<DirectorySummaryMsg*>(raw)) {
+    summaries_[ds->from_dir_id] =
+        NeighborSummary{ds->sender, ds->from_loc, ds->summary};
+    return;
+  }
+  if (auto* serve = dynamic_cast<ServeMsg*>(raw)) {
+    msg.release();
+    HandleServe(std::unique_ptr<ServeMsg>(serve));
+    return;
+  }
+  if (auto* gr = dynamic_cast<GossipRequestMsg*>(raw)) {
+    // Directories answer gossip so overlay members see them alive and learn
+    // the current directory address.
+    auto reply = std::make_unique<GossipReplyMsg>();
+    if (!content_.empty()) {
+      auto s = std::make_shared<ContentSummary>(
+          ctx_->config->num_objects_per_website,
+          ctx_->config->summary_bits_per_object,
+          ctx_->config->summary_num_hashes);
+      for (ObjectId o : content_) s->Add(o);
+      reply->own_summary = std::move(s);
+    }
+    reply->view_subset =
+        view_.SelectSubset(ctx_->config->gossip_length, &rng_, gr->sender);
+    reply->dir_pointer = DirectoryPointer{address(), 0};
+    ctx_->network->Send(this, gr->sender, std::move(reply));
+    ViewEntry fresh;
+    fresh.addr = gr->sender;
+    fresh.age = 0;
+    fresh.summary = gr->own_summary;
+    view_.Merge(gr->view_subset, fresh, address());
+    return;
+  }
+  if (auto* offer = dynamic_cast<ReplicationOfferMsg*>(raw)) {
+    HandleReplicationOffer(*offer, raw->sender);
+    return;
+  }
+  if (auto* rreq = dynamic_cast<ReplicationRequestMsg*>(raw)) {
+    HandleReplicationRequest(*rreq);
+    return;
+  }
+  if (auto* rt = dynamic_cast<ReplicaTransferMsg*>(raw)) {
+    AddOwnObject(rt->object);
+    return;
+  }
+  // Everything else is DHT traffic.
+  ChordNode::HandleMessage(std::move(msg));
+}
+
+void DirectoryPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
+  Message* raw = msg.get();
+  if (auto* query = dynamic_cast<FlowerQueryMsg*>(raw)) {
+    msg.release();
+    auto owned = std::unique_ptr<FlowerQueryMsg>(query);
+    switch (owned->stage) {
+      case QueryStage::kDirRedirect:
+        // Redirection failure (Sec 5.1): drop the dead entry, retry.
+        ++redirect_failures_;
+        RemoveEntry(dest);
+        view_.Remove(dest);
+        ProcessQuery(std::move(owned));
+        return;
+      case QueryStage::kDirToDir: {
+        ++redirect_failures_;
+        for (auto it = summaries_.begin(); it != summaries_.end();) {
+          if (it->second.addr == dest) {
+            it = summaries_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        ProcessQuery(std::move(owned));
+        return;
+      }
+      case QueryStage::kToServer:
+        FLOWER_LOG(Warn) << "origin server unreachable for website "
+                         << owned->website;
+        return;
+      default:
+        return;
+    }
+  }
+  if (dynamic_cast<WelcomeMsg*>(raw) != nullptr ||
+      dynamic_cast<ServeMsg*>(raw) != nullptr) {
+    RemoveEntry(dest);  // the client vanished before we reached it
+    return;
+  }
+  if (dynamic_cast<DirectorySummaryMsg*>(raw) != nullptr ||
+      dynamic_cast<ReplicationOfferMsg*>(raw) != nullptr ||
+      dynamic_cast<ReplicationRequestMsg*>(raw) != nullptr) {
+    for (auto it = summaries_.begin(); it != summaries_.end();) {
+      if (it->second.addr == dest) {
+        it = summaries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return;
+  }
+  ChordNode::HandleUndeliverable(dest, std::move(msg));
+}
+
+}  // namespace flower

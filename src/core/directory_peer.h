@@ -1,0 +1,173 @@
+// Directory peer d(ws,loc) (paper Sec 3.3-3.4, 4.2.1, 5).
+//
+// A directory peer sits on the D-ring (it is a DRingNode) and anchors one
+// content overlay. It maintains:
+//  - directory-index(ws,loc): one entry per content peer with age, join
+//    time and the peer's object list (a complete view of its overlay);
+//  - directory-summaries(ws,loc_j): Bloom summaries of the directory
+//    indexes of same-website directory peers it knows from its routing
+//    table (its D-ring neighbors).
+// It processes queries with Algorithm 3 (index -> summaries -> server),
+// ages and expires entries (Algorithm 6 + T_dead), refreshes neighbor
+// summaries past a change threshold, hands its directory over on a
+// voluntary leave, and adjudicates replacement joins (Sec 5.2).
+//
+// Directory peers are participants too: a promoted directory keeps the
+// content it cached as a content peer and serves it; and the workload may
+// ask a directory peer for new objects like any client (RequestObject).
+#ifndef FLOWERCDN_CORE_DIRECTORY_PEER_H_
+#define FLOWERCDN_CORE_DIRECTORY_PEER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dring_node.h"
+#include "core/flower_messages.h"
+#include "gossip/view.h"
+
+namespace flower {
+
+class DirectoryPeer : public DRingNode, public KbrApp {
+ public:
+  DirectoryPeer(FlowerContext* ctx, const Website* site, LocalityId locality,
+                uint32_t instance, uint64_t rng_seed);
+  ~DirectoryPeer() override;
+
+  /// Registers on the network, joins the D-ring (structural), starts the
+  /// aging timer. Returns false if the directory position is taken.
+  bool Start(NodeId node);
+
+  /// Seeds state when this directory was promoted from a content peer:
+  /// its cached content and its view (used to answer first queries from
+  /// content summaries while the index rebuilds, Sec 5.2).
+  void SeedFromPromotion(std::set<ObjectId> content, View view,
+                         SimTime member_since);
+
+  /// Installs a handed-over directory (voluntary leave of the predecessor).
+  void InstallHandoff(const DirectoryHandoffMsg& handoff);
+
+  /// Voluntary departure: hand the directory to the most stable content
+  /// peer and leave (Sec 5.2). Falls back to Fail() with an empty overlay.
+  void LeaveGracefully();
+
+  /// Crash without notice.
+  void FailAbruptly();
+
+  /// Workload entry: the directory peer itself wants an object.
+  void RequestObject(ObjectId object);
+
+  // --- Introspection -----------------------------------------------------------
+  const Website* site() const { return site_; }
+  LocalityId locality() const { return locality_; }
+  uint32_t instance() const { return instance_; }
+  size_t IndexSize() const { return index_.size(); }
+  bool IndexHas(PeerAddress addr) const { return index_.count(addr) > 0; }
+  const std::set<ObjectId>* IndexObjectsOf(PeerAddress addr) const;
+  size_t NumSummaries() const { return summaries_.size(); }
+  bool HasSummaryFrom(Key dir_id) const {
+    return summaries_.count(dir_id) > 0;
+  }
+  const std::set<ObjectId>& own_content() const { return content_; }
+  uint64_t queries_processed() const { return queries_processed_; }
+  uint64_t redirect_failures() const { return redirect_failures_; }
+  bool alive() const { return alive_; }
+
+  /// Overlay capacity check (S_co).
+  bool OverlayFull() const;
+
+  // --- KbrApp -------------------------------------------------------------------
+  void Deliver(Key key, MessagePtr payload,
+               const DeliveryInfo& info) override;
+
+  // --- Peer ---------------------------------------------------------------------
+  void HandleMessage(MessagePtr msg) override;
+  void HandleUndeliverable(PeerAddress dest, MessagePtr msg) override;
+
+ private:
+  struct IndexEntry {
+    int age = 0;
+    SimTime joined_at = 0;
+    std::set<ObjectId> objects;
+  };
+
+  // Algorithm 3.
+  void ProcessQuery(std::unique_ptr<FlowerQueryMsg> query);
+  void ServeFromOwnContent(const FlowerQueryMsg& query);
+  bool RedirectToIndexHolder(std::unique_ptr<FlowerQueryMsg>& query);
+  bool RedirectViaViewSummaries(std::unique_ptr<FlowerQueryMsg>& query);
+  bool RedirectViaDirSummaries(std::unique_ptr<FlowerQueryMsg>& query);
+  void RedirectToServer(std::unique_ptr<FlowerQueryMsg> query);
+
+  // Admission of new clients in this locality.
+  void MaybeAdmitClient(const FlowerQueryMsg& query);
+
+  // Index maintenance.
+  void AddObjectsToEntry(PeerAddress peer, const std::vector<ObjectId>& add,
+                         const std::vector<ObjectId>& remove);
+  void RemoveEntry(PeerAddress peer);
+  void AgeTick();  // Algorithm 6 active behavior + T_dead expiry
+
+  // Directory summaries.
+  void NoteNewObjectId(ObjectId id);
+  void NoteRemovedObjectId(ObjectId id);
+  void MaybeRefreshNeighborSummaries();
+  std::vector<NodeRef> SameWebsiteNeighbors() const;
+  std::shared_ptr<const ContentSummary> BuildIndexSummary();
+
+  // Own-content handling (directories are clients too).
+  void AddOwnObject(ObjectId object);
+  void HandleServe(std::unique_ptr<ServeMsg> serve);
+
+  // Replacement adjudication (Sec 5.2).
+  void HandleJoinDirectoryReq(const JoinDirectoryReq& req);
+
+  // Replication extension (Sec 8).
+  void ReplicationTick();
+  void HandleReplicationOffer(const ReplicationOfferMsg& offer,
+                              PeerAddress from);
+  void HandleReplicationRequest(const ReplicationRequestMsg& req);
+
+  const Website* site_;
+  LocalityId locality_;
+  uint32_t instance_;
+  Rng rng_;
+  bool alive_ = false;
+
+  std::map<PeerAddress, IndexEntry> index_;
+  /// Reference counts of object ids across index entries (for summary
+  /// refresh bookkeeping and fast "who has new ids" checks).
+  std::map<ObjectId, int> holder_counts_;
+
+  struct NeighborSummary {
+    PeerAddress addr = kInvalidAddress;
+    LocalityId locality = 0;
+    std::shared_ptr<const ContentSummary> summary;
+  };
+  std::map<Key, NeighborSummary> summaries_;
+
+  // Summary refresh state (Sec 4.2.1: refresh when the fraction of object
+  // ids not reflected in the last sent summary passes a threshold).
+  size_t ids_in_last_sent_summary_ = 0;
+  size_t new_ids_since_summary_ = 0;
+
+  // Own content (non-empty when promoted from a content peer).
+  std::set<ObjectId> content_;
+  View view_;  // inherited view; answers first queries during takeover
+  std::map<ObjectId, std::vector<SimTime>> pending_own_;  // own requests
+
+  // Popularity tracking for the replication extension.
+  std::map<ObjectId, uint64_t> request_counts_;
+
+  uint64_t queries_processed_ = 0;
+  uint64_t redirect_failures_ = 0;
+
+  Simulator::PeriodicHandle age_timer_;
+  Simulator::PeriodicHandle replication_timer_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_CORE_DIRECTORY_PEER_H_

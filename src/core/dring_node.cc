@@ -1,0 +1,54 @@
+#include "core/dring_node.h"
+
+#include <cassert>
+
+namespace flower {
+
+DRingNode::DRingNode(FlowerContext* ctx, Key id)
+    : ChordNode(ctx->sim, ctx->network, ctx->dring, id), ctx_(ctx) {
+  assert(ctx->scheme != nullptr);
+}
+
+NodeRef DRingNode::BestSameWebsitePeer(Key key) const {
+  const DRingIdScheme& scheme = *ctx_->scheme;
+  const IdSpace& sp = space();
+  NodeRef best;
+  Key best_dist = sp.RingDistance(id(), key);  // must beat ourselves
+  for (const NodeRef& r : KnownPeers()) {
+    if (!r.valid() || r.addr == address()) continue;
+    if (!scheme.SameWebsite(r.id, key)) continue;
+    Key d = sp.RingDistance(r.id, key);
+    if (d < best_dist) {
+      best = r;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+NodeRef DRingNode::SelectNextHop(Key key, NodeRef candidate) {
+  const DRingIdScheme& scheme = *ctx_->scheme;
+  if (candidate.valid() && scheme.SameWebsite(candidate.id, key)) {
+    return candidate;
+  }
+  // Algorithm 2: conditional local lookup restricted to the key's website.
+  NodeRef better = BestSameWebsitePeer(key);
+  if (better.valid()) return better;
+  // No strictly closer same-website peer exists. If we belong to the key's
+  // website, we are the numerically closest reachable directory: deliver
+  // here instead of bouncing to a wrong-website node (which would veto and
+  // forward straight back — a routing loop under directory failures).
+  if (scheme.SameWebsite(id(), key)) return self_ref();
+  return candidate;
+}
+
+bool DRingNode::AcceptDelivery(Key key) {
+  const DRingIdScheme& scheme = *ctx_->scheme;
+  if (scheme.SameWebsite(id(), key)) return true;
+  // Wrong website: only veto if we know somewhere strictly better to go.
+  return !BestSameWebsitePeer(key).valid();
+}
+
+NodeRef DRingNode::CorrectionHop(Key key) { return BestSameWebsitePeer(key); }
+
+}  // namespace flower

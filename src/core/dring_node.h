@@ -1,0 +1,39 @@
+// D-ring routing: a ChordNode whose next-hop / delivery decisions are
+// website-aware (paper Algorithm 2).
+//
+// The conditional local lookup searches the peers this node knows for the
+// one with the same website ID as the key that is numerically closest to
+// the key. It fires in two places:
+//  - while forwarding, when the default next hop belongs to a different
+//    website than the key;
+//  - at the standard responsible node, when that node belongs to a
+//    different website (so the message reaches *some* directory peer of
+//    the right website whenever one is reachable).
+#ifndef FLOWERCDN_CORE_DRING_NODE_H_
+#define FLOWERCDN_CORE_DRING_NODE_H_
+
+#include "core/flower_context.h"
+#include "dht/chord_node.h"
+
+namespace flower {
+
+class DRingNode : public ChordNode {
+ public:
+  DRingNode(FlowerContext* ctx, Key id);
+
+ protected:
+  NodeRef SelectNextHop(Key key, NodeRef candidate) override;
+  bool AcceptDelivery(Key key) override;
+  NodeRef CorrectionHop(Key key) override;
+
+  FlowerContext* ctx_;
+
+ private:
+  /// The known same-website peer numerically closest to `key`, provided it
+  /// is strictly closer than this node itself. Invalid ref otherwise.
+  NodeRef BestSameWebsitePeer(Key key) const;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_CORE_DRING_NODE_H_

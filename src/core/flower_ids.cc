@@ -1,0 +1,38 @@
+#include "core/flower_ids.h"
+
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace flower {
+
+DRingIdScheme::DRingIdScheme(int id_bits, int locality_bits, int extra_bits)
+    : id_bits_(id_bits),
+      locality_bits_(locality_bits),
+      extra_bits_(extra_bits) {
+  assert(id_bits >= 2 && id_bits <= 64);
+  assert(locality_bits >= 1);
+  assert(extra_bits >= 0);
+  assert(id_bits > locality_bits + extra_bits);
+}
+
+uint64_t DRingIdScheme::HashWebsite(std::string_view url) const {
+  int m2 = website_bits();
+  uint64_t mask = m2 >= 64 ? ~0ULL : ((1ULL << m2) - 1);
+  uint64_t h = Fnv1a64(url) & mask;
+  if (h == 0) h = 1;  // subspace starts at 1 (paper Sec 3.1)
+  return h;
+}
+
+Key DRingIdScheme::MakeDirectoryId(uint64_t website_hash, LocalityId loc,
+                                   uint32_t inst) const {
+  assert(website_hash != 0);
+  assert(loc < (1ULL << locality_bits_));
+  assert(extra_bits_ == 0 ? inst == 0 : inst < (1ULL << extra_bits_));
+  Key key = website_hash;
+  key = (key << locality_bits_) | loc;
+  key = (key << extra_bits_) | inst;
+  return key;
+}
+
+}  // namespace flower

@@ -1,0 +1,381 @@
+// Wire messages of the Flower-CDN protocols (queries, serving, gossip,
+// push, keepalive, directory maintenance, replication extension).
+#ifndef FLOWERCDN_CORE_FLOWER_MESSAGES_H_
+#define FLOWERCDN_CORE_FLOWER_MESSAGES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/summary.h"
+#include "common/types.h"
+#include "dht/chord_messages.h"
+#include "gossip/view.h"
+#include "net/message.h"
+
+namespace flower {
+
+/// How a query message is currently travelling. One FlowerQueryMsg object
+/// is forwarded through all stages; its submit_time survives so lookup
+/// latency accumulates naturally.
+enum class QueryStage : uint8_t {
+  kViaDRing = 0,   // new client -> D-ring routing -> directory peer
+  kToDirectory,    // content peer -> its own directory peer
+  kPeerDirect,     // content peer -> content peer found via view summaries
+  kDirRedirect,    // directory peer -> content peer holding the object
+  kDirToDir,       // directory peer -> directory peer (via dir summaries)
+  kToServer,       // anyone -> origin web server
+};
+
+class FlowerQueryMsg : public Message {
+ public:
+  FlowerQueryMsg(WebsiteId website, uint64_t website_hash, ObjectId object,
+                 PeerAddress client, LocalityId client_loc,
+                 SimTime submit_time, QueryStage stage)
+      : website(website),
+        website_hash(website_hash),
+        object(object),
+        client(client),
+        client_loc(client_loc),
+        submit_time(submit_time),
+        stage(stage) {}
+
+  uint64_t SizeBits() const override {
+    // object id + website id + client address + locality + flags.
+    return kObjectIdBits + 64 + kAddressBits + 8 + 16;
+  }
+  TrafficClass traffic_class() const override { return TrafficClass::kQuery; }
+
+  WebsiteId website;
+  uint64_t website_hash;
+  ObjectId object;
+  PeerAddress client;
+  LocalityId client_loc;
+  SimTime submit_time;
+  QueryStage stage;
+  /// True if the client already belongs to a content overlay (controls
+  /// optimistic admission and view bootstrapping).
+  bool client_is_member = false;
+  /// Directory-to-directory redirects so far (bounded; see Algorithm 3).
+  int dir_redirects = 0;
+  /// Total directory processing steps for this query (defense in depth:
+  /// whatever combination of stale entries, reborn nodes and races occurs,
+  /// a query past this budget goes straight to the origin server).
+  int total_hops = 0;
+
+  std::unique_ptr<FlowerQueryMsg> Clone() const {
+    auto c = std::make_unique<FlowerQueryMsg>(website, website_hash, object,
+                                              client, client_loc, submit_time,
+                                              stage);
+    c->client_is_member = client_is_member;
+    c->dir_redirects = dir_redirects;
+    c->total_hops = total_hops;
+    return c;
+  }
+};
+
+/// Object delivery from a provider (content peer, directory peer or origin
+/// server) to the requesting client.
+class ServeMsg : public Message {
+ public:
+  ServeMsg(ObjectId object, WebsiteId website, uint64_t website_hash,
+           PeerAddress provider, bool from_server, SimTime submit_time,
+           uint64_t object_size_bits)
+      : object(object),
+        website(website),
+        website_hash(website_hash),
+        provider(provider),
+        from_server(from_server),
+        submit_time(submit_time),
+        object_size_bits(object_size_bits) {}
+
+  uint64_t SizeBits() const override {
+    uint64_t bits = object_size_bits + kObjectIdBits + kAddressBits + 8;
+    for (const ViewEntry& e : view_subset) bits += e.WireBits();
+    return bits;
+  }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kTransfer;
+  }
+
+  ObjectId object;
+  WebsiteId website;
+  uint64_t website_hash;
+  PeerAddress provider;
+  bool from_server;
+  SimTime submit_time;
+  uint64_t object_size_bits;
+  /// When a content peer serves a new client, it seeds the client's view
+  /// with a subset of its own view (paper Sec 4.2).
+  std::vector<ViewEntry> view_subset;
+};
+
+/// A peer asked directly for an object it does not hold (Bloom false
+/// positive or stale directory entry). The requester falls back.
+class NotFoundMsg : public Message {
+ public:
+  NotFoundMsg(ObjectId object, uint64_t website_hash, QueryStage stage)
+      : object(object), website_hash(website_hash), stage(stage) {}
+
+  uint64_t SizeBits() const override { return kObjectIdBits + 8; }
+  TrafficClass traffic_class() const override { return TrafficClass::kQuery; }
+
+  ObjectId object;
+  uint64_t website_hash;
+  QueryStage stage;
+  /// Query context echoed back so the fallback can continue (set when a
+  /// directory redirect fails and the directory must re-process).
+  std::unique_ptr<FlowerQueryMsg> query;
+};
+
+/// Directory -> new content peer: you are admitted to the overlay; here are
+/// initial contacts from my directory index (addresses only).
+class WelcomeMsg : public Message {
+ public:
+  WelcomeMsg(uint64_t website_hash, LocalityId locality)
+      : website_hash(website_hash), locality(locality) {}
+
+  uint64_t SizeBits() const override {
+    uint64_t bits = 64 + 8;
+    for (const ViewEntry& e : contacts) bits += e.WireBits();
+    return bits;
+  }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kControl;
+  }
+
+  uint64_t website_hash;
+  LocalityId locality;
+  std::vector<ViewEntry> contacts;
+};
+
+/// The directory-peer entry every content peer maintains and gossips
+/// (address + age, no summary).
+struct DirectoryPointer {
+  PeerAddress addr = kInvalidAddress;
+  int age = 0;
+  uint64_t WireBits() const { return kAddressBits + kAgeBits; }
+  bool valid() const { return addr != kInvalidAddress; }
+};
+
+/// Gossip exchange (paper Algorithm 4): the initiator's current content
+/// summary, a random view subset, and its directory pointer.
+class GossipRequestMsg : public Message {
+ public:
+  uint64_t SizeBits() const override {
+    uint64_t bits = own_summary ? own_summary->SizeBits() : 0;
+    for (const ViewEntry& e : view_subset) bits += e.WireBits();
+    return bits + dir_pointer.WireBits();
+  }
+  TrafficClass traffic_class() const override { return TrafficClass::kGossip; }
+
+  std::shared_ptr<const ContentSummary> own_summary;
+  std::vector<ViewEntry> view_subset;
+  DirectoryPointer dir_pointer;
+};
+
+/// The passive side's answer (same contents).
+class GossipReplyMsg : public Message {
+ public:
+  uint64_t SizeBits() const override {
+    uint64_t bits = own_summary ? own_summary->SizeBits() : 0;
+    for (const ViewEntry& e : view_subset) bits += e.WireBits();
+    return bits + dir_pointer.WireBits();
+  }
+  TrafficClass traffic_class() const override { return TrafficClass::kGossip; }
+
+  std::shared_ptr<const ContentSummary> own_summary;
+  std::vector<ViewEntry> view_subset;
+  DirectoryPointer dir_pointer;
+};
+
+/// Content peer -> directory peer: delta of the content list since the last
+/// push (paper Algorithm 5). Deletions listed separately (unused while the
+/// experiments run without cache eviction, but part of the protocol).
+class PushMsg : public Message {
+ public:
+  uint64_t SizeBits() const override {
+    return (added.size() + removed.size()) * kObjectIdBits + 16;
+  }
+  TrafficClass traffic_class() const override { return TrafficClass::kPush; }
+
+  std::vector<ObjectId> added;
+  std::vector<ObjectId> removed;
+};
+
+/// Content peer -> directory peer liveness signal (paper Sec 5.1).
+class KeepaliveMsg : public Message {
+ public:
+  uint64_t SizeBits() const override { return 0; }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kKeepalive;
+  }
+};
+
+/// Content peer -> directory peer: graceful goodbye, so the entry can be
+/// dropped without waiting for T_dead.
+class LeaveMsg : public Message {
+ public:
+  uint64_t SizeBits() const override { return 0; }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kControl;
+  }
+};
+
+/// Directory peer -> same-website neighbor directory: refreshed directory
+/// summary (paper Sec 3.3 / 4.2.1; counted with push traffic).
+class DirectorySummaryMsg : public Message {
+ public:
+  DirectorySummaryMsg(uint64_t website_hash, LocalityId from_loc,
+                      Key from_dir_id,
+                      std::shared_ptr<const ContentSummary> summary)
+      : website_hash(website_hash),
+        from_loc(from_loc),
+        from_dir_id(from_dir_id),
+        summary(std::move(summary)) {}
+
+  uint64_t SizeBits() const override {
+    return 64 + 8 + 64 + (summary ? summary->SizeBits() : 0);
+  }
+  TrafficClass traffic_class() const override { return TrafficClass::kPush; }
+
+  uint64_t website_hash;
+  LocalityId from_loc;
+  Key from_dir_id;
+  std::shared_ptr<const ContentSummary> summary;
+};
+
+/// Voluntary directory leave: full directory state handed to the chosen
+/// successor content peer (paper Sec 5.2).
+class DirectoryHandoffMsg : public Message {
+ public:
+  struct IndexEntryWire {
+    PeerAddress addr;
+    int age;
+    SimTime joined_at;
+    std::vector<ObjectId> objects;
+  };
+
+  uint64_t SizeBits() const override {
+    uint64_t bits = 64;
+    for (const auto& e : entries) {
+      bits += kAddressBits + kAgeBits + e.objects.size() * kObjectIdBits;
+    }
+    for (const auto& s : summaries) {
+      bits += 64 + (s.summary ? s.summary->SizeBits() : 0);
+    }
+    return bits;
+  }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kControl;
+  }
+
+  Key dir_key = 0;
+  std::vector<IndexEntryWire> entries;
+  struct SummaryWire {
+    Key dir_id;
+    PeerAddress addr;
+    std::shared_ptr<const ContentSummary> summary;
+  };
+  std::vector<SummaryWire> summaries;
+};
+
+/// Content peer -> D-ring (routed): request to take over a failed
+/// directory position (paper Sec 5.2).
+class JoinDirectoryReq : public Message {
+ public:
+  JoinDirectoryReq(Key dir_key, PeerAddress candidate)
+      : dir_key(dir_key), candidate(candidate) {}
+
+  uint64_t SizeBits() const override { return 64 + kAddressBits; }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kControl;
+  }
+
+  Key dir_key;
+  PeerAddress candidate;
+};
+
+class JoinDirectoryResp : public Message {
+ public:
+  JoinDirectoryResp(Key dir_key, bool granted, NodeRef current_dir)
+      : dir_key(dir_key), granted(granted), current_dir(current_dir) {}
+
+  uint64_t SizeBits() const override { return 64 + 8 + kNodeRefBits; }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kControl;
+  }
+
+  Key dir_key;
+  bool granted;
+  NodeRef current_dir;  // valid when !granted
+};
+
+// --- Active replication extension (paper Sec 8 future work) -----------------
+
+/// Directory -> sibling directory: "these are my most requested objects".
+class ReplicationOfferMsg : public Message {
+ public:
+  uint64_t SizeBits() const override {
+    return objects.size() * kObjectIdBits;
+  }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kControl;
+  }
+
+  std::vector<ObjectId> objects;
+};
+
+/// Sibling directory -> offering directory: "send these to this member".
+class ReplicationRequestMsg : public Message {
+ public:
+  uint64_t SizeBits() const override {
+    return wanted.size() * kObjectIdBits + kAddressBits;
+  }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kControl;
+  }
+
+  std::vector<ObjectId> wanted;
+  PeerAddress deposit_target = kInvalidAddress;
+};
+
+/// Holder content peer -> deposit target in the sibling overlay.
+class ReplicaTransferMsg : public Message {
+ public:
+  ReplicaTransferMsg(ObjectId object, uint64_t website_hash,
+                     uint64_t object_size_bits)
+      : object(object),
+        website_hash(website_hash),
+        object_size_bits(object_size_bits) {}
+
+  uint64_t SizeBits() const override {
+    return object_size_bits + kObjectIdBits;
+  }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kTransfer;
+  }
+
+  ObjectId object;
+  uint64_t website_hash;
+  uint64_t object_size_bits;
+};
+
+/// Offering directory -> one of its holders: "transfer this object there".
+class ReplicaTransferCmd : public Message {
+ public:
+  ReplicaTransferCmd(ObjectId object, PeerAddress target)
+      : object(object), target(target) {}
+
+  uint64_t SizeBits() const override { return kObjectIdBits + kAddressBits; }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kControl;
+  }
+
+  ObjectId object;
+  PeerAddress target;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_CORE_FLOWER_MESSAGES_H_

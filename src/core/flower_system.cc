@@ -1,0 +1,243 @@
+#include "core/flower_system.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace flower {
+
+namespace {
+ChordConfig MakeChordConfig(const SimConfig& config) {
+  ChordConfig cc;
+  cc.id_bits = config.chord_id_bits;
+  cc.successor_list_size = config.chord_successor_list;
+  cc.stabilize_period = config.chord_stabilize_period;
+  cc.fix_fingers_period = config.chord_fix_fingers_period;
+  cc.oracle = config.chord_oracle_maintenance;
+  return cc;
+}
+}  // namespace
+
+FlowerSystem::FlowerSystem(const SimConfig& config, Simulator* sim,
+                           Network* network, const Topology* topology,
+                           Metrics* metrics)
+    : config_(config),
+      sim_(sim),
+      network_(network),
+      topology_(topology),
+      metrics_(metrics),
+      scheme_(config.chord_id_bits, config.locality_id_bits,
+              config.scaleup_extra_bits),
+      dring_(MakeChordConfig(config)),
+      catalog_(std::make_unique<WebsiteCatalog>(config, scheme_)),
+      deployment_(Deployment::Plan(config, *topology, sim->rng())),
+      rng_(sim->rng()->Next()) {
+  ctx_.sim = sim_;
+  ctx_.network = network_;
+  ctx_.dring = &dring_;
+  ctx_.scheme = &scheme_;
+  ctx_.config = &config_;
+  ctx_.catalog = catalog_.get();
+  ctx_.metrics = metrics_;
+  ctx_.system = this;
+}
+
+FlowerSystem::~FlowerSystem() = default;
+
+void FlowerSystem::Setup() {
+  // Origin servers.
+  servers_.reserve(static_cast<size_t>(catalog_->size()));
+  for (int w = 0; w < catalog_->size(); ++w) {
+    Website& site = catalog_->mutable_site(static_cast<WebsiteId>(w));
+    auto server = std::make_unique<OriginServer>(
+        sim_, network_, metrics_, &site, config_.object_size_bits);
+    server->Activate(deployment_.server_nodes[static_cast<size_t>(w)]);
+    site.server_addr = server->address();
+    servers_.push_back(std::move(server));
+  }
+  // Stable D-ring: `scaleup_instances` directory peers per (website,
+  // locality), empty directories (paper Sec 6.1 / Sec 5.3).
+  int instances = std::max(config_.scaleup_instances, 1);
+  for (int w = 0; w < catalog_->size(); ++w) {
+    const Website& site = catalog_->site(static_cast<WebsiteId>(w));
+    for (int l = 0; l < config_.num_localities; ++l) {
+      for (int i = 0; i < instances; ++i) {
+        NodeId node = deployment_.dir_nodes[static_cast<size_t>(w)]
+                                           [static_cast<size_t>(l)]
+                                           [static_cast<size_t>(i)];
+        DirectoryPeer* dir =
+            CreateDirectory(&site, static_cast<LocalityId>(l),
+                            static_cast<uint32_t>(i), node);
+        if (dir == nullptr) {
+          FLOWER_LOG(Warn) << "failed to start directory for site " << w
+                           << " locality " << l << " instance " << i;
+        }
+      }
+    }
+  }
+}
+
+DirectoryPeer* FlowerSystem::CreateDirectory(const Website* site,
+                                             LocalityId locality,
+                                             uint32_t instance, NodeId node) {
+  auto dir = std::make_unique<DirectoryPeer>(&ctx_, site, locality, instance,
+                                             rng_.Next());
+  if (!dir->Start(node)) return nullptr;
+  DirectoryPeer* raw = dir.get();
+  directories_[node] = std::move(dir);
+  return raw;
+}
+
+void FlowerSystem::SubmitQuery(NodeId node, WebsiteId website,
+                               ObjectId object) {
+  // Directory peers are participants too.
+  auto dit = directories_.find(node);
+  if (dit != directories_.end()) {
+    if (dit->second->alive()) {
+      dit->second->RequestObject(object);
+      return;
+    }
+    graveyard_.push_back(std::move(dit->second));
+    directories_.erase(dit);
+    sim_->Schedule(0, [this]() { graveyard_.clear(); });
+  }
+  auto it = content_peers_.find(node);
+  if (it != content_peers_.end()) {
+    if (it->second->alive()) {
+      it->second->RequestObject(object);
+      return;
+    }
+    // The peer churned out earlier; the node comes back as a new client.
+    graveyard_.push_back(std::move(it->second));
+    content_peers_.erase(it);
+    sim_->Schedule(0, [this]() { graveyard_.clear(); });
+  }
+  const Website* site = &catalog_->site(website);
+  LocalityId locality = deployment_.detected_locality[node];
+  auto peer = std::make_unique<ContentPeer>(&ctx_, site, locality,
+                                            rng_.Next());
+  peer->Activate(node);
+  ContentPeer* raw = peer.get();
+  content_peers_[node] = std::move(peer);
+  ++clients_created_;
+  raw->RequestObject(object);
+}
+
+PeerAddress FlowerSystem::BootstrapDirectory(Rng* rng) const {
+  // Model of the bootstrap service every P2P deployment needs: returns a
+  // random live directory peer.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    WebsiteId w = static_cast<WebsiteId>(rng->Index(
+        static_cast<size_t>(catalog_->size())));
+    LocalityId l = static_cast<LocalityId>(
+        rng->Index(static_cast<size_t>(config_.num_localities)));
+    DirectoryPeer* dir = FindDirectory(w, l);
+    if (dir != nullptr && dir->alive()) return dir->address();
+  }
+  ChordNode* any = dring_.AnyNode();
+  return any == nullptr ? kInvalidAddress : any->address();
+}
+
+DirectoryPeer* FlowerSystem::FindDirectory(WebsiteId website,
+                                           LocalityId locality,
+                                           uint32_t instance) const {
+  const Website& site = catalog_->site(website);
+  Key id = scheme_.MakeDirectoryId(site.dring_hash, locality, instance);
+  ChordNode* node = dring_.Find(id);
+  return dynamic_cast<DirectoryPeer*>(node);
+}
+
+ContentPeer* FlowerSystem::FindContentPeer(NodeId node) const {
+  auto it = content_peers_.find(node);
+  return it == content_peers_.end() ? nullptr : it->second.get();
+}
+
+OriginServer* FlowerSystem::FindServer(WebsiteId website) const {
+  if (website >= servers_.size()) return nullptr;
+  return servers_[website].get();
+}
+
+std::vector<PeerAddress> FlowerSystem::ParticipantAddresses() const {
+  std::vector<PeerAddress> out;
+  out.reserve(content_peers_.size() + directories_.size());
+  for (const auto& [node, peer] : content_peers_) {
+    if (peer->alive() && peer->joined()) out.push_back(peer->address());
+  }
+  for (const auto& [node, dir] : directories_) {
+    if (dir->alive()) out.push_back(dir->address());
+  }
+  return out;
+}
+
+std::vector<ContentPeer*> FlowerSystem::LiveContentPeers() const {
+  std::vector<ContentPeer*> out;
+  for (const auto& [node, peer] : content_peers_) {
+    if (peer->alive()) out.push_back(peer.get());
+  }
+  return out;
+}
+
+std::vector<DirectoryPeer*> FlowerSystem::LiveDirectories() const {
+  std::vector<DirectoryPeer*> out;
+  for (const auto& [node, dir] : directories_) {
+    if (dir->alive()) out.push_back(dir.get());
+  }
+  return out;
+}
+
+PeerAddress FlowerSystem::PromoteReplacement(ContentPeer* candidate,
+                                             Key dir_key) {
+  assert(candidate != nullptr);
+  // Did someone win the race already? (Sec 5.2: "if the directory position
+  // has already been appropriated by another content peer")
+  ChordNode* existing = dring_.Find(dir_key);
+  if (existing != nullptr) return existing->address();
+
+  uint64_t website_id = scheme_.WebsiteIdOf(dir_key);
+  int ws = catalog_->FindByDRingHash(website_id);
+  if (ws < 0) return kInvalidAddress;
+  const Website* site = &catalog_->site(static_cast<WebsiteId>(ws));
+  LocalityId locality = scheme_.LocalityOf(dir_key);
+  uint32_t instance = scheme_.InstanceOf(dir_key);
+  NodeId node = candidate->node();
+
+  ContentPeer::PromotionState state = candidate->PrepareForPromotion();
+  auto dir = std::make_unique<DirectoryPeer>(&ctx_, site, locality, instance,
+                                             rng_.Next());
+  bool ok = dir->Start(node);
+  assert(ok && "directory position raced within one event");
+  (void)ok;
+  dir->SeedFromPromotion(std::move(state.content), std::move(state.view),
+                         state.joined_at);
+  ++promotions_;
+
+  auto it = content_peers_.find(node);
+  assert(it != content_peers_.end());
+  graveyard_.push_back(std::move(it->second));
+  content_peers_.erase(it);
+  PeerAddress new_addr = dir->address();
+  directories_[node] = std::move(dir);
+  sim_->Schedule(0, [this]() { graveyard_.clear(); });
+  return new_addr;
+}
+
+bool FlowerSystem::PromoteWithHandoff(
+    ContentPeer* candidate, std::unique_ptr<DirectoryHandoffMsg> handoff) {
+  assert(candidate != nullptr && handoff != nullptr);
+  Key dir_key = handoff->dir_key;
+  if (dring_.Find(dir_key) != nullptr) return false;  // already replaced
+  PeerAddress result = PromoteReplacement(candidate, dir_key);
+  if (result != candidate->address()) return false;
+  // PromoteReplacement moved the candidate to the graveyard; the new
+  // directory lives at the same node.
+  auto it = directories_.find(candidate->node());
+  if (it != directories_.end()) it->second->InstallHandoff(*handoff);
+  return true;
+}
+
+void FlowerSystem::ScheduleDeletion(std::unique_ptr<Peer> peer) {
+  graveyard_.push_back(std::move(peer));
+  sim_->Schedule(0, [this]() { graveyard_.clear(); });
+}
+
+}  // namespace flower

@@ -1,0 +1,31 @@
+#include "dht/chord_id.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flower {
+
+IdSpace::IdSpace(int bits) : bits_(bits) {
+  assert(bits >= 1 && bits <= 64);
+  mask_ = bits == 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+Key IdSpace::RingDistance(Key a, Key b) const {
+  Key cw = ClockwiseDistance(a, b);
+  Key ccw = ClockwiseDistance(b, a);
+  return std::min(cw, ccw);
+}
+
+bool IdSpace::InOpenInterval(Key x, Key a, Key b) const {
+  if (a == b) return x != a;  // whole ring minus the endpoint
+  return ClockwiseDistance(a, x) < ClockwiseDistance(a, b) && x != a;
+}
+
+bool IdSpace::InHalfOpenRight(Key x, Key a, Key b) const {
+  if (a == b) return true;  // whole ring
+  Key da = ClockwiseDistance(a, x);
+  Key db = ClockwiseDistance(a, b);
+  return da > 0 && da <= db;
+}
+
+}  // namespace flower

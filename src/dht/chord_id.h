@@ -1,0 +1,45 @@
+// Identifier arithmetic on the m-bit Chord ring.
+#ifndef FLOWERCDN_DHT_CHORD_ID_H_
+#define FLOWERCDN_DHT_CHORD_ID_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace flower {
+
+/// Arithmetic helpers for an identifier space of 2^m values (m <= 64).
+class IdSpace {
+ public:
+  explicit IdSpace(int bits);
+
+  int bits() const { return bits_; }
+  Key mask() const { return mask_; }
+
+  /// Truncates an arbitrary 64-bit value into the space.
+  Key Clamp(uint64_t v) const { return v & mask_; }
+
+  /// (a + d) mod 2^m.
+  Key Add(Key a, uint64_t d) const { return (a + d) & mask_; }
+
+  /// Clockwise distance from a to b: (b - a) mod 2^m.
+  Key ClockwiseDistance(Key a, Key b) const { return (b - a) & mask_; }
+
+  /// Ring distance in either direction ("numerically closest" metric).
+  Key RingDistance(Key a, Key b) const;
+
+  /// x in (a, b) going clockwise from a. Empty when a == b... except the
+  /// Chord convention: when a == b the interval is the whole ring minus a.
+  bool InOpenInterval(Key x, Key a, Key b) const;
+
+  /// x in (a, b] going clockwise. When a == b, the interval is everything.
+  bool InHalfOpenRight(Key x, Key a, Key b) const;
+
+ private:
+  int bits_;
+  Key mask_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_DHT_CHORD_ID_H_

@@ -1,0 +1,21 @@
+#include "dht/chord_messages.h"
+
+#include <cassert>
+
+namespace flower {
+
+RouteMsg::RouteMsg(Key key, MessagePtr payload)
+    : key(key), payload(std::move(payload)) {
+  assert(this->payload != nullptr);
+}
+
+uint64_t RouteMsg::SizeBits() const {
+  // Key + hop counter + encapsulated payload.
+  return 64 + 16 + payload->SizeBits();
+}
+
+TrafficClass RouteMsg::traffic_class() const {
+  return payload->traffic_class();
+}
+
+}  // namespace flower

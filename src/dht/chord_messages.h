@@ -1,0 +1,115 @@
+// Wire messages of the Chord protocol and the key-based routing service.
+#ifndef FLOWERCDN_DHT_CHORD_MESSAGES_H_
+#define FLOWERCDN_DHT_CHORD_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace flower {
+
+/// Reference to a DHT node: ring identifier + network address.
+struct NodeRef {
+  Key id = 0;
+  PeerAddress addr = kInvalidAddress;
+
+  bool valid() const { return addr != kInvalidAddress; }
+  bool operator==(const NodeRef& o) const {
+    return id == o.id && addr == o.addr;
+  }
+};
+
+inline constexpr uint64_t kNodeRefBits = 64 + kAddressBits;
+
+/// Envelope for recursively routed application payloads (paper Algorithm 1
+/// runs at each hop; this is the msg it forwards).
+class RouteMsg : public Message {
+ public:
+  RouteMsg(Key key, MessagePtr payload);
+
+  uint64_t SizeBits() const override;
+  TrafficClass traffic_class() const override;
+
+  Key key;
+  MessagePtr payload;
+  int hops = 0;
+  SimTime first_sent = -1;  // stamped by the first router
+};
+
+/// find_successor request, routed recursively; the responsible node answers
+/// the requester directly.
+class FindSuccessorReq : public Message {
+ public:
+  FindSuccessorReq(Key target, PeerAddress requester, uint64_t request_id)
+      : target(target), requester(requester), request_id(request_id) {}
+
+  uint64_t SizeBits() const override {
+    return 64 + kAddressBits + 64;
+  }
+  TrafficClass traffic_class() const override { return TrafficClass::kDht; }
+
+  Key target;
+  PeerAddress requester;
+  uint64_t request_id;
+  int hops = 0;
+};
+
+class FindSuccessorResp : public Message {
+ public:
+  FindSuccessorResp(Key target, NodeRef result, uint64_t request_id)
+      : target(target), result(result), request_id(request_id) {}
+
+  uint64_t SizeBits() const override { return 64 + kNodeRefBits + 64; }
+  TrafficClass traffic_class() const override { return TrafficClass::kDht; }
+
+  Key target;
+  NodeRef result;
+  uint64_t request_id;
+};
+
+/// Stabilization: ask a node for its predecessor and successor list.
+class GetNeighborsReq : public Message {
+ public:
+  uint64_t SizeBits() const override { return 0; }
+  TrafficClass traffic_class() const override { return TrafficClass::kDht; }
+};
+
+class GetNeighborsResp : public Message {
+ public:
+  uint64_t SizeBits() const override {
+    return kNodeRefBits * (1 + successors.size());
+  }
+  TrafficClass traffic_class() const override { return TrafficClass::kDht; }
+
+  NodeRef predecessor;  // may be invalid
+  std::vector<NodeRef> successors;
+};
+
+/// Chord notify(): "I believe I am your predecessor".
+class NotifyMsg : public Message {
+ public:
+  explicit NotifyMsg(NodeRef self) : self(self) {}
+  uint64_t SizeBits() const override { return kNodeRefBits; }
+  TrafficClass traffic_class() const override { return TrafficClass::kDht; }
+
+  NodeRef self;
+};
+
+/// Liveness probe used by check_predecessor.
+class PingReq : public Message {
+ public:
+  uint64_t SizeBits() const override { return 0; }
+  TrafficClass traffic_class() const override { return TrafficClass::kDht; }
+};
+
+class PingResp : public Message {
+ public:
+  uint64_t SizeBits() const override { return 0; }
+  TrafficClass traffic_class() const override { return TrafficClass::kDht; }
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_DHT_CHORD_MESSAGES_H_

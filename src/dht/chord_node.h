@@ -1,0 +1,192 @@
+// A Chord DHT node (Stoica et al., SIGCOMM 2001 — the paper's [7]), with
+// recursive key-based routing per the common KBR API (Dabek et al. — [6]).
+//
+// Routing follows the paper's Algorithm 1 ("DHT Standard route"). Three
+// protected hooks let subclasses implement D-ring's modified routing
+// (paper Algorithm 2) without touching the DHT core:
+//   - SelectNextHop()  : override the locally chosen next hop
+//   - AcceptDelivery() : veto delivery at the standard responsible node
+//   - CorrectionHop()  : propose a better node when delivery was vetoed
+//
+// Ring maintenance runs in one of two modes (config.oracle):
+//   oracle   : membership changes apply instantly through ChordRing, and
+//              neighbor/finger reads consult the ring's sorted map. This is
+//              semantically a perfectly stabilized Chord (the paper's
+//              experiments "start with a stable D-ring") while routing still
+//              pays every per-hop message and its latency.
+//   protocol : join / stabilize / notify / fix-fingers / check-predecessor
+//              run as real timed message exchanges (used in churn tests).
+#ifndef FLOWERCDN_DHT_CHORD_NODE_H_
+#define FLOWERCDN_DHT_CHORD_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "dht/chord_id.h"
+#include "dht/chord_messages.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace flower {
+
+class ChordRing;
+
+struct ChordConfig {
+  int id_bits = 40;
+  int successor_list_size = 4;
+  SimTime stabilize_period = 30 * kSecond;
+  SimTime fix_fingers_period = 30 * kSecond;
+  SimTime check_predecessor_period = 30 * kSecond;
+  bool oracle = true;
+  int max_route_hops = 128;
+};
+
+/// Application upcall interface (common KBR API).
+class KbrApp {
+ public:
+  virtual ~KbrApp() = default;
+
+  struct DeliveryInfo {
+    int hops = 0;
+    SimTime first_routed = -1;
+  };
+
+  /// The node executing this app is responsible for `key`.
+  virtual void Deliver(Key key, MessagePtr payload,
+                       const DeliveryInfo& info) = 0;
+};
+
+class ChordNode : public Peer {
+ public:
+  ChordNode(Simulator* sim, Network* network, ChordRing* ring, Key id);
+  ~ChordNode() override;
+
+  Key id() const { return id_; }
+  const IdSpace& space() const;
+  bool joined() const { return joined_; }
+
+  void set_app(KbrApp* app) { app_ = app; }
+  KbrApp* app() const { return app_; }
+
+  // --- Lifecycle -----------------------------------------------------------
+
+  /// Registers this peer on the network at the given topology node.
+  void Activate(NodeId node);
+
+  /// Oracle-mode join: instant structural insertion. Returns false if the
+  /// identifier is already taken by a live node.
+  bool JoinStructural();
+
+  /// Protocol-mode join through a bootstrap member; on_joined fires when the
+  /// successor is resolved. Also starts the maintenance timers.
+  void JoinViaProtocol(PeerAddress bootstrap,
+                       std::function<void()> on_joined = nullptr);
+
+  /// Starts stabilize / fix-fingers / check-predecessor timers (protocol
+  /// mode; harmless in oracle mode).
+  void StartMaintenance();
+
+  /// Graceful departure: hands successor/predecessor over, leaves the ring.
+  void Leave();
+
+  /// Crash: disappears without notice.
+  void Fail();
+
+  // --- Key-based routing -----------------------------------------------------
+
+  /// Routes a payload toward the node responsible for `key`, starting here.
+  void Route(Key key, MessagePtr payload);
+
+  // --- Introspection (tests, directory summaries) ----------------------------
+
+  NodeRef self_ref() const { return NodeRef{id_, address()}; }
+  NodeRef successor() const;
+  NodeRef predecessor() const;
+  std::vector<NodeRef> SuccessorList() const;
+  NodeRef finger(int i) const;
+
+  /// All peers this node currently knows (fingers + successors +
+  /// predecessor). Used by D-ring's conditional local lookup.
+  std::vector<NodeRef> KnownPeers() const;
+
+  // --- Peer interface --------------------------------------------------------
+  void HandleMessage(MessagePtr msg) override;
+  void HandleUndeliverable(PeerAddress dest, MessagePtr msg) override;
+
+ protected:
+  /// Paper Algorithm 2 hook: may replace the default next hop.
+  virtual NodeRef SelectNextHop(Key key, NodeRef candidate) {
+    (void)key;
+    return candidate;
+  }
+
+  /// Returns false to veto delivery at the standard responsible node.
+  virtual bool AcceptDelivery(Key key) {
+    (void)key;
+    return true;
+  }
+
+  /// When delivery was vetoed: a strictly better node to forward to, or an
+  /// invalid ref to deliver here anyway.
+  virtual NodeRef CorrectionHop(Key key) {
+    (void)key;
+    return NodeRef{};
+  }
+
+  Simulator* sim() const { return sim_; }
+  Network* network() const { return network_; }
+  ChordRing* ring() const { return ring_; }
+
+ private:
+  friend class ChordRing;
+
+  void HandleRoute(std::unique_ptr<RouteMsg> msg);
+  void HandleFindSuccessor(std::unique_ptr<FindSuccessorReq> req);
+  void Deliver(std::unique_ptr<RouteMsg> msg);
+
+  /// Closest known node preceding `key` (standard Chord greedy step).
+  NodeRef ClosestPreceding(Key key) const;
+
+  /// Oracle-mode emulation of a perfect finger table entry: the live
+  /// successor of id_ + 2^i.
+  NodeRef OracleFinger(int i) const;
+
+  // Protocol maintenance.
+  void Stabilize();
+  void FixNextFinger();
+  void CheckPredecessor();
+  void RemoveDeadRef(PeerAddress addr);
+  void AdoptSuccessor(NodeRef candidate);
+
+  /// Issues a protocol find_successor; cb receives the result.
+  void FindSuccessor(Key target, std::function<void(NodeRef)> cb);
+
+  Simulator* sim_;
+  Network* network_;
+  ChordRing* ring_;
+  Key id_;
+  KbrApp* app_ = nullptr;
+  bool joined_ = false;
+
+  // Protocol-mode state.
+  NodeRef predecessor_;
+  std::vector<NodeRef> successors_;  // successors_[0] is the successor
+  std::vector<NodeRef> fingers_;
+  int next_finger_ = 0;
+  uint64_t next_request_id_ = 1;
+  std::unordered_map<uint64_t, std::function<void(NodeRef)>> pending_finds_;
+  Simulator::PeriodicHandle stabilize_timer_;
+  Simulator::PeriodicHandle fix_fingers_timer_;
+  Simulator::PeriodicHandle check_pred_timer_;
+  std::function<void()> on_joined_;
+
+  uint64_t routes_dropped_ = 0;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_DHT_CHORD_NODE_H_

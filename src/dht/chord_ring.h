@@ -1,0 +1,57 @@
+// Bookkeeping of ring membership.
+//
+// In oracle mode the sorted node map *is* the authoritative ring: nodes read
+// their neighbors and (emulated) fingers from it, which models a perfectly
+// stabilized Chord. In protocol mode the map only tracks membership for
+// bootstrap selection and test assertions; nodes maintain their own state.
+#ifndef FLOWERCDN_DHT_CHORD_RING_H_
+#define FLOWERCDN_DHT_CHORD_RING_H_
+
+#include <map>
+#include <vector>
+
+#include "dht/chord_id.h"
+#include "dht/chord_messages.h"
+#include "dht/chord_node.h"
+
+namespace flower {
+
+class ChordRing {
+ public:
+  explicit ChordRing(const ChordConfig& config);
+
+  const ChordConfig& config() const { return config_; }
+  const IdSpace& space() const { return space_; }
+  bool oracle() const { return config_.oracle; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Inserts a node; false if the id is taken.
+  bool Insert(ChordNode* node);
+
+  /// Removes a node (no-op if absent).
+  void Remove(ChordNode* node);
+
+  bool Contains(Key id) const { return nodes_.count(id) > 0; }
+  ChordNode* Find(Key id) const;
+
+  /// First live node with id >= k, wrapping (includes k itself).
+  ChordNode* SuccessorOf(Key k) const;
+
+  /// Last live node with id strictly < k, wrapping.
+  ChordNode* PredecessorOf(Key k) const;
+
+  /// A deterministic arbitrary member (bootstrap); nullptr when empty.
+  ChordNode* AnyNode() const;
+
+  /// All live nodes in id order (tests, diagnostics).
+  std::vector<ChordNode*> NodesInOrder() const;
+
+ private:
+  ChordConfig config_;
+  IdSpace space_;
+  std::map<Key, ChordNode*> nodes_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_DHT_CHORD_RING_H_

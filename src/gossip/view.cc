@@ -1,0 +1,114 @@
+#include "gossip/view.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flower {
+
+View::View(int capacity, int max_age)
+    : capacity_(capacity), max_age_(max_age) {
+  assert(capacity > 0);
+}
+
+void View::IncrementAges() {
+  for (auto& e : entries_) ++e.age;
+}
+
+const ViewEntry* View::SelectOldest() const {
+  const ViewEntry* best = nullptr;
+  for (const auto& e : entries_) {
+    if (best == nullptr || e.age > best->age ||
+        (e.age == best->age && e.addr < best->addr)) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
+std::vector<ViewEntry> View::SelectSubset(int count, Rng* rng,
+                                          PeerAddress exclude) const {
+  std::vector<size_t> eligible;
+  eligible.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].addr != exclude) eligible.push_back(i);
+  }
+  std::vector<size_t> chosen = rng->SampleIndices(
+      eligible.size(), static_cast<size_t>(std::max(count, 0)));
+  std::vector<ViewEntry> out;
+  out.reserve(chosen.size());
+  for (size_t c : chosen) {
+    out.push_back(entries_[eligible[c]]);
+    // Transit aging (peer sampling service, Jelasity et al.): a shipped
+    // copy is one hop staler than the local one. Without this, min-age
+    // merging across peers with staggered age ticks lets a dead contact's
+    // copies circulate at age ~0 forever.
+    out.back().age += 1;
+  }
+  return out;
+}
+
+void View::SortAndTruncate() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const ViewEntry& a, const ViewEntry& b) {
+                     if (a.age != b.age) return a.age < b.age;
+                     return a.addr < b.addr;
+                   });
+  if (entries_.size() > static_cast<size_t>(capacity_)) {
+    entries_.resize(static_cast<size_t>(capacity_));
+  }
+}
+
+void View::Merge(const std::vector<ViewEntry>& received,
+                 const std::optional<ViewEntry>& fresh, PeerAddress self) {
+  auto upsert = [this, self](const ViewEntry& e) {
+    if (e.addr == self || e.addr == kInvalidAddress) return;
+    if (e.age > max_age_) return;  // circulating copy of a dead contact
+    for (auto& cur : entries_) {
+      if (cur.addr == e.addr) {
+        // Keep the most recent instance; prefer an instance carrying a
+        // summary when ages tie.
+        if (e.age < cur.age || (e.age == cur.age && !cur.summary && e.summary)) {
+          cur = e;
+        }
+        return;
+      }
+    }
+    entries_.push_back(e);
+  };
+  for (const auto& e : received) upsert(e);
+  if (fresh.has_value()) upsert(*fresh);
+  SortAndTruncate();
+}
+
+void View::Insert(const ViewEntry& entry, PeerAddress self) {
+  Merge({entry}, std::nullopt, self);
+}
+
+bool View::Remove(PeerAddress addr) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].addr == addr) {
+      entries_.erase(entries_.begin() + static_cast<long>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t View::DropOlderThan(int max_age) {
+  size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [max_age](const ViewEntry& e) {
+                                  return e.age > max_age;
+                                }),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+const ViewEntry* View::Find(PeerAddress addr) const {
+  for (const auto& e : entries_) {
+    if (e.addr == addr) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace flower

@@ -1,0 +1,100 @@
+// Age-based partial views for gossip membership management (paper Sec 4.2,
+// in the style of Cyclon / the peer sampling service — citations [21, 10]).
+//
+// A view holds at most V_gossip entries. Entries age by one every gossip
+// period; exchanges merge the local view with the received subset keeping
+// the freshest instance of each contact (paper Algorithm 4's merge() +
+// select_recent()).
+#ifndef FLOWERCDN_GOSSIP_VIEW_H_
+#define FLOWERCDN_GOSSIP_VIEW_H_
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bloom/summary.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/message.h"
+
+namespace flower {
+
+/// One view entry: a contact's address, the entry age (freshness of this
+/// information, *not* the contact's lifetime), and optionally the contact's
+/// content summary. Summaries are shared snapshots: many entries across the
+/// overlay reference the same immutable filter.
+struct ViewEntry {
+  PeerAddress addr = kInvalidAddress;
+  int age = 0;
+  std::shared_ptr<const ContentSummary> summary;  // may be null
+
+  /// Wire size of this entry inside a gossip message.
+  uint64_t WireBits() const {
+    return kAddressBits + kAgeBits + (summary ? summary->SizeBits() : 0);
+  }
+};
+
+class View {
+ public:
+  /// capacity: V_gossip. max_age: entries older than this are dead contacts
+  /// — they are dropped by DropOlderThan() and rejected at Merge()/Insert()
+  /// time so they cannot re-enter from circulating subsets.
+  explicit View(int capacity, int max_age = std::numeric_limits<int>::max());
+
+  int capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<ViewEntry>& entries() const { return entries_; }
+
+  /// Algorithm 4: view.increment_age().
+  void IncrementAges();
+
+  /// Algorithm 4: view.select_oldest(). Returns nullptr when empty. Ties
+  /// break deterministically by address.
+  const ViewEntry* SelectOldest() const;
+
+  /// Algorithm 4: view.select_subset() — up to `count` random entries,
+  /// excluding `exclude` (pass kInvalidAddress for no exclusion).
+  std::vector<ViewEntry> SelectSubset(int count, Rng* rng,
+                                      PeerAddress exclude) const;
+
+  /// Algorithm 4: merge() + select_recent(). Combines the current view, the
+  /// received subset and an optional fresh entry for the gossip partner,
+  /// dropping duplicates (keeping the smallest age) and entries for `self`,
+  /// then keeps the `capacity` most recent entries.
+  void Merge(const std::vector<ViewEntry>& received,
+             const std::optional<ViewEntry>& fresh, PeerAddress self);
+
+  /// Inserts or refreshes a single entry (e.g. initial contacts from the
+  /// directory's welcome message), evicting the oldest if at capacity.
+  void Insert(const ViewEntry& entry, PeerAddress self);
+
+  /// Removes the entry for a (dead) contact. Returns true if present.
+  bool Remove(PeerAddress addr);
+
+  /// Drops entries older than `max_age` gossip rounds. Entries that stale
+  /// were never refreshed by any exchange, which in a connected overlay
+  /// means the contact is almost surely gone; without this, dead contacts
+  /// re-infect views through exchanged subsets forever. Returns the number
+  /// of entries dropped.
+  size_t DropOlderThan(int max_age);
+
+  /// Looks up an entry by address; nullptr if absent.
+  const ViewEntry* Find(PeerAddress addr) const;
+
+  /// True if any entry refers to this address.
+  bool Contains(PeerAddress addr) const { return Find(addr) != nullptr; }
+
+ private:
+  void SortAndTruncate();
+
+  int capacity_;
+  int max_age_;
+  std::vector<ViewEntry> entries_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_GOSSIP_VIEW_H_

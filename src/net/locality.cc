@@ -1,0 +1,37 @@
+#include "net/locality.h"
+
+#include <cassert>
+
+namespace flower {
+
+LandmarkLocalityDetector::LandmarkLocalityDetector(const Topology* topology,
+                                                   double noise_ms)
+    : topology_(topology), noise_ms_(noise_ms) {
+  assert(topology != nullptr);
+}
+
+std::vector<double> LandmarkLocalityDetector::MeasureLandmarks(
+    NodeId node, Rng* rng) const {
+  std::vector<double> measured(topology_->num_localities());
+  for (int l = 0; l < topology_->num_localities(); ++l) {
+    double lat = static_cast<double>(
+        topology_->Latency(node, topology_->Landmark(static_cast<LocalityId>(l))));
+    if (noise_ms_ > 0.0) {
+      lat += rng->UniformDouble(-noise_ms_, noise_ms_);
+      if (lat < 0) lat = 0;
+    }
+    measured[static_cast<size_t>(l)] = lat;
+  }
+  return measured;
+}
+
+LocalityId LandmarkLocalityDetector::Detect(NodeId node, Rng* rng) const {
+  std::vector<double> measured = MeasureLandmarks(node, rng);
+  size_t best = 0;
+  for (size_t l = 1; l < measured.size(); ++l) {
+    if (measured[l] < measured[best]) best = l;
+  }
+  return static_cast<LocalityId>(best);
+}
+
+}  // namespace flower

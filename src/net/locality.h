@@ -1,0 +1,37 @@
+// Landmark-based locality detection (Ratnasamy et al., INFOCOM 2002).
+//
+// The paper assumes each peer "can detect via some latency measurements, to
+// which locality loc it belongs". We simulate the measurement: a node pings
+// the k landmark nodes, optionally with measurement noise, and adopts the
+// bin of the nearest landmark.
+#ifndef FLOWERCDN_NET_LOCALITY_H_
+#define FLOWERCDN_NET_LOCALITY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace flower {
+
+class LandmarkLocalityDetector {
+ public:
+  /// noise_ms: half-width of uniform measurement noise added to each ping.
+  LandmarkLocalityDetector(const Topology* topology, double noise_ms = 0.0);
+
+  /// Detects the locality of `node` by (simulated) landmark pings.
+  LocalityId Detect(NodeId node, Rng* rng) const;
+
+  /// Measured latencies to each landmark, in landmark order (exposed for
+  /// tests and for peers that keep the full landmark vector).
+  std::vector<double> MeasureLandmarks(NodeId node, Rng* rng) const;
+
+ private:
+  const Topology* topology_;
+  double noise_ms_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_NET_LOCALITY_H_

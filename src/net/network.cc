@@ -1,0 +1,114 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <memory>
+
+namespace flower {
+
+TrafficCounters Network::empty_counters_;
+
+uint64_t TrafficCounters::TotalSent() const {
+  uint64_t t = 0;
+  for (uint64_t b : sent_bits) t += b;
+  return t;
+}
+
+uint64_t TrafficCounters::TotalReceived() const {
+  uint64_t t = 0;
+  for (uint64_t b : received_bits) t += b;
+  return t;
+}
+
+Network::Network(Simulator* sim, const Topology* topology)
+    : sim_(sim), topology_(topology) {
+  assert(sim != nullptr && topology != nullptr);
+}
+
+void Network::RegisterPeer(Peer* peer, NodeId node) {
+  assert(peer != nullptr);
+  assert(node < static_cast<NodeId>(topology_->num_nodes()));
+  PeerAddress address = static_cast<PeerAddress>(node);
+  assert(peers_.find(address) == peers_.end() &&
+         "node already hosts a live peer");
+  peer->address_ = address;
+  peer->node_ = node;
+  peers_[address] = peer;
+}
+
+void Network::UnregisterPeer(Peer* peer) {
+  assert(peer != nullptr);
+  auto it = peers_.find(peer->address());
+  if (it != peers_.end() && it->second == peer) peers_.erase(it);
+}
+
+bool Network::IsAlive(PeerAddress address) const {
+  return peers_.find(address) != peers_.end();
+}
+
+void Network::Send(Peer* from, PeerAddress to, MessagePtr msg) {
+  assert(from != nullptr);
+  assert(msg != nullptr);
+  PeerAddress sender = from->address();
+  assert(sender != kInvalidAddress && "sender not registered");
+  const uint64_t bits = msg->SizeBits() + kMessageHeaderBits;
+  const TrafficClass cls = msg->traffic_class();
+  const size_t ci = static_cast<size_t>(cls);
+
+  counters_[sender].sent_bits[ci] += bits;
+  total_bits_[ci] += bits;
+  ++messages_sent_;
+
+  msg->sender = sender;
+  SimTime latency = Latency(sender, to);
+
+  // Move the unique_ptr into the closure via a shared holder (std::function
+  // requires copyable callables).
+  auto holder = std::make_shared<MessagePtr>(std::move(msg));
+  sim_->Schedule(latency, [this, sender, to, ci, bits, holder]() {
+    auto it = peers_.find(to);
+    if (it != peers_.end()) {
+      counters_[to].received_bits[ci] += bits;
+      it->second->HandleMessage(std::move(*holder));
+      return;
+    }
+    // Destination offline: notify the sender after the return trip.
+    ++messages_undeliverable_;
+    SimTime back = Latency(to, sender);
+    sim_->Schedule(back, [this, sender, to, holder]() {
+      auto sit = peers_.find(sender);
+      if (sit != peers_.end()) {
+        sit->second->HandleUndeliverable(to, std::move(*holder));
+      }
+    });
+  });
+}
+
+SimTime Network::Latency(PeerAddress a, PeerAddress b) const {
+  return topology_->Latency(static_cast<NodeId>(a), static_cast<NodeId>(b));
+}
+
+const TrafficCounters& Network::CountersFor(PeerAddress address) const {
+  auto it = counters_.find(address);
+  if (it == counters_.end()) return empty_counters_;
+  return it->second;
+}
+
+uint64_t Network::TotalBits(TrafficClass c) const {
+  return total_bits_[static_cast<size_t>(c)];
+}
+
+uint64_t Network::SumBits(const std::vector<PeerAddress>& peers,
+                          const std::vector<TrafficClass>& classes) const {
+  uint64_t total = 0;
+  for (PeerAddress p : peers) {
+    auto it = counters_.find(p);
+    if (it == counters_.end()) continue;
+    for (TrafficClass c : classes) {
+      size_t ci = static_cast<size_t>(c);
+      total += it->second.sent_bits[ci] + it->second.received_bits[ci];
+    }
+  }
+  return total;
+}
+
+}  // namespace flower

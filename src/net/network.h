@@ -1,0 +1,105 @@
+// Message-passing network over the topology, with per-peer traffic
+// accounting and undeliverable-message notification (the mechanism behind
+// the paper's redirection-failure handling, Sec 5.1).
+#ifndef FLOWERCDN_NET_NETWORK_H_
+#define FLOWERCDN_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace flower {
+
+/// Interface implemented by every simulated peer.
+class Peer {
+ public:
+  virtual ~Peer() = default;
+
+  /// Handles a delivered message. `msg->sender` is set by the network.
+  virtual void HandleMessage(MessagePtr msg) = 0;
+
+  /// Called when a message this peer sent could not be delivered (dest
+  /// offline). `dest` is the failed destination. Default: ignore.
+  virtual void HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
+    (void)dest;
+    (void)msg;
+  }
+
+  PeerAddress address() const { return address_; }
+  NodeId node() const { return node_; }
+
+ private:
+  friend class Network;
+  PeerAddress address_ = kInvalidAddress;
+  NodeId node_ = kInvalidNode;
+};
+
+/// Per-peer cumulative traffic counters (bits), indexed by TrafficClass.
+struct TrafficCounters {
+  std::array<uint64_t, static_cast<size_t>(TrafficClass::kNumClasses)>
+      sent_bits{};
+  std::array<uint64_t, static_cast<size_t>(TrafficClass::kNumClasses)>
+      received_bits{};
+
+  uint64_t TotalSent() const;
+  uint64_t TotalReceived() const;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, const Topology* topology);
+
+  /// Registers a peer at a topology node; the node id becomes its address.
+  /// A node hosts at most one live peer at a time.
+  void RegisterPeer(Peer* peer, NodeId node);
+
+  /// Removes a peer (failure or leave). In-flight messages to it are
+  /// bounced back to their senders as undeliverable.
+  void UnregisterPeer(Peer* peer);
+
+  /// True if a peer is currently registered at this address.
+  bool IsAlive(PeerAddress address) const;
+
+  /// Sends a message; it arrives after the topology latency. If the
+  /// destination is (or goes) offline, the sender's HandleUndeliverable
+  /// runs after a full round trip instead.
+  void Send(Peer* from, PeerAddress to, MessagePtr msg);
+
+  /// One-way latency between two peer addresses.
+  SimTime Latency(PeerAddress a, PeerAddress b) const;
+
+  const Topology& topology() const { return *topology_; }
+  Simulator* sim() { return sim_; }
+
+  /// Traffic accounting.
+  const TrafficCounters& CountersFor(PeerAddress address) const;
+  uint64_t TotalBits(TrafficClass c) const;
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_undeliverable() const { return messages_undeliverable_; }
+
+  /// Sum over given peers of (sent+received) bits in the given classes.
+  uint64_t SumBits(const std::vector<PeerAddress>& peers,
+                   const std::vector<TrafficClass>& classes) const;
+
+ private:
+  Simulator* sim_;
+  const Topology* topology_;
+  std::unordered_map<PeerAddress, Peer*> peers_;
+  mutable std::unordered_map<PeerAddress, TrafficCounters> counters_;
+  std::array<uint64_t, static_cast<size_t>(TrafficClass::kNumClasses)>
+      total_bits_{};
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_undeliverable_ = 0;
+
+  static TrafficCounters empty_counters_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_NET_NETWORK_H_

@@ -1,0 +1,53 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace flower {
+
+void EventHandle::Cancel() {
+  if (state_ && !state_->fired) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->fired && !state_->cancelled;
+}
+
+EventHandle EventQueue::Push(SimTime t, std::function<void()> fn) {
+  assert(t >= 0);
+  auto state = std::make_shared<EventHandle::State>();
+  state->fn = std::move(fn);
+  heap_.push(Item{t, next_seq_++, state});
+  ++live_;
+  return EventHandle(state);
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const {
+  SkimCancelledConst();
+  return heap_.empty();
+}
+
+SimTime EventQueue::NextTime() const {
+  SkimCancelledConst();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::function<void()> EventQueue::Pop(SimTime* t) {
+  SkimCancelled();
+  assert(!heap_.empty());
+  Item item = heap_.top();
+  heap_.pop();
+  --live_;
+  item.state->fired = true;
+  *t = item.time;
+  return std::move(item.state->fn);
+}
+
+}  // namespace flower

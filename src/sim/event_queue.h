@@ -1,0 +1,90 @@
+// Priority queue of timed events with O(log n) push/pop and O(1) lazy
+// cancellation. Ties on time break by insertion sequence, which makes the
+// whole simulation deterministic.
+#ifndef FLOWERCDN_SIM_EVENT_QUEUE_H_
+#define FLOWERCDN_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flower {
+
+/// Handle to a scheduled event; allows cancellation. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void Cancel();
+
+  /// True if the event is still scheduled (not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules fn at absolute time t. Requires t >= 0.
+  EventHandle Push(SimTime t, std::function<void()> fn);
+
+  bool empty() const;
+
+  /// Time of the earliest live event. Requires !empty().
+  SimTime NextTime() const;
+
+  /// Pops and runs nothing: returns the earliest live event's callback and
+  /// removes it. Requires !empty(). Also reports the event time via *t.
+  std::function<void()> Pop(SimTime* t);
+
+  /// Number of live (non-cancelled) events.
+  size_t live_size() const { return live_; }
+
+ private:
+  struct Item {
+    SimTime time;
+    uint64_t seq;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled items from the front of the heap.
+  void SkimCancelled();
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  uint64_t next_seq_ = 0;
+  size_t live_ = 0;
+
+  // Mutable accessors used by const observers after skimming.
+  void SkimCancelledConst() const {
+    const_cast<EventQueue*>(this)->SkimCancelled();
+  }
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_SIM_EVENT_QUEUE_H_

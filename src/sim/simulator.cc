@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace flower {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return queue_.Push(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  assert(t >= now_);
+  return queue_.Push(t, std::move(fn));
+}
+
+void Simulator::PeriodicHandle::Cancel() {
+  if (!state_) return;
+  state_->cancelled = true;
+  state_->next.Cancel();
+}
+
+bool Simulator::PeriodicHandle::active() const {
+  return state_ && !state_->cancelled;
+}
+
+void Simulator::ScheduleNextPeriodic(
+    std::shared_ptr<PeriodicHandle::State> state, SimTime period,
+    std::function<void()> fn) {
+  state->next = Schedule(period, [this, state, period, fn]() {
+    if (state->cancelled) return;
+    fn();
+    if (!state->cancelled) ScheduleNextPeriodic(state, period, fn);
+  });
+}
+
+Simulator::PeriodicHandle Simulator::SchedulePeriodic(
+    SimTime initial_delay, SimTime period, std::function<void()> fn) {
+  assert(period > 0);
+  PeriodicHandle handle;
+  handle.state_ = std::make_shared<PeriodicHandle::State>();
+  auto state = handle.state_;
+  state->next = Schedule(initial_delay, [this, state, period, fn]() {
+    if (state->cancelled) return;
+    fn();
+    if (!state->cancelled) ScheduleNextPeriodic(state, period, fn);
+  });
+  return handle;
+}
+
+void Simulator::Run() {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    SimTime t;
+    auto fn = queue_.Pop(&t);
+    assert(t >= now_);
+    now_ = t;
+    ++events_processed_;
+    fn();
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  assert(t >= now_);
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_ && queue_.NextTime() <= t) {
+    SimTime et;
+    auto fn = queue_.Pop(&et);
+    now_ = et;
+    ++events_processed_;
+    fn();
+  }
+  if (!stop_requested_ && now_ < t) now_ = t;
+}
+
+}  // namespace flower

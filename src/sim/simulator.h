@@ -1,0 +1,82 @@
+// Discrete-event simulation kernel: a virtual clock plus an event queue.
+//
+// This is the PeerSim substitute (see DESIGN.md): single-threaded,
+// deterministic given a seed, with a per-simulation master Rng from which
+// all component generators are forked.
+#ifndef FLOWERCDN_SIM_SIMULATOR_H_
+#define FLOWERCDN_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace flower {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed);
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules fn to run after the given delay (>= 0).
+  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules fn at an absolute time (>= Now()).
+  EventHandle ScheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Schedules fn every `period`, first firing after `initial_delay`.
+  /// The returned handle cancels the *next* occurrence and all others.
+  class PeriodicHandle {
+   public:
+    PeriodicHandle() = default;
+    void Cancel();
+    bool active() const;
+
+   private:
+    friend class Simulator;
+    struct State {
+      bool cancelled = false;
+      EventHandle next;
+    };
+    std::shared_ptr<State> state_;
+  };
+  PeriodicHandle SchedulePeriodic(SimTime initial_delay, SimTime period,
+                                  std::function<void()> fn);
+
+  /// Runs events until the queue is empty or a stop was requested.
+  void Run();
+
+  /// Runs events with time <= t, then sets Now() to t (if queue drained).
+  void RunUntil(SimTime t);
+
+  /// Runs for a relative duration from the current time.
+  void RunFor(SimTime duration) { RunUntil(Now() + duration); }
+
+  /// Requests Run()/RunUntil() to stop after the current event.
+  void Stop() { stop_requested_ = true; }
+
+  /// Master generator for this simulation. Fork per component.
+  Rng* rng() { return &rng_; }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  void ScheduleNextPeriodic(std::shared_ptr<PeriodicHandle::State> state,
+                            SimTime period, std::function<void()> fn);
+
+  SimTime now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  bool stop_requested_ = false;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_SIM_SIMULATOR_H_

@@ -1,0 +1,242 @@
+#include "squirrel/squirrel_node.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace flower {
+
+SquirrelNode::SquirrelNode(SquirrelContext* ctx, Key id, uint64_t rng_seed)
+    : ChordNode(ctx->sim, ctx->network, ctx->ring, id),
+      ctx_(ctx),
+      rng_(rng_seed) {
+  set_app(this);
+}
+
+SquirrelNode::~SquirrelNode() = default;
+
+bool SquirrelNode::Start(NodeId node) {
+  Activate(node);
+  if (!JoinStructural()) {
+    ctx_->network->UnregisterPeer(this);
+    return false;
+  }
+  alive_ = true;
+  return true;
+}
+
+void SquirrelNode::FailAbruptly() {
+  if (!alive_) return;
+  alive_ = false;
+  Fail();
+}
+
+const Website* SquirrelNode::SiteOf(const FlowerQueryMsg& query) const {
+  return &ctx_->catalog->site(query.website);
+}
+
+size_t SquirrelNode::HomeDirectorySize(ObjectId object) const {
+  auto it = home_dirs_.find(object);
+  return it == home_dirs_.end() ? 0 : it->second.size();
+}
+
+void SquirrelNode::RequestObject(const Website* site, ObjectId object) {
+  if (!alive_) return;
+  SimTime now = ctx_->sim->Now();
+  // Local-cache hits never become queries (web-cache semantics; matches
+  // the Squirrel paper, where only browser-cache misses reach the overlay).
+  if (cache_.count(object) > 0) return;
+  if (!pending_own_.insert(object).second) return;  // already in flight
+  ctx_->metrics->OnQuerySubmitted(now);
+  auto q = std::make_unique<FlowerQueryMsg>(
+      site->index, site->dring_hash, object, address(), /*client_loc=*/0,
+      now, QueryStage::kViaDRing);
+  // Squirrel: every query navigates the DHT to the object's home node.
+  Route(space().Clamp(object), std::move(q));
+}
+
+void SquirrelNode::Deliver(Key key, MessagePtr payload,
+                           const DeliveryInfo& info) {
+  (void)key;
+  (void)info;
+  Message* raw = payload.get();
+  if (auto* query = dynamic_cast<FlowerQueryMsg*>(raw)) {
+    payload.release();
+    ProcessAsHome(std::unique_ptr<FlowerQueryMsg>(query));
+    return;
+  }
+  FLOWER_LOG(Warn) << "squirrel home got unknown routed payload";
+}
+
+void SquirrelNode::RememberDownloader(ObjectId object, PeerAddress peer) {
+  auto& dir = home_dirs_[object];
+  for (auto it = dir.begin(); it != dir.end(); ++it) {
+    if (*it == peer) {
+      dir.erase(it);
+      break;
+    }
+  }
+  dir.push_back(peer);
+  while (dir.size() > static_cast<size_t>(ctx_->directory_capacity)) {
+    dir.pop_front();
+  }
+}
+
+void SquirrelNode::ServeClient(const FlowerQueryMsg& query) {
+  ctx_->metrics->OnLookupResolved(query.submit_time, ctx_->sim->Now(),
+                                  /*provider_is_server=*/false);
+  auto serve = std::make_unique<ServeMsg>(
+      query.object, query.website, query.website_hash, address(),
+      /*from_server=*/false, query.submit_time,
+      ctx_->config->object_size_bits);
+  ctx_->network->Send(this, query.client, std::move(serve));
+}
+
+void SquirrelNode::ProcessAsHome(std::unique_ptr<FlowerQueryMsg> query) {
+  const ObjectId object = query->object;
+
+  if (cache_.count(object) > 0) {
+    // The home node happens to hold the object (it downloaded it itself,
+    // or home-store keeps it here by design).
+    ServeClient(*query);
+    return;
+  }
+
+  if (ctx_->strategy == SquirrelStrategy::kHomeStore) {
+    // Fetch from the origin server once; queue concurrent requests.
+    auto& waiting = awaiting_fetch_[object];
+    waiting.push_back(std::move(query));
+    if (waiting.size() == 1) {
+      const Website* site = SiteOf(*waiting.front());
+      auto fetch = std::make_unique<FlowerQueryMsg>(
+          site->index, site->dring_hash, object, address(), 0,
+          waiting.front()->submit_time, QueryStage::kToServer);
+      ctx_->network->Send(this, site->server_addr, std::move(fetch));
+    }
+    return;
+  }
+
+  // Directory strategy.
+  auto dit = home_dirs_.find(object);
+  std::vector<PeerAddress> candidates;
+  if (dit != home_dirs_.end()) {
+    for (PeerAddress p : dit->second) {
+      if (p != query->client) candidates.push_back(p);
+    }
+  }
+  // Optimistically remember the requester as a (future) downloader.
+  RememberDownloader(object, query->client);
+  if (!candidates.empty()) {
+    PeerAddress target = candidates[rng_.Index(candidates.size())];
+    query->stage = QueryStage::kDirRedirect;
+    ctx_->network->Send(this, target, std::move(query));
+    return;
+  }
+  const Website* site = SiteOf(*query);
+  query->stage = QueryStage::kToServer;
+  ctx_->network->Send(this, site->server_addr, std::move(query));
+}
+
+void SquirrelNode::HandleServe(std::unique_ptr<ServeMsg> serve) {
+  SimTime now = ctx_->sim->Now();
+  const ObjectId object = serve->object;
+
+  if (pending_own_.erase(object) > 0) {
+    SimTime distance = ctx_->network->Latency(serve->provider, address());
+    const Topology& topo = ctx_->network->topology();
+    Metrics::ProviderKind kind =
+        topo.LocalityOf(serve->provider) == topo.LocalityOf(node())
+            ? Metrics::ProviderKind::kLocalPeer
+            : Metrics::ProviderKind::kRemotePeer;
+    ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
+  }
+  cache_.insert(object);
+
+  // Home-store: the object just arrived from the server; serve the queue.
+  auto wit = awaiting_fetch_.find(object);
+  if (wit != awaiting_fetch_.end()) {
+    bool first = true;
+    for (auto& q : wit->second) {
+      if (q->client == address()) continue;  // that was our own fetch
+      ctx_->metrics->OnLookupResolved(q->submit_time, now,
+                                      /*provider_is_server=*/first);
+      auto out = std::make_unique<ServeMsg>(
+          object, q->website, q->website_hash, address(),
+          /*from_server=*/first, q->submit_time,
+          ctx_->config->object_size_bits);
+      ctx_->network->Send(this, q->client, std::move(out));
+      first = false;
+    }
+    awaiting_fetch_.erase(wit);
+  }
+}
+
+void SquirrelNode::HandleMessage(MessagePtr msg) {
+  Message* raw = msg.get();
+  if (auto* query = dynamic_cast<FlowerQueryMsg*>(raw)) {
+    // A home node redirected a requester to us.
+    msg.release();
+    auto owned = std::unique_ptr<FlowerQueryMsg>(query);
+    if (cache_.count(owned->object) > 0) {
+      ServeClient(*owned);
+    } else {
+      PeerAddress home = owned->sender;
+      auto nf = std::make_unique<NotFoundMsg>(owned->object,
+                                              owned->website_hash,
+                                              owned->stage);
+      nf->query = std::move(owned);
+      ctx_->network->Send(this, home, std::move(nf));
+    }
+    return;
+  }
+  if (auto* nf = dynamic_cast<NotFoundMsg*>(raw)) {
+    // A pointer was stale: drop it and retry as home.
+    if (nf->query != nullptr) {
+      auto& dir = home_dirs_[nf->object];
+      for (auto it = dir.begin(); it != dir.end(); ++it) {
+        if (*it == raw->sender) {
+          dir.erase(it);
+          break;
+        }
+      }
+      ProcessAsHome(std::move(nf->query));
+    }
+    return;
+  }
+  if (auto* serve = dynamic_cast<ServeMsg*>(raw)) {
+    msg.release();
+    HandleServe(std::unique_ptr<ServeMsg>(serve));
+    return;
+  }
+  ChordNode::HandleMessage(std::move(msg));
+}
+
+void SquirrelNode::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
+  Message* raw = msg.get();
+  if (auto* query = dynamic_cast<FlowerQueryMsg*>(raw)) {
+    msg.release();
+    auto owned = std::unique_ptr<FlowerQueryMsg>(query);
+    if (owned->stage == QueryStage::kDirRedirect) {
+      // Dead downloader: purge the pointer and retry.
+      auto& dir = home_dirs_[owned->object];
+      for (auto it = dir.begin(); it != dir.end(); ++it) {
+        if (*it == dest) {
+          dir.erase(it);
+          break;
+        }
+      }
+      ProcessAsHome(std::move(owned));
+      return;
+    }
+    if (owned->stage == QueryStage::kToServer) {
+      FLOWER_LOG(Warn) << "squirrel: origin server unreachable";
+      return;
+    }
+    // A routed query bounced: retry routing from here.
+    Route(space().Clamp(owned->object), std::move(owned));
+    return;
+  }
+  ChordNode::HandleUndeliverable(dest, std::move(msg));
+}
+
+}  // namespace flower

@@ -1,0 +1,96 @@
+// Squirrel (Iyer, Rowstron, Druschel — PODC 2002), the paper's baseline.
+//
+// Every client node is a DHT member. Two strategies:
+//  - directory (default, the variant the paper compares against, Sec 6.1):
+//    the peer whose ID is closest to hash(object URL) — the object's *home
+//    node* — stores a small directory of pointers to recent downloaders;
+//    queries route through the DHT to the home node, which forwards them
+//    to a random recent downloader, falling back to the origin server.
+//  - home-store (Sec 7): the home node stores the object itself, fetching
+//    it from the origin server on first miss.
+// No locality or interest awareness anywhere — that is the point of the
+// comparison.
+#ifndef FLOWERCDN_SQUIRREL_SQUIRREL_NODE_H_
+#define FLOWERCDN_SQUIRREL_SQUIRREL_NODE_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/flower_messages.h"
+#include "core/website.h"
+#include "dht/chord_node.h"
+#include "stats/metrics.h"
+
+namespace flower {
+
+enum class SquirrelStrategy {
+  kDirectory,
+  kHomeStore,
+};
+
+struct SquirrelContext {
+  Simulator* sim = nullptr;
+  Network* network = nullptr;
+  ChordRing* ring = nullptr;
+  const SimConfig* config = nullptr;
+  const WebsiteCatalog* catalog = nullptr;
+  Metrics* metrics = nullptr;
+  SquirrelStrategy strategy = SquirrelStrategy::kDirectory;
+  int directory_capacity = 4;  // pointers per object at the home node
+};
+
+class SquirrelNode : public ChordNode, public KbrApp {
+ public:
+  SquirrelNode(SquirrelContext* ctx, Key id, uint64_t rng_seed);
+  ~SquirrelNode() override;
+
+  /// Registers at the node and joins the ring (structural).
+  bool Start(NodeId node);
+
+  /// Workload entry: this peer requests an object of a website.
+  void RequestObject(const Website* site, ObjectId object);
+
+  // --- Introspection ------------------------------------------------------
+  const std::set<ObjectId>& cache() const { return cache_; }
+  size_t HomeDirectorySize(ObjectId object) const;
+  bool alive() const { return alive_; }
+  void FailAbruptly();
+
+  // --- KbrApp ---------------------------------------------------------------
+  void Deliver(Key key, MessagePtr payload,
+               const DeliveryInfo& info) override;
+
+  // --- Peer -------------------------------------------------------------------
+  void HandleMessage(MessagePtr msg) override;
+  void HandleUndeliverable(PeerAddress dest, MessagePtr msg) override;
+
+ private:
+  /// Home-node processing: forward to a recent downloader, to the origin
+  /// server, or (home-store) serve/fetch the object itself.
+  void ProcessAsHome(std::unique_ptr<FlowerQueryMsg> query);
+  void RememberDownloader(ObjectId object, PeerAddress peer);
+  void ServeClient(const FlowerQueryMsg& query);
+  void HandleServe(std::unique_ptr<ServeMsg> serve);
+  const Website* SiteOf(const FlowerQueryMsg& query) const;
+
+  SquirrelContext* ctx_;
+  Rng rng_;
+  bool alive_ = false;
+
+  std::set<ObjectId> cache_;
+  /// Directory strategy: recent downloaders per object homed here
+  /// (most recent at the back; capped at directory_capacity).
+  std::map<ObjectId, std::deque<PeerAddress>> home_dirs_;
+  /// Home-store strategy: queries waiting while we fetch from the server.
+  std::map<ObjectId, std::vector<std::unique_ptr<FlowerQueryMsg>>>
+      awaiting_fetch_;
+  std::set<ObjectId> pending_own_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_SQUIRREL_SQUIRREL_NODE_H_

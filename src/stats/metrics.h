@@ -1,0 +1,97 @@
+// Measurement collection for the paper's four metrics (Sec 6):
+// background traffic, hit ratio, lookup latency, transfer distance.
+#ifndef FLOWERCDN_STATS_METRICS_H_
+#define FLOWERCDN_STATS_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/histogram.h"
+#include "common/time_series.h"
+#include "common/types.h"
+#include "net/network.h"
+
+namespace flower {
+
+class Metrics {
+ public:
+  explicit Metrics(const SimConfig& config);
+
+  // --- Query lifecycle hooks --------------------------------------------------
+
+  void OnQuerySubmitted(SimTime t) { ++queries_submitted_; (void)t; }
+
+  /// The query reached the node that will provide the object.
+  /// `submit` is the original submission time.
+  void OnLookupResolved(SimTime submit, SimTime now, bool provider_is_server);
+
+  /// Who provided an object, for serve-path diagnostics.
+  enum class ProviderKind : int {
+    kServer = 0,     // origin web server (miss)
+    kLocalPeer,      // peer in the requester's own locality
+    kRemotePeer,     // peer of another locality (e.g. via dir summaries)
+    kNumKinds,
+  };
+
+  /// The object arrived at the requester. `transfer_distance` is the
+  /// one-way provider->client latency; `from_p2p` is the hit indicator.
+  void OnServed(SimTime t, bool from_p2p, SimTime transfer_distance,
+                ProviderKind kind = ProviderKind::kLocalPeer);
+
+  /// Origin-server load accounting (per query served by the server).
+  void OnServerHit() { ++server_hits_; }
+
+  /// Serve counts by provider kind (diagnostics for Fig 8 analyses).
+  uint64_t ServesBy(ProviderKind kind) const {
+    return serves_by_kind_[static_cast<size_t>(kind)];
+  }
+
+  // --- Results ------------------------------------------------------------------
+
+  uint64_t queries_submitted() const { return queries_submitted_; }
+  uint64_t queries_served() const { return hit_series_.total_trials(); }
+  uint64_t server_hits() const { return server_hits_; }
+
+  const RatioSeries& hit_series() const { return hit_series_; }
+  const TimeSeries& lookup_series() const { return lookup_series_; }
+  const TimeSeries& transfer_series() const { return transfer_series_; }
+  const Histogram& lookup_histogram() const { return lookup_hist_; }
+  const Histogram& transfer_histogram() const { return transfer_hist_; }
+
+  /// Headline hit ratio: mean over the last `tail_windows` metric windows
+  /// (the curves converge, see DESIGN.md Sec 5).
+  double FinalHitRatio(size_t tail_windows = 2) const {
+    return hit_series_.TailRatio(tail_windows);
+  }
+  double CumulativeHitRatio() const { return hit_series_.CumulativeRatio(); }
+  double MeanLookupLatency() const { return lookup_hist_.Mean(); }
+  double MeanTransferDistance() const { return transfer_hist_.Mean(); }
+
+  /// Background traffic in bits/s per peer: (gossip + push + keepalive)
+  /// bits sent+received by the given peers, averaged over elapsed time.
+  static double BackgroundBps(const Network& network,
+                              const std::vector<PeerAddress>& peers,
+                              SimTime elapsed);
+
+  /// One-line summary for logs and examples.
+  std::string Summary(SimTime elapsed) const;
+
+ private:
+  RatioSeries hit_series_;
+  TimeSeries lookup_series_;
+  TimeSeries transfer_series_;
+  Histogram lookup_hist_;
+  Histogram transfer_hist_;
+  uint64_t queries_submitted_ = 0;
+  uint64_t server_hits_ = 0;
+  std::array<uint64_t, static_cast<size_t>(ProviderKind::kNumKinds)>
+      serves_by_kind_{};
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_STATS_METRICS_H_

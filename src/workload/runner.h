@@ -1,0 +1,83 @@
+// End-to-end experiment runner: wires simulator, topology, network,
+// metrics, one of the two systems, the workload and optional churn into a
+// single run, and collects the paper's metrics. All benchmark drivers and
+// several integration tests sit on top of this.
+#ifndef FLOWERCDN_WORKLOAD_RUNNER_H_
+#define FLOWERCDN_WORKLOAD_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/histogram.h"
+#include "squirrel/squirrel_node.h"
+
+namespace flower {
+
+enum class SystemKind {
+  kFlower,
+  kSquirrelDirectory,
+  kSquirrelHomeStore,
+};
+
+inline const char* SystemKindName(SystemKind k) {
+  switch (k) {
+    case SystemKind::kFlower: return "Flower-CDN";
+    case SystemKind::kSquirrelDirectory: return "Squirrel";
+    case SystemKind::kSquirrelHomeStore: return "Squirrel(home-store)";
+  }
+  return "?";
+}
+
+struct RunResult {
+  SystemKind system = SystemKind::kFlower;
+
+  uint64_t queries_submitted = 0;
+  uint64_t queries_served = 0;
+  uint64_t server_hits = 0;
+  size_t participants = 0;
+
+  double final_hit_ratio = 0;       // last metric windows (headline number)
+  double cumulative_hit_ratio = 0;  // over the whole run
+  double mean_lookup_ms = 0;
+  double mean_transfer_ms = 0;
+  double background_bps = 0;  // per content/directory peer, whole run
+
+  // Per-window series (window = config.metrics_window).
+  std::vector<double> hit_ratio_by_window;
+  std::vector<double> lookup_ms_by_window;
+  std::vector<double> transfer_ms_by_window;
+  std::vector<double> background_bps_by_window;
+
+  // Distributions.
+  Histogram lookup_hist{25.0, 240};
+  Histogram transfer_hist{25.0, 60};
+
+  // Serve-path split (diagnostics: who provided the objects).
+  uint64_t served_by_server = 0;
+  uint64_t served_by_local_peer = 0;
+  uint64_t served_by_remote_peer = 0;
+
+  // Churn statistics (zero without churn).
+  uint64_t churn_failures = 0;
+  uint64_t churn_leaves = 0;
+  uint64_t directory_promotions = 0;
+
+  /// Fraction of lookups resolved faster than `ms`.
+  double LookupFractionBelow(double ms) const {
+    return lookup_hist.FractionBelow(ms);
+  }
+  double TransferFractionBelow(double ms) const {
+    return transfer_hist.FractionBelow(ms);
+  }
+};
+
+/// Runs one full simulation of the given system under `config`.
+RunResult RunExperiment(const SimConfig& config, SystemKind system);
+
+/// Formats one summary line, used by the benchmark drivers.
+std::string FormatRunSummary(const RunResult& result);
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_WORKLOAD_RUNNER_H_

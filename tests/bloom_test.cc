@@ -1,0 +1,104 @@
+#include "bloom/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "bloom/summary.h"
+#include "common/rng.h"
+
+namespace flower {
+namespace {
+
+TEST(BloomFilterTest, EmptyContainsNothing) {
+  BloomFilter f(1024, 5);
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_FALSE(f.MaybeContains(k));
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter f(4000, 5);
+  for (uint64_t k = 1000; k < 1500; ++k) f.Add(k);
+  for (uint64_t k = 1000; k < 1500; ++k) {
+    EXPECT_TRUE(f.MaybeContains(k)) << k;
+  }
+}
+
+TEST(BloomFilterTest, ClearResets) {
+  BloomFilter f(256, 3);
+  f.Add(7);
+  EXPECT_TRUE(f.MaybeContains(7));
+  f.Clear();
+  EXPECT_FALSE(f.MaybeContains(7));
+  EXPECT_EQ(f.num_insertions(), 0u);
+  EXPECT_EQ(f.CountSetBits(), 0u);
+}
+
+TEST(BloomFilterTest, UnionContainsBoth) {
+  BloomFilter a(512, 4), b(512, 4);
+  a.Add(1);
+  b.Add(2);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.MaybeContains(1));
+  EXPECT_TRUE(a.MaybeContains(2));
+}
+
+TEST(BloomFilterTest, EqualityAfterSameInsertions) {
+  BloomFilter a(512, 4), b(512, 4);
+  a.Add(10);
+  a.Add(20);
+  b.Add(20);
+  b.Add(10);
+  EXPECT_TRUE(a == b);
+}
+
+// Property sweep across geometries: the empirical false-positive rate stays
+// near (and not wildly above) the analytic (1 - e^{-kn/m})^k bound. The
+// paper sizes summaries at 8 bits/object per Fan et al.
+class BloomFpTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BloomFpTest, FalsePositiveRateNearAnalytic) {
+  auto [bits_per_key, num_hashes, num_keys] = GetParam();
+  BloomFilter f(static_cast<size_t>(bits_per_key * num_keys), num_hashes);
+  for (int k = 0; k < num_keys; ++k) {
+    f.Add(Mix64(static_cast<uint64_t>(k)));
+  }
+  int fp = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    uint64_t probe = Mix64(0xABCDEF00ULL + static_cast<uint64_t>(i));
+    if (f.MaybeContains(probe)) ++fp;
+  }
+  double rate = static_cast<double>(fp) / probes;
+  double analytic = f.EstimatedFpRate();
+  EXPECT_LT(rate, analytic * 2 + 0.01)
+      << "bits/key=" << bits_per_key << " k=" << num_hashes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BloomFpTest,
+    ::testing::Combine(::testing::Values(4, 8, 16),   // bits per key
+                       ::testing::Values(3, 5, 7),    // hash functions
+                       ::testing::Values(100, 500))); // keys
+
+TEST(ContentSummaryTest, SizeMatchesPaperRule) {
+  // Table 1: summary size = 8 * nb_objects bits.
+  ContentSummary s(500, 8, 5);
+  EXPECT_EQ(s.SizeBits(), 4000u);
+}
+
+TEST(ContentSummaryTest, RebuildReplacesContents) {
+  ContentSummary s(100, 8, 5);
+  s.Add(1);
+  s.Rebuild({2, 3});
+  EXPECT_FALSE(s.MaybeContains(1));
+  EXPECT_TRUE(s.MaybeContains(2));
+  EXPECT_TRUE(s.MaybeContains(3));
+}
+
+TEST(ContentSummaryTest, MinimumCapacityIsSafe) {
+  ContentSummary s(0, 8, 5);  // degenerate capacity clamps to 1 object
+  s.Add(42);
+  EXPECT_TRUE(s.MaybeContains(42));
+}
+
+}  // namespace
+}  // namespace flower

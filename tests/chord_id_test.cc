@@ -1,0 +1,103 @@
+#include "dht/chord_id.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flower {
+namespace {
+
+TEST(IdSpaceTest, MaskAndClamp) {
+  IdSpace s(8);
+  EXPECT_EQ(s.mask(), 255u);
+  EXPECT_EQ(s.Clamp(256), 0u);
+  EXPECT_EQ(s.Clamp(511), 255u);
+  IdSpace full(64);
+  EXPECT_EQ(full.mask(), ~0ULL);
+}
+
+TEST(IdSpaceTest, AddWraps) {
+  IdSpace s(8);
+  EXPECT_EQ(s.Add(250, 10), 4u);
+  EXPECT_EQ(s.Add(0, 255), 255u);
+}
+
+TEST(IdSpaceTest, ClockwiseDistance) {
+  IdSpace s(8);
+  EXPECT_EQ(s.ClockwiseDistance(10, 20), 10u);
+  EXPECT_EQ(s.ClockwiseDistance(20, 10), 246u);
+  EXPECT_EQ(s.ClockwiseDistance(5, 5), 0u);
+}
+
+TEST(IdSpaceTest, RingDistanceIsSymmetricMin) {
+  IdSpace s(8);
+  EXPECT_EQ(s.RingDistance(10, 20), 10u);
+  EXPECT_EQ(s.RingDistance(20, 10), 10u);
+  EXPECT_EQ(s.RingDistance(0, 255), 1u);
+  EXPECT_EQ(s.RingDistance(0, 128), 128u);
+}
+
+TEST(IdSpaceTest, OpenInterval) {
+  IdSpace s(8);
+  EXPECT_TRUE(s.InOpenInterval(15, 10, 20));
+  EXPECT_FALSE(s.InOpenInterval(10, 10, 20));
+  EXPECT_FALSE(s.InOpenInterval(20, 10, 20));
+  // Wrapping interval.
+  EXPECT_TRUE(s.InOpenInterval(5, 250, 10));
+  EXPECT_TRUE(s.InOpenInterval(255, 250, 10));
+  EXPECT_FALSE(s.InOpenInterval(100, 250, 10));
+  // Degenerate a == b: whole ring minus endpoint.
+  EXPECT_TRUE(s.InOpenInterval(1, 7, 7));
+  EXPECT_FALSE(s.InOpenInterval(7, 7, 7));
+}
+
+TEST(IdSpaceTest, HalfOpenRight) {
+  IdSpace s(8);
+  EXPECT_TRUE(s.InHalfOpenRight(20, 10, 20));
+  EXPECT_FALSE(s.InHalfOpenRight(10, 10, 20));
+  EXPECT_TRUE(s.InHalfOpenRight(15, 10, 20));
+  EXPECT_TRUE(s.InHalfOpenRight(5, 250, 10));
+  // a == b covers everything (single-node ring owns all keys).
+  EXPECT_TRUE(s.InHalfOpenRight(123, 7, 7));
+}
+
+// Property: for random triples, x in (a,b) iff walking clockwise from a
+// reaches x strictly before b.
+TEST(IdSpaceTest, IntervalConsistencyProperty) {
+  IdSpace s(16);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    Key a = s.Clamp(rng.Next());
+    Key b = s.Clamp(rng.Next());
+    Key x = s.Clamp(rng.Next());
+    bool open = s.InOpenInterval(x, a, b);
+    bool half = s.InHalfOpenRight(x, a, b);
+    if (x == b && a != b) {
+      EXPECT_FALSE(open);
+      EXPECT_TRUE(half);
+    }
+    if (open && a != b) EXPECT_TRUE(half);
+    // Distances are consistent with membership.
+    if (a != b && x != a) {
+      bool expect = s.ClockwiseDistance(a, x) < s.ClockwiseDistance(a, b);
+      EXPECT_EQ(open, expect && x != b);
+    }
+  }
+}
+
+TEST(IdSpaceTest, RingDistanceTriangleProperty) {
+  IdSpace s(12);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    Key a = s.Clamp(rng.Next());
+    Key b = s.Clamp(rng.Next());
+    Key c = s.Clamp(rng.Next());
+    EXPECT_LE(s.RingDistance(a, c),
+              s.RingDistance(a, b) + s.RingDistance(b, c));
+    EXPECT_EQ(s.RingDistance(a, b), s.RingDistance(b, a));
+    EXPECT_EQ(s.RingDistance(a, a), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,200 @@
+// Chord tests in oracle mode: neighbor reads, emulated fingers, recursive
+// routing correctness and hop complexity.
+#include "dht/chord_node.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dht/chord_ring.h"
+#include "test_util.h"
+
+namespace flower {
+namespace {
+
+class ProbeMsg : public Message {
+ public:
+  uint64_t SizeBits() const override { return 64; }
+  TrafficClass traffic_class() const override { return TrafficClass::kDht; }
+};
+
+class RecordingApp : public KbrApp {
+ public:
+  void Deliver(Key key, MessagePtr payload,
+               const DeliveryInfo& info) override {
+    (void)payload;
+    ++deliveries;
+    last_key = key;
+    last_hops = info.hops;
+  }
+  int deliveries = 0;
+  Key last_key = 0;
+  int last_hops = -1;
+};
+
+class ChordOracleTest : public ::testing::Test {
+ protected:
+  ChordOracleTest() : world_(TinyConfig()) {
+    ChordConfig cc;
+    cc.id_bits = 16;
+    cc.oracle = true;
+    ring_ = std::make_unique<ChordRing>(cc);
+  }
+
+  ChordNode* AddNode(Key id, NodeId node) {
+    auto n = std::make_unique<ChordNode>(world_.sim(), world_.network(),
+                                         ring_.get(), id);
+    n->set_app(&app_);
+    n->Activate(node);
+    EXPECT_TRUE(n->JoinStructural());
+    nodes_.push_back(std::move(n));
+    return nodes_.back().get();
+  }
+
+  TestWorld world_;
+  std::unique_ptr<ChordRing> ring_;
+  std::vector<std::unique_ptr<ChordNode>> nodes_;
+  RecordingApp app_;
+};
+
+TEST_F(ChordOracleTest, SuccessorPredecessorOnSmallRing) {
+  ChordNode* a = AddNode(100, 0);
+  ChordNode* b = AddNode(200, 1);
+  ChordNode* c = AddNode(300, 2);
+  EXPECT_EQ(a->successor().id, 200u);
+  EXPECT_EQ(b->successor().id, 300u);
+  EXPECT_EQ(c->successor().id, 100u);  // wraps
+  EXPECT_EQ(a->predecessor().id, 300u);
+  EXPECT_EQ(c->predecessor().id, 200u);
+}
+
+TEST_F(ChordOracleTest, SingleNodeOwnsEverything) {
+  ChordNode* solo = AddNode(42, 0);
+  EXPECT_EQ(solo->successor().addr, solo->address());
+  solo->Route(1000, std::make_unique<ProbeMsg>());
+  world_.sim()->Run();
+  EXPECT_EQ(app_.deliveries, 1);
+  EXPECT_EQ(app_.last_hops, 0);
+}
+
+TEST_F(ChordOracleTest, DuplicateIdRejected) {
+  AddNode(100, 0);
+  auto dup = std::make_unique<ChordNode>(world_.sim(), world_.network(),
+                                         ring_.get(), 100);
+  dup->Activate(1);
+  EXPECT_FALSE(dup->JoinStructural());
+  world_.network()->UnregisterPeer(dup.get());
+}
+
+TEST_F(ChordOracleTest, RouteDeliversAtSuccessorOfKey) {
+  AddNode(100, 0);
+  ChordNode* b = AddNode(200, 1);
+  AddNode(300, 2);
+  b->set_app(&app_);
+  // Key 150 is owned by node 200 (successor of the key).
+  nodes_[2]->Route(150, std::make_unique<ProbeMsg>());
+  world_.sim()->Run();
+  EXPECT_EQ(app_.deliveries, 1);
+  EXPECT_EQ(app_.last_key, 150u);
+}
+
+TEST_F(ChordOracleTest, ExactKeyDeliversAtThatNode) {
+  ChordNode* a = AddNode(100, 0);
+  AddNode(200, 1);
+  a->Route(200, std::make_unique<ProbeMsg>());
+  world_.sim()->Run();
+  EXPECT_EQ(app_.deliveries, 1);
+  EXPECT_EQ(app_.last_key, 200u);
+}
+
+TEST_F(ChordOracleTest, FailedNodeLeavesRing) {
+  ChordNode* a = AddNode(100, 0);
+  ChordNode* b = AddNode(200, 1);
+  AddNode(300, 2);
+  b->Fail();
+  EXPECT_EQ(ring_->size(), 2u);
+  EXPECT_EQ(a->successor().id, 300u);
+  // Keys formerly owned by 200 now route to 300.
+  a->Route(150, std::make_unique<ProbeMsg>());
+  world_.sim()->Run();
+  EXPECT_EQ(app_.deliveries, 1);
+}
+
+TEST_F(ChordOracleTest, SuccessorListSkipsSelfAndOrders) {
+  ChordNode* a = AddNode(10, 0);
+  AddNode(20, 1);
+  AddNode(30, 2);
+  AddNode(40, 3);
+  auto list = a->SuccessorList();
+  ASSERT_GE(list.size(), 3u);
+  EXPECT_EQ(list[0].id, 20u);
+  EXPECT_EQ(list[1].id, 30u);
+  EXPECT_EQ(list[2].id, 40u);
+}
+
+TEST_F(ChordOracleTest, KnownPeersIncludesNeighbors) {
+  ChordNode* a = AddNode(10, 0);
+  AddNode(20, 1);
+  AddNode(60000, 2);
+  auto known = a->KnownPeers();
+  bool has_succ = false, has_pred = false;
+  for (const NodeRef& r : known) {
+    if (r.id == 20) has_succ = true;
+    if (r.id == 60000) has_pred = true;
+  }
+  EXPECT_TRUE(has_succ);
+  EXPECT_TRUE(has_pred);
+}
+
+// Property sweep: on rings of various sizes, every (start, key) pair routes
+// to the correct owner, and hop counts stay logarithmic.
+class ChordRoutingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChordRoutingSweep, AllRoutesReachOwnerWithinLogHops) {
+  const int n = GetParam();
+  SimConfig cfg = TinyConfig();
+  cfg.num_topology_nodes = n + 10;
+  TestWorld world(cfg, 7);
+  ChordConfig cc;
+  cc.id_bits = 24;
+  cc.oracle = true;
+  ChordRing ring(cc);
+  RecordingApp app;
+  std::vector<std::unique_ptr<ChordNode>> nodes;
+  Rng rng(13);
+  for (int i = 0; i < n; ++i) {
+    Key id = ring.space().Clamp(Mix64(static_cast<uint64_t>(i) + 1));
+    while (ring.Contains(id)) id = ring.space().Add(id, 1);
+    auto node = std::make_unique<ChordNode>(world.sim(), world.network(),
+                                            &ring, id);
+    node->set_app(&app);
+    node->Activate(static_cast<NodeId>(i));
+    ASSERT_TRUE(node->JoinStructural());
+    nodes.push_back(std::move(node));
+  }
+  int max_hops = 0;
+  const int probes = 200;
+  for (int i = 0; i < probes; ++i) {
+    Key key = ring.space().Clamp(rng.Next());
+    ChordNode* start = nodes[rng.Index(nodes.size())].get();
+    ChordNode* owner = ring.SuccessorOf(key);
+    int before = app.deliveries;
+    start->Route(key, std::make_unique<ProbeMsg>());
+    world.sim()->Run();
+    ASSERT_EQ(app.deliveries, before + 1) << "key " << key;
+    EXPECT_EQ(app.last_key, key);
+    // The message must have been delivered at the owner: check that the
+    // owner is responsible (app is shared, so verify by ring lookup).
+    EXPECT_EQ(ring.SuccessorOf(key), owner);
+    max_hops = std::max(max_hops, app.last_hops);
+  }
+  // Chord guarantees O(log n) hops; allow a generous constant.
+  double bound = 3.0 * std::log2(static_cast<double>(n)) + 4.0;
+  EXPECT_LE(max_hops, static_cast<int>(bound)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, ChordRoutingSweep,
+                         ::testing::Values(2, 3, 8, 32, 128, 512));
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,97 @@
+// Churn behavior (paper Sec 5 / Sec 8): the system keeps serving under
+// failures and leaves; directory replacements happen; hit ratio degrades
+// gracefully rather than collapsing.
+#include <gtest/gtest.h>
+
+#include "core/churn.h"
+#include "test_util.h"
+#include "workload/runner.h"
+
+namespace flower {
+namespace {
+
+SimConfig ChurnConfig() {
+  SimConfig c = TinyConfig();
+  c.duration = 4 * kHour;
+  c.queries_per_second = 2.0;
+  c.gossip_period = 10 * kMinute;
+  c.keepalive_period = 5 * kMinute;
+  c.metrics_window = 30 * kMinute;
+  c.churn_enabled = true;
+  c.churn_mean_session = 1 * kHour;
+  c.churn_mean_downtime = 10 * kMinute;
+  c.churn_fail_probability = 0.5;
+  return c;
+}
+
+TEST(ChurnTest, SystemSurvivesAndServesUnderChurn) {
+  RunResult r = RunExperiment(ChurnConfig(), SystemKind::kFlower);
+  EXPECT_GT(r.queries_submitted, 500u);
+  // Nearly all queries must still resolve (server fallback guarantees
+  // liveness even when overlays are churning).
+  EXPECT_GT(static_cast<double>(r.queries_served),
+            0.95 * static_cast<double>(r.queries_submitted));
+  EXPECT_GT(r.churn_failures + r.churn_leaves, 10u);
+}
+
+TEST(ChurnTest, DirectoryReplacementsHappenUnderChurn) {
+  RunResult r = RunExperiment(ChurnConfig(), SystemKind::kFlower);
+  EXPECT_GT(r.directory_promotions, 0u);
+}
+
+TEST(ChurnTest, HitRatioDegradesGracefully) {
+  SimConfig stable = ChurnConfig();
+  stable.churn_enabled = false;
+  RunResult calm = RunExperiment(stable, SystemKind::kFlower);
+  RunResult churned = RunExperiment(ChurnConfig(), SystemKind::kFlower);
+  EXPECT_LE(churned.final_hit_ratio, calm.final_hit_ratio + 0.05);
+  EXPECT_GT(churned.final_hit_ratio, 0.3);
+}
+
+TEST(ChurnTest, HarsherChurnHurtsMore) {
+  SimConfig mild = ChurnConfig();
+  mild.churn_mean_session = 2 * kHour;
+  SimConfig harsh = ChurnConfig();
+  harsh.churn_mean_session = 20 * kMinute;
+  RunResult m = RunExperiment(mild, SystemKind::kFlower);
+  RunResult h = RunExperiment(harsh, SystemKind::kFlower);
+  EXPECT_GE(m.final_hit_ratio + 0.02, h.final_hit_ratio);
+  EXPECT_GT(h.churn_failures + h.churn_leaves,
+            m.churn_failures + m.churn_leaves);
+}
+
+TEST(ChurnManagerTest, BlackoutWindowBlocksNodes) {
+  SimConfig c = ChurnConfig();
+  TestWorld world(c);
+  Metrics metrics(c);
+  FlowerSystem system(c, world.sim(), world.network(), world.topology(),
+                      &metrics);
+  system.Setup();
+  ChurnManager churn(&system, c, 5);
+  churn.Start();
+  // Join a few members so churn has victims.
+  const auto& pool = system.deployment().client_pools[0][0];
+  for (size_t i = 0; i < 6; ++i) {
+    system.SubmitQuery(pool[i], 0, system.catalog().site(0).objects[i]);
+    world.sim()->RunFor(kMinute);
+  }
+  world.sim()->RunFor(2 * kHour);
+  EXPECT_GT(churn.failures() + churn.leaves(), 0u);
+}
+
+TEST(ChurnManagerTest, DisabledChurnDoesNothing) {
+  SimConfig c = ChurnConfig();
+  c.churn_enabled = false;
+  TestWorld world(c);
+  Metrics metrics(c);
+  FlowerSystem system(c, world.sim(), world.network(), world.topology(),
+                      &metrics);
+  system.Setup();
+  ChurnManager churn(&system, c, 5);
+  churn.Start();
+  world.sim()->RunFor(2 * kHour);
+  EXPECT_EQ(churn.failures() + churn.leaves(), 0u);
+}
+
+}  // namespace
+}  // namespace flower

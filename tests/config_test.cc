@@ -1,0 +1,111 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+TEST(ConfigTest, DefaultsMatchPaperTable1) {
+  SimConfig c;
+  EXPECT_EQ(c.num_topology_nodes, 5000);
+  EXPECT_EQ(c.num_localities, 6);
+  EXPECT_EQ(c.num_websites, 100);
+  EXPECT_EQ(c.max_content_overlay_size, 100);
+  EXPECT_DOUBLE_EQ(c.queries_per_second, 6.0);
+  EXPECT_EQ(c.gossip_period, 30 * kMinute);
+  EXPECT_EQ(c.gossip_length, 10);
+  EXPECT_EQ(c.view_size, 50);
+  EXPECT_DOUBLE_EQ(c.push_threshold, 0.1);
+  EXPECT_EQ(c.duration, 24 * kHour);
+  EXPECT_EQ(c.summary_bits_per_object, 8);
+}
+
+TEST(ConfigTest, ApplyIntKey) {
+  SimConfig c;
+  EXPECT_TRUE(c.Apply("view_size", "70").ok());
+  EXPECT_EQ(c.view_size, 70);
+}
+
+TEST(ConfigTest, ApplyDoubleKey) {
+  SimConfig c;
+  EXPECT_TRUE(c.Apply("zipf_alpha", "1.2").ok());
+  EXPECT_DOUBLE_EQ(c.zipf_alpha, 1.2);
+}
+
+TEST(ConfigTest, ApplyBoolKey) {
+  SimConfig c;
+  EXPECT_TRUE(c.Apply("churn_enabled", "true").ok());
+  EXPECT_TRUE(c.churn_enabled);
+  EXPECT_TRUE(c.Apply("churn_enabled", "0").ok());
+  EXPECT_FALSE(c.churn_enabled);
+}
+
+TEST(ConfigTest, TimeSuffixes) {
+  SimConfig c;
+  EXPECT_TRUE(c.Apply("gossip_period", "90s").ok());
+  EXPECT_EQ(c.gossip_period, 90 * kSecond);
+  EXPECT_TRUE(c.Apply("gossip_period", "5min").ok());
+  EXPECT_EQ(c.gossip_period, 5 * kMinute);
+  EXPECT_TRUE(c.Apply("duration", "2h").ok());
+  EXPECT_EQ(c.duration, 2 * kHour);
+  EXPECT_TRUE(c.Apply("min_intra_latency", "15ms").ok());
+  EXPECT_EQ(c.min_intra_latency, 15);
+  EXPECT_TRUE(c.Apply("max_intra_latency", "120").ok());
+  EXPECT_EQ(c.max_intra_latency, 120);
+}
+
+TEST(ConfigTest, UnknownKeyRejected) {
+  SimConfig c;
+  Status s = c.Apply("no_such_key", "1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigTest, MalformedValueRejected) {
+  SimConfig c;
+  EXPECT_FALSE(c.Apply("view_size", "abc").ok());
+  EXPECT_FALSE(c.Apply("zipf_alpha", "..").ok());
+  EXPECT_FALSE(c.Apply("gossip_period", "5parsecs").ok());
+  EXPECT_FALSE(c.Apply("churn_enabled", "maybe").ok());
+}
+
+TEST(ConfigTest, ApplyArgs) {
+  SimConfig c;
+  const char* argv[] = {"prog", "view_size=20", "gossip_period=1h"};
+  EXPECT_TRUE(c.ApplyArgs(3, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(c.view_size, 20);
+  EXPECT_EQ(c.gossip_period, kHour);
+}
+
+TEST(ConfigTest, ApplyArgsRejectsNonKeyValue) {
+  SimConfig c;
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(c.ApplyArgs(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(ConfigTest, ToStringMentionsKeyParameters) {
+  SimConfig c;
+  std::string s = c.ToString();
+  EXPECT_NE(s.find("T_gossip=30min"), std::string::npos);
+  EXPECT_NE(s.find("V_gossip=50"), std::string::npos);
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status nf = Status::NotFound("x");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_EQ(nf.code(), StatusCode::kNotFound);
+  EXPECT_EQ(nf.ToString(), "NOT_FOUND: x");
+}
+
+TEST(StatusTest, ResultHoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad(Status::Internal("boom"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,180 @@
+// Directory dynamicity (paper Sec 5): redirection failures, directory
+// crash + replacement race, voluntary leave with handoff.
+#include <gtest/gtest.h>
+
+#include "core/flower_system.h"
+#include "test_util.h"
+
+namespace flower {
+namespace {
+
+class DirectoryFailureTest : public ::testing::Test {
+ protected:
+  DirectoryFailureTest()
+      : world_(TinyConfig()),
+        metrics_(world_.config()),
+        system_(world_.config(), world_.sim(), world_.network(),
+                world_.topology(), &metrics_) {
+    system_.Setup();
+  }
+
+  std::vector<ContentPeer*> Join(size_t n, WebsiteId ws = 0,
+                                 LocalityId loc = 0) {
+    const auto& pool = system_.deployment().client_pools[ws][loc];
+    std::vector<ContentPeer*> peers;
+    for (size_t i = 0; i < n; ++i) {
+      system_.SubmitQuery(pool[i], ws,
+                          system_.catalog().site(ws).objects[i]);
+      world_.sim()->RunFor(kMinute);
+      peers.push_back(system_.FindContentPeer(pool[i]));
+    }
+    return peers;
+  }
+
+  TestWorld world_;
+  Metrics metrics_;
+  FlowerSystem system_;
+};
+
+TEST_F(DirectoryFailureTest, RedirectionFailureRetriesAnotherProvider) {
+  auto peers = Join(4);
+  ObjectId obj = system_.catalog().site(0).objects[0];  // held by peers[0]
+  // Also cache it at peers[2] so a second provider exists.
+  system_.SubmitQuery(peers[2]->node(), 0, obj);
+  world_.sim()->RunFor(kMinute);
+
+  DirectoryPeer* dir = system_.FindDirectory(0, 0);
+  uint64_t failures_before = dir->redirect_failures();
+  // Kill one holder; the directory still believes it has the object.
+  peers[0]->Fail();
+  // A third peer requests the object through the directory.
+  uint64_t server_before = metrics_.server_hits();
+  system_.SubmitQuery(peers[3]->node(), 0, obj);
+  world_.sim()->RunFor(kMinute);
+  EXPECT_EQ(peers[3]->content().count(obj), 1u);
+  EXPECT_EQ(metrics_.server_hits(), server_before);  // rescued by peers[2]
+  EXPECT_GE(dir->redirect_failures(), failures_before);
+}
+
+TEST_F(DirectoryFailureTest, CrashedDirectoryIsReplacedByContentPeer) {
+  auto peers = Join(5);
+  // Capture node ids now: the promoted peer object is destroyed by the
+  // promotion, so ContentPeer pointers must not be touched afterwards.
+  std::vector<NodeId> member_nodes;
+  for (ContentPeer* p : peers) member_nodes.push_back(p->node());
+
+  DirectoryPeer* dir = system_.FindDirectory(0, 0);
+  ASSERT_NE(dir, nullptr);
+  Key dir_key = dir->id();
+  dir->FailAbruptly();
+  EXPECT_EQ(system_.FindDirectory(0, 0), nullptr);
+
+  // Keepalives/pushes fail, peers race to replace (Sec 5.2). Run long
+  // enough for keepalive periods to fire.
+  world_.sim()->RunFor(4 * world_.config().keepalive_period);
+
+  DirectoryPeer* replacement = system_.FindDirectory(0, 0);
+  ASSERT_NE(replacement, nullptr) << "no replacement joined the D-ring";
+  EXPECT_EQ(replacement->id(), dir_key);
+  EXPECT_EQ(replacement->locality(), 0u);
+  EXPECT_GE(system_.promotions(), 1u);
+  // The replacement is one of the former content peers.
+  bool was_member = false;
+  for (NodeId n : member_nodes) {
+    if (replacement->node() == n) was_member = true;
+  }
+  EXPECT_TRUE(was_member);
+}
+
+TEST_F(DirectoryFailureTest, SystemServesQueriesAfterReplacement) {
+  auto peers = Join(5);
+  std::vector<NodeId> member_nodes;
+  for (ContentPeer* p : peers) member_nodes.push_back(p->node());
+  system_.FindDirectory(0, 0)->FailAbruptly();
+  world_.sim()->RunFor(4 * world_.config().keepalive_period);
+  DirectoryPeer* replacement = system_.FindDirectory(0, 0);
+  ASSERT_NE(replacement, nullptr);
+
+  // A fresh object request from a surviving member must still resolve
+  // (re-fetch the peer: the promoted one no longer exists as ContentPeer).
+  ContentPeer* survivor = nullptr;
+  for (NodeId n : member_nodes) {
+    if (n == replacement->node()) continue;
+    survivor = system_.FindContentPeer(n);
+    if (survivor != nullptr && survivor->alive()) break;
+  }
+  ASSERT_NE(survivor, nullptr);
+  ObjectId fresh = system_.catalog().site(0).objects[30];
+  system_.SubmitQuery(survivor->node(), 0, fresh);
+  world_.sim()->RunFor(kMinute);
+  EXPECT_EQ(survivor->content().count(fresh), 1u);
+
+  // And a brand-new client can still join through the D-ring.
+  const auto& pool = system_.deployment().client_pools[0][0];
+  NodeId fresh_client = pool[7];
+  system_.SubmitQuery(fresh_client, 0,
+                      system_.catalog().site(0).objects[31]);
+  world_.sim()->RunFor(kMinute);
+  ContentPeer* nc = system_.FindContentPeer(fresh_client);
+  ASSERT_NE(nc, nullptr);
+  EXPECT_EQ(nc->content().size(), 1u);
+}
+
+TEST_F(DirectoryFailureTest, ReplacementRebuildsIndexFromPushes) {
+  auto peers = Join(5);
+  system_.FindDirectory(0, 0)->FailAbruptly();
+  world_.sim()->RunFor(4 * world_.config().keepalive_period);
+  DirectoryPeer* replacement = system_.FindDirectory(0, 0);
+  ASSERT_NE(replacement, nullptr);
+  // After keepalive/push cycles, surviving members re-register.
+  world_.sim()->RunFor(4 * world_.config().keepalive_period);
+  size_t members_known = replacement->IndexSize();
+  EXPECT_GE(members_known, 3u);
+}
+
+TEST_F(DirectoryFailureTest, VoluntaryLeaveHandsDirectoryOver) {
+  auto peers = Join(5);
+  NodeId first_joined = peers[0]->node();  // capture before the handoff
+  DirectoryPeer* dir = system_.FindDirectory(0, 0);
+  ASSERT_NE(dir, nullptr);
+  size_t index_before = dir->IndexSize();
+  ASSERT_GE(index_before, 5u);
+  Key dir_key = dir->id();
+  dir->LeaveGracefully();
+  world_.sim()->RunFor(kMinute);
+
+  DirectoryPeer* heir = system_.FindDirectory(0, 0);
+  ASSERT_NE(heir, nullptr);
+  EXPECT_EQ(heir->id(), dir_key);
+  // The heir received the index (minus its own entry) in the handoff.
+  EXPECT_GE(heir->IndexSize(), index_before - 1);
+  // The most stable (first-joined) member was chosen (Sec 5.2).
+  EXPECT_EQ(heir->node(), first_joined);
+}
+
+TEST_F(DirectoryFailureTest, PromotedDirectoryKeepsServingItsContent) {
+  auto peers = Join(4);
+  NodeId first_joined = peers[0]->node();
+  NodeId requester_node = peers[2]->node();
+  ObjectId obj = system_.catalog().site(0).objects[0];  // held by peers[0]
+  DirectoryPeer* dir = system_.FindDirectory(0, 0);
+  dir->LeaveGracefully();  // hands off to peers[0], destroying that object
+  world_.sim()->RunFor(kMinute);
+  DirectoryPeer* heir = system_.FindDirectory(0, 0);
+  ASSERT_NE(heir, nullptr);
+  ASSERT_EQ(heir->node(), first_joined);
+  EXPECT_EQ(heir->own_content().count(obj), 1u);
+
+  // Another peer requests that object; the promoted directory serves it
+  // from its own content.
+  ContentPeer* requester = system_.FindContentPeer(requester_node);
+  ASSERT_NE(requester, nullptr);
+  uint64_t server_before = metrics_.server_hits();
+  system_.SubmitQuery(requester_node, 0, obj);
+  world_.sim()->RunFor(kMinute);
+  EXPECT_EQ(metrics_.server_hits(), server_before);
+  EXPECT_EQ(requester->content().count(obj), 1u);
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,74 @@
+// Liveness property sweep: whatever fraction of directory peers fails,
+// every submitted query is eventually served — by a content peer, another
+// directory of the same website, or the origin server. This pins the
+// website-aware routing (Algorithm 2) against the ping-pong loops that
+// naive correction hops can produce under failures.
+#include <gtest/gtest.h>
+
+#include "core/flower_system.h"
+#include "test_util.h"
+
+namespace flower {
+namespace {
+
+class DRingFailureSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DRingFailureSweep, AllQueriesServedDespiteDirectoryFailures) {
+  const double kill_fraction = GetParam();
+  SimConfig config = TinyConfig();
+  TestWorld world(config, /*seed=*/1234);
+  Metrics metrics(config);
+  FlowerSystem system(config, world.sim(), world.network(),
+                      world.topology(), &metrics);
+  system.Setup();
+
+  // Warm up: a few members per active website and locality.
+  for (int w = 0; w < config.num_active_websites; ++w) {
+    for (int l = 0; l < config.num_localities; ++l) {
+      const auto& pool =
+          system.deployment().client_pools[static_cast<size_t>(w)]
+                                          [static_cast<size_t>(l)];
+      for (size_t i = 0; i < std::min<size_t>(pool.size(), 2); ++i) {
+        system.SubmitQuery(pool[i], static_cast<WebsiteId>(w),
+                           system.catalog().site(static_cast<WebsiteId>(w))
+                               .objects[i]);
+      }
+    }
+  }
+  world.sim()->RunFor(kMinute);
+
+  // Kill a fraction of all directories, deterministically.
+  Rng killer(99);
+  std::vector<DirectoryPeer*> dirs = system.LiveDirectories();
+  size_t to_kill = static_cast<size_t>(kill_fraction *
+                                       static_cast<double>(dirs.size()));
+  for (size_t idx : killer.SampleIndices(dirs.size(), to_kill)) {
+    dirs[idx]->FailAbruptly();
+  }
+
+  // Fire queries from fresh clients of every active website and locality.
+  uint64_t before_served = metrics.queries_served();
+  uint64_t submitted = 0;
+  for (int w = 0; w < config.num_active_websites; ++w) {
+    for (int l = 0; l < config.num_localities; ++l) {
+      const auto& pool =
+          system.deployment().client_pools[static_cast<size_t>(w)]
+                                          [static_cast<size_t>(l)];
+      if (pool.size() < 4) continue;
+      system.SubmitQuery(pool[3], static_cast<WebsiteId>(w),
+                         system.catalog().site(static_cast<WebsiteId>(w))
+                             .objects[20 + l]);
+      ++submitted;
+    }
+  }
+  world.sim()->RunFor(kMinute);
+  EXPECT_EQ(metrics.queries_served() - before_served, submitted)
+      << "some query was lost with " << kill_fraction * 100
+      << "% of directories dead";
+}
+
+INSTANTIATE_TEST_SUITE_P(KillFractions, DRingFailureSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace flower

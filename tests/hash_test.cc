@@ -1,0 +1,41 @@
+#include "common/hash.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+TEST(HashTest, Fnv1aDeterministic) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+}
+
+TEST(HashTest, Fnv1aDistinguishesInputs) {
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+TEST(HashTest, Fnv1aEmptyIsOffsetBasis) {
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(HashTest, NoCollisionsOnObjectUrls) {
+  // The workload derives object ids this way; a collision would alias two
+  // objects in the experiments.
+  std::set<uint64_t> seen;
+  for (int w = 0; w < 100; ++w) {
+    std::string site = "www.site" + std::to_string(w) + ".org";
+    for (int o = 0; o < 500; ++o) {
+      uint64_t h = Fnv1a64(site + "/obj" + std::to_string(o));
+      EXPECT_TRUE(seen.insert(h).second) << site << "/obj" << o;
+    }
+  }
+}
+
+TEST(HashTest, HashCombineOrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,71 @@
+#include "net/locality.h"
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+TEST(LocalityTest, DetectsGroundTruthWithoutNoise) {
+  SimConfig c;
+  c.num_topology_nodes = 800;
+  c.num_localities = 6;
+  Rng rng(1);
+  Topology topo(c, &rng);
+  LandmarkLocalityDetector detector(&topo, /*noise_ms=*/0.0);
+  Rng probe(2);
+  for (NodeId n = 0; n < 800; ++n) {
+    EXPECT_EQ(detector.Detect(n, &probe), topo.LocalityOf(n)) << "node " << n;
+  }
+}
+
+TEST(LocalityTest, MeasurementVectorHasOneEntryPerLandmark) {
+  SimConfig c;
+  c.num_topology_nodes = 200;
+  c.num_localities = 4;
+  c.locality_weights = {1, 1, 1, 1};
+  Rng rng(3);
+  Topology topo(c, &rng);
+  LandmarkLocalityDetector detector(&topo);
+  Rng probe(4);
+  auto v = detector.MeasureLandmarks(17, &probe);
+  EXPECT_EQ(v.size(), 4u);
+  for (double d : v) EXPECT_GE(d, 0.0);
+}
+
+TEST(LocalityTest, OwnLandmarkIsNearest) {
+  SimConfig c;
+  c.num_topology_nodes = 500;
+  c.num_localities = 5;
+  c.locality_weights = {1, 1, 1, 1, 1};
+  Rng rng(5);
+  Topology topo(c, &rng);
+  LandmarkLocalityDetector detector(&topo);
+  Rng probe(6);
+  auto v = detector.MeasureLandmarks(42, &probe);
+  LocalityId own = topo.LocalityOf(42);
+  for (size_t l = 0; l < v.size(); ++l) {
+    if (l == own) continue;
+    EXPECT_LT(v[own], v[l]);
+  }
+}
+
+TEST(LocalityTest, HighNoiseCanMisclassifyButStaysInRange) {
+  SimConfig c;
+  c.num_topology_nodes = 300;
+  c.num_localities = 3;
+  c.locality_weights = {1, 1, 1};
+  Rng rng(7);
+  Topology topo(c, &rng);
+  LandmarkLocalityDetector detector(&topo, /*noise_ms=*/500.0);
+  Rng probe(8);
+  int misclassified = 0;
+  for (NodeId n = 0; n < 300; ++n) {
+    LocalityId d = detector.Detect(n, &probe);
+    EXPECT_LT(d, 3u);
+    if (d != topo.LocalityOf(n)) ++misclassified;
+  }
+  EXPECT_GT(misclassified, 0);  // huge noise must cause some errors
+}
+
+}  // namespace
+}  // namespace flower

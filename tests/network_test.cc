@@ -1,0 +1,151 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+class TestMsg : public Message {
+ public:
+  explicit TestMsg(uint64_t bits = 100,
+                   TrafficClass cls = TrafficClass::kControl)
+      : bits_(bits), cls_(cls) {}
+  uint64_t SizeBits() const override { return bits_; }
+  TrafficClass traffic_class() const override { return cls_; }
+
+ private:
+  uint64_t bits_;
+  TrafficClass cls_;
+};
+
+class RecordingPeer : public Peer {
+ public:
+  void HandleMessage(MessagePtr msg) override {
+    ++received;
+    last_sender = msg->sender;
+  }
+  void HandleUndeliverable(PeerAddress dest, MessagePtr msg) override {
+    ++undeliverable;
+    last_failed_dest = dest;
+    (void)msg;
+  }
+  int received = 0;
+  int undeliverable = 0;
+  PeerAddress last_sender = kInvalidAddress;
+  PeerAddress last_failed_dest = kInvalidAddress;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(1) {
+    config_.num_topology_nodes = 50;
+    config_.num_localities = 2;
+    config_.locality_weights = {1, 1};
+    topo_ = std::make_unique<Topology>(config_, sim_.rng());
+    net_ = std::make_unique<Network>(&sim_, topo_.get());
+  }
+
+  SimConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(NetworkTest, DeliversAfterTopologyLatency) {
+  RecordingPeer a, b;
+  net_->RegisterPeer(&a, 0);
+  net_->RegisterPeer(&b, 1);
+  net_->Send(&a, b.address(), std::make_unique<TestMsg>());
+  SimTime expected = topo_->Latency(0, 1);
+  sim_.RunUntil(expected - 1);
+  EXPECT_EQ(b.received, 0);
+  sim_.RunUntil(expected);
+  EXPECT_EQ(b.received, 1);
+  EXPECT_EQ(b.last_sender, a.address());
+}
+
+TEST_F(NetworkTest, UndeliverableBouncesAfterRoundTrip) {
+  RecordingPeer a;
+  net_->RegisterPeer(&a, 0);
+  net_->Send(&a, /*nonexistent=*/7, std::make_unique<TestMsg>());
+  sim_.Run();
+  EXPECT_EQ(a.undeliverable, 1);
+  EXPECT_EQ(a.last_failed_dest, 7u);
+}
+
+TEST_F(NetworkTest, UnregisteredMidFlightBounces) {
+  RecordingPeer a, b;
+  net_->RegisterPeer(&a, 0);
+  net_->RegisterPeer(&b, 1);
+  net_->Send(&a, b.address(), std::make_unique<TestMsg>());
+  net_->UnregisterPeer(&b);  // dies while the message is in flight
+  sim_.Run();
+  EXPECT_EQ(b.received, 0);
+  EXPECT_EQ(a.undeliverable, 1);
+}
+
+TEST_F(NetworkTest, TrafficAccountingPerClass) {
+  RecordingPeer a, b;
+  net_->RegisterPeer(&a, 0);
+  net_->RegisterPeer(&b, 1);
+  net_->Send(&a, b.address(),
+             std::make_unique<TestMsg>(100, TrafficClass::kGossip));
+  net_->Send(&a, b.address(),
+             std::make_unique<TestMsg>(200, TrafficClass::kPush));
+  sim_.Run();
+  const TrafficCounters& ca = net_->CountersFor(a.address());
+  const TrafficCounters& cb = net_->CountersFor(b.address());
+  EXPECT_EQ(ca.sent_bits[static_cast<size_t>(TrafficClass::kGossip)],
+            100 + kMessageHeaderBits);
+  EXPECT_EQ(ca.sent_bits[static_cast<size_t>(TrafficClass::kPush)],
+            200 + kMessageHeaderBits);
+  EXPECT_EQ(cb.received_bits[static_cast<size_t>(TrafficClass::kGossip)],
+            100 + kMessageHeaderBits);
+  EXPECT_EQ(net_->TotalBits(TrafficClass::kGossip), 100 + kMessageHeaderBits);
+}
+
+TEST_F(NetworkTest, SumBitsOverPeersAndClasses) {
+  RecordingPeer a, b;
+  net_->RegisterPeer(&a, 0);
+  net_->RegisterPeer(&b, 1);
+  net_->Send(&a, b.address(),
+             std::make_unique<TestMsg>(100, TrafficClass::kGossip));
+  sim_.Run();
+  uint64_t both = net_->SumBits({a.address(), b.address()},
+                                {TrafficClass::kGossip});
+  // Counted once as sent at a and once as received at b.
+  EXPECT_EQ(both, 2 * (100 + kMessageHeaderBits));
+  EXPECT_EQ(net_->SumBits({a.address()}, {TrafficClass::kPush}), 0u);
+}
+
+TEST_F(NetworkTest, IsAliveTracksRegistration) {
+  RecordingPeer a;
+  EXPECT_FALSE(net_->IsAlive(0));
+  net_->RegisterPeer(&a, 0);
+  EXPECT_TRUE(net_->IsAlive(0));
+  net_->UnregisterPeer(&a);
+  EXPECT_FALSE(net_->IsAlive(0));
+}
+
+TEST_F(NetworkTest, SelfSendDeliversImmediately) {
+  RecordingPeer a;
+  net_->RegisterPeer(&a, 0);
+  net_->Send(&a, a.address(), std::make_unique<TestMsg>());
+  sim_.Run();
+  EXPECT_EQ(a.received, 1);
+  EXPECT_EQ(sim_.Now(), 0);  // zero latency to self
+}
+
+TEST_F(NetworkTest, MessageCounters) {
+  RecordingPeer a, b;
+  net_->RegisterPeer(&a, 0);
+  net_->RegisterPeer(&b, 1);
+  net_->Send(&a, b.address(), std::make_unique<TestMsg>());
+  net_->Send(&a, 30, std::make_unique<TestMsg>());
+  sim_.Run();
+  EXPECT_EQ(net_->messages_sent(), 2u);
+  EXPECT_EQ(net_->messages_undeliverable(), 1u);
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,84 @@
+// Active replication extension (paper Sec 8 future work): popular objects
+// are pushed proactively from one content overlay to sibling overlays.
+#include <gtest/gtest.h>
+
+#include "core/flower_system.h"
+#include "test_util.h"
+#include "workload/runner.h"
+
+namespace flower {
+namespace {
+
+SimConfig ReplicationConfig() {
+  SimConfig c = TinyConfig();
+  c.active_replication = true;
+  c.replication_period = 20 * kMinute;
+  c.replication_top_objects = 5;
+  c.gossip_period = 10 * kMinute;
+  return c;
+}
+
+TEST(ReplicationTest, PopularObjectSpreadsToSiblingOverlay) {
+  SimConfig c = ReplicationConfig();
+  TestWorld world(c);
+  Metrics metrics(c);
+  FlowerSystem system(c, world.sim(), world.network(), world.topology(),
+                      &metrics);
+  system.Setup();
+
+  // Locality 0 peers hammer object 0 so it becomes "popular" there.
+  const auto& pool0 = system.deployment().client_pools[0][0];
+  ObjectId hot = system.catalog().site(0).objects[0];
+  for (size_t i = 0; i < 5; ++i) {
+    system.SubmitQuery(pool0[i], 0, hot);
+    world.sim()->RunFor(kMinute);
+  }
+  // Make the sibling overlays non-empty so they have deposit targets.
+  for (int l = 1; l < c.num_localities; ++l) {
+    const auto& pool = system.deployment().client_pools[0][l];
+    if (pool.empty()) continue;
+    system.SubmitQuery(pool[0], 0, system.catalog().site(0).objects[40]);
+    world.sim()->RunFor(kMinute);
+  }
+
+  // Let a few replication rounds run.
+  world.sim()->RunFor(4 * c.replication_period);
+
+  // Some sibling directory must now know a holder of the hot object
+  // (deposited replica pushed its content), without any query from there.
+  int overlays_with_copy = 0;
+  for (int l = 1; l < c.num_localities; ++l) {
+    DirectoryPeer* d = system.FindDirectory(0, static_cast<LocalityId>(l));
+    if (d == nullptr) continue;
+    bool has = d->own_content().count(hot) > 0;
+    for (ContentPeer* p : system.LiveContentPeers()) {
+      if (p->locality() == static_cast<LocalityId>(l) &&
+          p->site()->index == 0 && p->content().count(hot) > 0) {
+        has = true;
+      }
+    }
+    if (has) ++overlays_with_copy;
+  }
+  EXPECT_GT(overlays_with_copy, 0);
+}
+
+TEST(ReplicationTest, ReplicationImprovesOrMatchesHitRatio) {
+  SimConfig base = TinyConfig();
+  base.duration = 4 * kHour;
+  base.gossip_period = 10 * kMinute;
+  SimConfig repl = base;
+  repl.active_replication = true;
+  repl.replication_period = 30 * kMinute;
+
+  RunResult off = RunExperiment(base, SystemKind::kFlower);
+  RunResult on = RunExperiment(repl, SystemKind::kFlower);
+  EXPECT_GE(on.cumulative_hit_ratio + 0.02, off.cumulative_hit_ratio);
+}
+
+TEST(ReplicationTest, DisabledByDefault) {
+  SimConfig c;
+  EXPECT_FALSE(c.active_replication);
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,85 @@
+// Scale-up extension (paper Sec 5.3): b extra ID bits allow several
+// directory peers — and thus several content overlays — per (website,
+// locality).
+#include <gtest/gtest.h>
+
+#include "core/flower_system.h"
+#include "test_util.h"
+
+namespace flower {
+namespace {
+
+TEST(ScaleUpTest, SchemePlacesInstancesConsecutively) {
+  DRingIdScheme scheme(40, 8, 3);
+  uint64_t ws = scheme.HashWebsite("www.x.org");
+  Key base = scheme.MakeDirectoryId(ws, 2, 0);
+  for (uint32_t i = 1; i < 8; ++i) {
+    EXPECT_EQ(scheme.MakeDirectoryId(ws, 2, i), base + i);
+  }
+}
+
+class ScaleUpSystemTest : public ::testing::Test {
+ protected:
+  ScaleUpSystemTest() {
+    config_ = TinyConfig();
+    config_.scaleup_extra_bits = 2;  // up to 4 directories per (ws, loc)
+    world_ = std::make_unique<TestWorld>(config_);
+    metrics_ = std::make_unique<Metrics>(config_);
+    system_ = std::make_unique<FlowerSystem>(
+        config_, world_->sim(), world_->network(), world_->topology(),
+        metrics_.get());
+    system_->Setup();
+  }
+
+  SimConfig config_;
+  std::unique_ptr<TestWorld> world_;
+  std::unique_ptr<Metrics> metrics_;
+  std::unique_ptr<FlowerSystem> system_;
+};
+
+TEST_F(ScaleUpSystemTest, BasicOperationStillWorksWithExtraBits) {
+  const auto& pool = system_->deployment().client_pools[0][0];
+  system_->SubmitQuery(pool[0], 0, system_->catalog().site(0).objects[0]);
+  world_->sim()->RunFor(kMinute);
+  EXPECT_EQ(metrics_->queries_served(), 1u);
+  ContentPeer* p = system_->FindContentPeer(pool[0]);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->joined());
+}
+
+TEST_F(ScaleUpSystemTest, SearchKeyRoutesToInstanceZero) {
+  // Keys use instance bits zero, so queries land on the first instance.
+  DirectoryPeer* d0 = system_->FindDirectory(0, 0, 0);
+  ASSERT_NE(d0, nullptr);
+  EXPECT_EQ(d0->instance(), 0u);
+}
+
+TEST_F(ScaleUpSystemTest, AdditionalInstanceCanJoin) {
+  // A second directory instance for (website 0, locality 0) joins the
+  // D-ring right after the first one.
+  const Website* site = &system_->catalog().site(0);
+  // Find a free node in locality 0.
+  const auto& pool = system_->deployment().client_pools[1][0];
+  ASSERT_FALSE(pool.empty());
+  auto dir2 = std::make_unique<DirectoryPeer>(
+      system_->context(), site, /*locality=*/0, /*instance=*/1,
+      /*rng_seed=*/1234);
+  ASSERT_TRUE(dir2->Start(pool[0]));
+  EXPECT_EQ(dir2->instance(), 1u);
+
+  // Both instances coexist on the ring with consecutive IDs.
+  DirectoryPeer* d0 = system_->FindDirectory(0, 0, 0);
+  ChordNode* succ = system_->dring()->SuccessorOf(
+      system_->dring()->space().Add(d0->id(), 1));
+  EXPECT_EQ(succ->id(), dir2->id());
+
+  // Queries keyed to (ws, loc) still deliver (to instance 0).
+  const auto& clients = system_->deployment().client_pools[0][0];
+  system_->SubmitQuery(clients[0], 0, site->objects[3]);
+  world_->sim()->RunFor(kMinute);
+  EXPECT_EQ(metrics_->queries_served(), 1u);
+  dir2->FailAbruptly();
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,157 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.Schedule(30, [&]() { order.push_back(3); });
+  sim.Schedule(10, [&]() { order.push_back(1); });
+  sim.Schedule(20, [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, SameTimeFifoOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i]() { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim(1);
+  std::vector<SimTime> times;
+  sim.Schedule(10, [&]() {
+    times.push_back(sim.Now());
+    sim.Schedule(5, [&]() { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAfterCurrentEvent) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.Schedule(10, [&]() {
+    order.push_back(1);
+    sim.Schedule(0, [&]() { order.push_back(2); });
+    order.push_back(3);
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim(1);
+  bool ran = false;
+  EventHandle h = sim.Schedule(10, [&]() { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim(1);
+  int runs = 0;
+  EventHandle h = sim.Schedule(10, [&]() { ++runs; });
+  sim.Run();
+  EXPECT_EQ(runs, 1);
+  h.Cancel();  // no effect after firing
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim(1);
+  std::vector<SimTime> fired;
+  sim.Schedule(10, [&]() { fired.push_back(10); });
+  sim.Schedule(20, [&]() { fired.push_back(20); });
+  sim.Schedule(30, [&]() { fired.push_back(30); });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(40);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim(1);
+  int count = 0;
+  sim.Schedule(5, [&]() { ++count; });
+  sim.Schedule(15, [&]() { ++count; });
+  sim.RunFor(10);
+  EXPECT_EQ(count, 1);
+  sim.RunFor(10);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, StopHaltsProcessing) {
+  Simulator sim(1);
+  int count = 0;
+  sim.Schedule(1, [&]() {
+    ++count;
+    sim.Stop();
+  });
+  sim.Schedule(2, [&]() { ++count; });
+  sim.Run();
+  EXPECT_EQ(count, 1);
+  sim.Run();  // resume
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, PeriodicFiresRepeatedly) {
+  Simulator sim(1);
+  std::vector<SimTime> fired;
+  auto h = sim.SchedulePeriodic(5, 10, [&]() { fired.push_back(sim.Now()); });
+  sim.RunUntil(40);
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 15, 25, 35}));
+  h.Cancel();
+  sim.RunUntil(100);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorTest, PeriodicCancelFromInsideCallback) {
+  Simulator sim(1);
+  int count = 0;
+  Simulator::PeriodicHandle h;
+  h = sim.SchedulePeriodic(1, 1, [&]() {
+    if (++count == 3) h.Cancel();
+  });
+  sim.RunUntil(100);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, EventsProcessedCounter) {
+  Simulator sim(1);
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, []() {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(EventQueueTest, LiveSizeTracksCancellation) {
+  EventQueue q;
+  EventHandle a = q.Push(1, []() {});
+  q.Push(2, []() {});
+  EXPECT_EQ(q.live_size(), 2u);
+  a.Cancel();
+  EXPECT_FALSE(q.empty());
+  SimTime t;
+  q.Pop(&t);
+  EXPECT_EQ(t, 2);  // the cancelled event was skipped
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,54 @@
+// Shared fixtures/helpers for the Flower-CDN test suite.
+#ifndef FLOWERCDN_TESTS_TEST_UTIL_H_
+#define FLOWERCDN_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "common/config.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace flower {
+
+/// A small deterministic world: simulator + topology + network.
+class TestWorld {
+ public:
+  explicit TestWorld(SimConfig config, uint64_t seed = 42)
+      : config_(std::move(config)), sim_(seed) {
+    topology_ = std::make_unique<Topology>(config_, sim_.rng());
+    network_ = std::make_unique<Network>(&sim_, topology_.get());
+  }
+
+  const SimConfig& config() const { return config_; }
+  Simulator* sim() { return &sim_; }
+  Topology* topology() { return topology_.get(); }
+  Network* network() { return network_.get(); }
+
+ private:
+  SimConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Topology> topology_;
+  std::unique_ptr<Network> network_;
+};
+
+inline SimConfig TinyConfig() {
+  SimConfig c;
+  c.num_topology_nodes = 300;
+  c.num_localities = 3;
+  c.locality_weights = {0.4, 0.35, 0.25};
+  c.num_websites = 5;
+  c.num_active_websites = 2;
+  c.num_objects_per_website = 50;
+  c.max_content_overlay_size = 15;
+  c.queries_per_second = 2.0;
+  c.duration = 2 * kHour;
+  c.gossip_period = 5 * kMinute;
+  c.keepalive_period = 5 * kMinute;
+  c.metrics_window = 15 * kMinute;
+  return c;
+}
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_TESTS_TEST_UTIL_H_

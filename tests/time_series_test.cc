@@ -1,0 +1,82 @@
+#include "common/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+TEST(TimeSeriesTest, WindowAssignment) {
+  TimeSeries ts(100);
+  ts.Add(0, 1.0);
+  ts.Add(99, 3.0);
+  ts.Add(100, 5.0);
+  EXPECT_EQ(ts.NumWindows(), 2u);
+  EXPECT_DOUBLE_EQ(ts.WindowMean(0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.WindowMean(1), 5.0);
+  EXPECT_EQ(ts.WindowCount(0), 2u);
+  EXPECT_EQ(ts.WindowCount(1), 1u);
+}
+
+TEST(TimeSeriesTest, EmptyWindowsInBetween) {
+  TimeSeries ts(10);
+  ts.Add(5, 1.0);
+  ts.Add(35, 2.0);
+  EXPECT_EQ(ts.NumWindows(), 4u);
+  EXPECT_EQ(ts.WindowCount(1), 0u);
+  EXPECT_DOUBLE_EQ(ts.WindowMean(1), 0.0);
+}
+
+TEST(TimeSeriesTest, WindowStart) {
+  TimeSeries ts(250);
+  EXPECT_EQ(ts.WindowStart(0), 0);
+  EXPECT_EQ(ts.WindowStart(3), 750);
+}
+
+TEST(TimeSeriesTest, TailMeanSkipsEmptyWindows) {
+  TimeSeries ts(10);
+  ts.Add(5, 10.0);
+  ts.Add(45, 20.0);  // windows 1-3 empty
+  EXPECT_DOUBLE_EQ(ts.TailMean(1), 20.0);
+  EXPECT_DOUBLE_EQ(ts.TailMean(2), 15.0);
+}
+
+TEST(TimeSeriesTest, TailMeanEmpty) {
+  TimeSeries ts(10);
+  EXPECT_DOUBLE_EQ(ts.TailMean(3), 0.0);
+}
+
+TEST(RatioSeriesTest, WindowRatios) {
+  RatioSeries rs(100);
+  rs.Add(10, true);
+  rs.Add(20, false);
+  rs.Add(150, true);
+  EXPECT_DOUBLE_EQ(rs.WindowRatio(0), 0.5);
+  EXPECT_DOUBLE_EQ(rs.WindowRatio(1), 1.0);
+  EXPECT_DOUBLE_EQ(rs.CumulativeRatio(), 2.0 / 3.0);
+}
+
+TEST(RatioSeriesTest, EmptyWindowRatioIsZero) {
+  RatioSeries rs(100);
+  EXPECT_DOUBLE_EQ(rs.WindowRatio(0), 0.0);
+  EXPECT_DOUBLE_EQ(rs.CumulativeRatio(), 0.0);
+}
+
+TEST(RatioSeriesTest, TailRatio) {
+  RatioSeries rs(10);
+  for (int i = 0; i < 10; ++i) rs.Add(i, false);      // window 0: 0/10
+  for (int i = 10; i < 20; ++i) rs.Add(i, true);      // window 1: 10/10
+  EXPECT_DOUBLE_EQ(rs.TailRatio(1), 1.0);
+  EXPECT_DOUBLE_EQ(rs.TailRatio(2), 0.5);
+}
+
+TEST(RatioSeriesTest, Totals) {
+  RatioSeries rs(10);
+  rs.Add(1, true);
+  rs.Add(2, true);
+  rs.Add(3, false);
+  EXPECT_EQ(rs.total_trials(), 3u);
+  EXPECT_EQ(rs.total_successes(), 2u);
+}
+
+}  // namespace
+}  // namespace flower

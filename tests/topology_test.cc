@@ -1,0 +1,111 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+SimConfig SmallConfig() {
+  SimConfig c;
+  c.num_topology_nodes = 600;
+  c.num_localities = 4;
+  c.locality_weights = {0.4, 0.3, 0.2, 0.1};
+  return c;
+}
+
+TEST(TopologyTest, LatencyIsSymmetricAndZeroOnSelf) {
+  SimConfig c = SmallConfig();
+  Rng rng(1);
+  Topology topo(c, &rng);
+  Rng pick(2);
+  for (int i = 0; i < 500; ++i) {
+    NodeId a = static_cast<NodeId>(pick.Index(600));
+    NodeId b = static_cast<NodeId>(pick.Index(600));
+    EXPECT_EQ(topo.Latency(a, b), topo.Latency(b, a));
+  }
+  EXPECT_EQ(topo.Latency(7, 7), 0);
+}
+
+TEST(TopologyTest, EveryNodeHasALocality) {
+  SimConfig c = SmallConfig();
+  Rng rng(1);
+  Topology topo(c, &rng);
+  size_t total = 0;
+  for (int l = 0; l < topo.num_localities(); ++l) {
+    total += topo.NodesIn(static_cast<LocalityId>(l)).size();
+    EXPECT_FALSE(topo.NodesIn(static_cast<LocalityId>(l)).empty());
+  }
+  EXPECT_EQ(total, 600u);
+}
+
+TEST(TopologyTest, WeightsShapePopulations) {
+  SimConfig c = SmallConfig();
+  c.num_topology_nodes = 5000;
+  Rng rng(3);
+  Topology topo(c, &rng);
+  // Heaviest locality should clearly outnumber the lightest.
+  EXPECT_GT(topo.NodesIn(0).size(), topo.NodesIn(3).size() * 2);
+}
+
+TEST(TopologyTest, LandmarkBelongsToItsLocality) {
+  SimConfig c = SmallConfig();
+  Rng rng(1);
+  Topology topo(c, &rng);
+  for (int l = 0; l < topo.num_localities(); ++l) {
+    NodeId lm = topo.Landmark(static_cast<LocalityId>(l));
+    EXPECT_EQ(topo.LocalityOf(lm), static_cast<LocalityId>(l));
+  }
+}
+
+TEST(TopologyTest, DeterministicGivenSeed) {
+  SimConfig c = SmallConfig();
+  Rng r1(5), r2(5);
+  Topology a(c, &r1), b(c, &r2);
+  for (NodeId n = 0; n < 600; ++n) {
+    EXPECT_EQ(a.LocalityOf(n), b.LocalityOf(n));
+  }
+  EXPECT_EQ(a.Latency(1, 500), b.Latency(1, 500));
+}
+
+// Property sweep over latency configurations: intra-locality latencies stay
+// within [min_intra, max_intra], inter-locality within [min_inter,
+// max_inter] (the paper's 10..500 ms BRITE-style range).
+struct LatencyParams {
+  SimTime min_intra, max_intra, min_inter, max_inter;
+};
+
+class TopologyLatencyTest : public ::testing::TestWithParam<LatencyParams> {};
+
+TEST_P(TopologyLatencyTest, LatenciesWithinConfiguredBands) {
+  LatencyParams p = GetParam();
+  SimConfig c = SmallConfig();
+  c.min_intra_latency = p.min_intra;
+  c.max_intra_latency = p.max_intra;
+  c.min_inter_latency = p.min_inter;
+  c.max_inter_latency = p.max_inter;
+  Rng rng(11);
+  Topology topo(c, &rng);
+  Rng pick(13);
+  for (int i = 0; i < 3000; ++i) {
+    NodeId a = static_cast<NodeId>(pick.Index(600));
+    NodeId b = static_cast<NodeId>(pick.Index(600));
+    if (a == b) continue;
+    SimTime lat = topo.Latency(a, b);
+    if (topo.LocalityOf(a) == topo.LocalityOf(b)) {
+      EXPECT_GE(lat, p.min_intra);
+      EXPECT_LE(lat, p.max_intra);
+    } else {
+      EXPECT_GE(lat, p.min_inter);
+      EXPECT_LE(lat, p.max_inter);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bands, TopologyLatencyTest,
+    ::testing::Values(LatencyParams{10, 100, 100, 500},
+                      LatencyParams{5, 50, 60, 200},
+                      LatencyParams{20, 40, 200, 1000}));
+
+}  // namespace
+}  // namespace flower

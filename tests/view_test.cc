@@ -1,0 +1,126 @@
+#include "gossip/view.h"
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+ViewEntry E(PeerAddress addr, int age) {
+  ViewEntry e;
+  e.addr = addr;
+  e.age = age;
+  return e;
+}
+
+TEST(ViewTest, InsertAndFind) {
+  View v(5);
+  v.Insert(E(1, 0), /*self=*/99);
+  EXPECT_TRUE(v.Contains(1));
+  EXPECT_FALSE(v.Contains(2));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(ViewTest, SelfNeverInserted) {
+  View v(5);
+  v.Insert(E(99, 0), /*self=*/99);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(ViewTest, IncrementAges) {
+  View v(5);
+  v.Insert(E(1, 0), 99);
+  v.Insert(E(2, 3), 99);
+  v.IncrementAges();
+  EXPECT_EQ(v.Find(1)->age, 1);
+  EXPECT_EQ(v.Find(2)->age, 4);
+}
+
+TEST(ViewTest, SelectOldestPicksMaxAge) {
+  View v(5);
+  v.Insert(E(1, 2), 99);
+  v.Insert(E(2, 7), 99);
+  v.Insert(E(3, 4), 99);
+  ASSERT_NE(v.SelectOldest(), nullptr);
+  EXPECT_EQ(v.SelectOldest()->addr, 2u);
+}
+
+TEST(ViewTest, SelectOldestEmptyReturnsNull) {
+  View v(5);
+  EXPECT_EQ(v.SelectOldest(), nullptr);
+}
+
+TEST(ViewTest, SelectSubsetExcludesAndBounds) {
+  View v(10);
+  for (PeerAddress a = 1; a <= 8; ++a) v.Insert(E(a, 0), 99);
+  Rng rng(1);
+  auto subset = v.SelectSubset(4, &rng, /*exclude=*/3);
+  EXPECT_EQ(subset.size(), 4u);
+  for (const auto& e : subset) EXPECT_NE(e.addr, 3u);
+}
+
+TEST(ViewTest, SelectSubsetWhenFewerThanRequested) {
+  View v(10);
+  v.Insert(E(1, 0), 99);
+  Rng rng(1);
+  EXPECT_EQ(v.SelectSubset(5, &rng, kInvalidAddress).size(), 1u);
+}
+
+TEST(ViewTest, MergeKeepsFreshestDuplicate) {
+  View v(5);
+  v.Insert(E(1, 5), 99);
+  v.Merge({E(1, 2)}, std::nullopt, 99);
+  EXPECT_EQ(v.Find(1)->age, 2);
+  // A staler duplicate must not replace a fresher entry.
+  v.Merge({E(1, 9)}, std::nullopt, 99);
+  EXPECT_EQ(v.Find(1)->age, 2);
+}
+
+TEST(ViewTest, MergeCapacityKeepsMostRecent) {
+  View v(3);
+  v.Merge({E(1, 9), E(2, 1), E(3, 5), E(4, 2), E(5, 7)}, std::nullopt, 99);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_TRUE(v.Contains(2));
+  EXPECT_TRUE(v.Contains(4));
+  EXPECT_TRUE(v.Contains(3));
+  EXPECT_FALSE(v.Contains(5));
+  EXPECT_FALSE(v.Contains(1));
+}
+
+TEST(ViewTest, MergeFreshEntryWins) {
+  View v(2);
+  v.Insert(E(1, 4), 99);
+  v.Insert(E(2, 6), 99);
+  ViewEntry fresh = E(7, 0);
+  v.Merge({}, fresh, 99);
+  EXPECT_TRUE(v.Contains(7));
+  EXPECT_TRUE(v.Contains(1));
+  EXPECT_FALSE(v.Contains(2));  // oldest evicted
+}
+
+TEST(ViewTest, MergePrefersInstanceWithSummaryOnTie) {
+  View v(5);
+  v.Insert(E(1, 3), 99);
+  ViewEntry with_summary = E(1, 3);
+  with_summary.summary = std::make_shared<ContentSummary>(10, 8, 3);
+  v.Merge({with_summary}, std::nullopt, 99);
+  EXPECT_NE(v.Find(1)->summary, nullptr);
+}
+
+TEST(ViewTest, RemoveEntry) {
+  View v(5);
+  v.Insert(E(1, 0), 99);
+  EXPECT_TRUE(v.Remove(1));
+  EXPECT_FALSE(v.Remove(1));
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(ViewTest, WireBitsAccountsForSummary) {
+  ViewEntry plain = E(1, 0);
+  EXPECT_EQ(plain.WireBits(), kAddressBits + kAgeBits);
+  ViewEntry with_summary = E(1, 0);
+  with_summary.summary = std::make_shared<ContentSummary>(500, 8, 5);
+  EXPECT_EQ(with_summary.WireBits(), kAddressBits + kAgeBits + 4000);
+}
+
+}  // namespace
+}  // namespace flower

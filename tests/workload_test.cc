@@ -1,0 +1,103 @@
+#include "workload/workload.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace flower {
+namespace {
+
+struct WorkloadFixture {
+  WorkloadFixture() : config(TinyConfig()), rng(1), topo(config, &rng) {
+    DRingIdScheme scheme(config.chord_id_bits, config.locality_id_bits, 0);
+    catalog = std::make_unique<WebsiteCatalog>(config, scheme);
+    Rng plan_rng(2);
+    deployment = Deployment::Plan(config, topo, &plan_rng);
+  }
+  SimConfig config;
+  Rng rng;
+  Topology topo;
+  std::unique_ptr<WebsiteCatalog> catalog;
+  Deployment deployment;
+};
+
+TEST(WorkloadTest, EventsAreTimeOrderedAndBounded) {
+  WorkloadFixture f;
+  WorkloadGenerator gen(f.config, f.deployment, *f.catalog, 7);
+  QueryEvent ev;
+  SimTime prev = -1;
+  while (gen.Next(&ev)) {
+    EXPECT_GT(ev.time, prev);
+    EXPECT_LT(ev.time, f.config.duration);
+    prev = ev.time;
+  }
+  EXPECT_GT(gen.events_generated(), 0u);
+}
+
+TEST(WorkloadTest, RateMatchesConfiguration) {
+  WorkloadFixture f;
+  WorkloadGenerator gen(f.config, f.deployment, *f.catalog, 7);
+  auto trace = gen.GenerateAll();
+  double expected = f.config.queries_per_second *
+                    static_cast<double>(f.config.duration) / kSecond;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, expected * 0.1);
+}
+
+TEST(WorkloadTest, OriginatorsComeFromTheRightPool) {
+  WorkloadFixture f;
+  WorkloadGenerator gen(f.config, f.deployment, *f.catalog, 7);
+  QueryEvent ev;
+  while (gen.Next(&ev)) {
+    ASSERT_LT(ev.website,
+              static_cast<WebsiteId>(f.deployment.client_pools.size()));
+    const auto& pool = f.deployment.client_pools[ev.website][ev.locality];
+    EXPECT_NE(std::find(pool.begin(), pool.end(), ev.node), pool.end());
+    EXPECT_EQ(f.deployment.detected_locality[ev.node], ev.locality);
+  }
+}
+
+TEST(WorkloadTest, ObjectsMatchCatalogRanks) {
+  WorkloadFixture f;
+  WorkloadGenerator gen(f.config, f.deployment, *f.catalog, 7);
+  QueryEvent ev;
+  for (int i = 0; i < 1000 && gen.Next(&ev); ++i) {
+    EXPECT_EQ(ev.object, f.catalog->site(ev.website).objects[ev.object_rank]);
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewsTowardLowRanks) {
+  WorkloadFixture f;
+  WorkloadGenerator gen(f.config, f.deployment, *f.catalog, 7);
+  std::map<size_t, int> rank_counts;
+  QueryEvent ev;
+  while (gen.Next(&ev)) ++rank_counts[ev.object_rank];
+  EXPECT_GT(rank_counts[0], rank_counts[10] * 2);
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  WorkloadFixture f;
+  WorkloadGenerator g1(f.config, f.deployment, *f.catalog, 7);
+  WorkloadGenerator g2(f.config, f.deployment, *f.catalog, 7);
+  QueryEvent a, b;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(g1.Next(&a), g2.Next(&b));
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.object, b.object);
+  }
+}
+
+TEST(WorkloadTest, LocalityWeightsShapeQueryVolume) {
+  WorkloadFixture f;
+  WorkloadGenerator gen(f.config, f.deployment, *f.catalog, 7);
+  std::vector<int> per_loc(static_cast<size_t>(f.config.num_localities), 0);
+  QueryEvent ev;
+  while (gen.Next(&ev)) ++per_loc[ev.locality];
+  // TinyConfig weights are {0.4, 0.35, 0.25}: volumes must be ordered.
+  EXPECT_GT(per_loc[0], per_loc[2]);
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,71 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 0.8);
+  double total = 0;
+  for (size_t r = 0; r < zipf.n(); ++r) total += zipf.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilitiesDecreaseWithRank) {
+  ZipfSampler zipf(50, 1.0);
+  for (size_t r = 1; r < zipf.n(); ++r) {
+    EXPECT_GT(zipf.Probability(r - 1), zipf.Probability(r));
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.Probability(r), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SampleWithinRange) {
+  ZipfSampler zipf(42, 0.8);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 42u);
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfSampler zipf(1, 0.8);
+  Rng rng(2);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_NEAR(zipf.Probability(0), 1.0, 1e-12);
+}
+
+// Property sweep: empirical frequencies track the analytic distribution for
+// several exponents and universe sizes.
+class ZipfSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(ZipfSweepTest, EmpiricalMatchesAnalytic) {
+  auto [n, alpha] = GetParam();
+  ZipfSampler zipf(n, alpha);
+  Rng rng(99);
+  std::vector<int> counts(n, 0);
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) ++counts[zipf.Sample(&rng)];
+  // Check the head ranks where expected counts are large.
+  for (size_t r = 0; r < std::min<size_t>(n, 5); ++r) {
+    double expected = zipf.Probability(r) * samples;
+    if (expected < 100) continue;
+    EXPECT_NEAR(counts[r], expected, 5 * std::sqrt(expected) + 1)
+        << "rank " << r << " n=" << n << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfSweepTest,
+    ::testing::Combine(::testing::Values<size_t>(10, 100, 500),
+                       ::testing::Values(0.5, 0.8, 1.0, 1.2)));
+
+}  // namespace
+}  // namespace flower
