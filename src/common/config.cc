@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "cache/eviction_policy.h"
+
 namespace flower {
 
 namespace {
@@ -108,6 +110,24 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
   INT_KEY("num_objects_per_website", num_objects_per_website)
   DOUBLE_KEY("zipf_alpha", zipf_alpha)
   INT_KEY("object_size_bits", object_size_bits)
+  if (key == "object_size_distribution") {
+    if (value != "fixed" && value != "pareto") {
+      return Status::InvalidArgument("unknown object size distribution: " +
+                                     value);
+    }
+    object_size_distribution = value;
+    return Status::Ok();
+  }
+  INT_KEY("object_size_min_bytes", object_size_min_bytes)
+  INT_KEY("object_size_max_bytes", object_size_max_bytes)
+  DOUBLE_KEY("object_size_pareto_alpha", object_size_pareto_alpha)
+  if (key == "cache_policy") {
+    Result<CachePolicy> parsed = ParseCachePolicy(value);
+    if (!parsed.ok()) return parsed.status();
+    cache_policy = value;
+    return Status::Ok();
+  }
+  INT_KEY("cache_capacity_bytes", cache_capacity_bytes)
   INT_KEY("max_content_overlay_size", max_content_overlay_size)
   DOUBLE_KEY("new_client_probability", new_client_probability)
   DOUBLE_KEY("queries_per_second", queries_per_second)
@@ -172,7 +192,11 @@ std::string SimConfig::ToString() const {
      << " duration=" << duration / kHour << "h"
      << " T_gossip=" << gossip_period / kMinute << "min"
      << " L_gossip=" << gossip_length << " V_gossip=" << view_size
-     << " push_thr=" << push_threshold;
+     << " push_thr=" << push_threshold
+     << " cache=" << cache_policy;
+  if (cache_capacity_bytes > 0) {
+    os << "/" << cache_capacity_bytes << "B";
+  }
   return os.str();
 }
 

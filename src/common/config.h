@@ -33,6 +33,24 @@ struct SimConfig {
   int num_objects_per_website = 500;  // paper text Sec 6.1 (Table 1 says 100)
   double zipf_alpha = 0.8;            // object popularity skew
   uint64_t object_size_bits = 10 * 8 * 1024;  // nominal 10 KB web page
+  /// Per-object size model. "fixed" gives every object object_size_bits
+  /// (the paper's setup); "pareto" draws one bounded-Pareto size per object
+  /// in [object_size_min_bytes, object_size_max_bytes] with tail index
+  /// object_size_pareto_alpha (heavy-tailed web object sizes). Sizes are
+  /// derived from the object URL hash, so they are stable across runs and
+  /// consume no RNG.
+  std::string object_size_distribution = "fixed";
+  uint64_t object_size_min_bytes = 1 * 1024;
+  uint64_t object_size_max_bytes = 1024 * 1024;
+  double object_size_pareto_alpha = 1.2;
+
+  // --- Peer cache (src/cache/; bounded peer storage) ------------------------
+  /// Replacement policy of every peer's content store:
+  /// "unbounded" (keep everything, the paper's Sec 4 behavior) | "lru" |
+  /// "lfu" | "gdsf".
+  std::string cache_policy = "unbounded";
+  /// Per-peer storage budget in bytes; 0 = unlimited (seed behavior).
+  uint64_t cache_capacity_bytes = 0;
 
   // --- Overlay / membership -------------------------------------------------
   int max_content_overlay_size = 100;  // S_co

@@ -14,6 +14,7 @@ ContentPeer::ContentPeer(FlowerContext* ctx, const Website* site,
       site_(site),
       locality_(locality),
       rng_(rng_seed),
+      content_(ContentStore::FromConfig(*ctx->config)),
       view_(ctx->config->view_size, ctx->config->view_age_limit) {
   assert(site != nullptr);
 }
@@ -36,7 +37,10 @@ void ContentPeer::RequestObject(ObjectId object) {
   // Local-cache hits never become queries: only local misses reach the P2P
   // system (web-cache semantics; this matches the paper's measured
   // distributions, which contain no zero-latency mass).
-  if (content_.count(object) > 0) return;
+  if (content_.Contains(object)) {
+    content_.Touch(object);
+    return;
+  }
   if (pending_.count(object) > 0) {
     ++duplicate_queries_;  // already in flight; piggyback on its result
     return;
@@ -122,13 +126,14 @@ void ContentPeer::SendViaDRing(ObjectId object, PendingQuery* pq) {
 // --- Serving other peers ---------------------------------------------------------
 
 void ContentPeer::HandleIncomingQuery(std::unique_ptr<FlowerQueryMsg> query) {
-  if (content_.count(query->object) > 0) {
+  if (content_.Contains(query->object)) {
+    content_.Touch(query->object);
     ctx_->metrics->OnLookupResolved(query->submit_time, ctx_->sim->Now(),
                                     /*provider_is_server=*/false);
     auto serve = std::make_unique<ServeMsg>(
         query->object, query->website, query->website_hash, address(),
         /*from_server=*/false, query->submit_time,
-        ctx_->config->object_size_bits);
+        site_->ObjectSizeBits(query->object));
     if (!query->client_is_member && query->client_loc == locality_) {
       // Seed the new client's view from ours (paper Sec 4.2) — only when
       // the client joins *our* overlay; a cross-locality client gets its
@@ -145,7 +150,10 @@ void ContentPeer::HandleIncomingQuery(std::unique_ptr<FlowerQueryMsg> query) {
     ctx_->network->Send(this, query->client, std::move(serve));
     return;
   }
-  // We do not hold it: stale entry or Bloom false positive.
+  // We do not hold it: stale entry (possibly evicted since the claim was
+  // gossiped/pushed) or Bloom false positive. Count the wasted hop, then
+  // bounce the query back so the pipeline falls back instead of losing it.
+  ctx_->metrics->OnStaleRedirect();
   PeerAddress asker = query->sender;
   auto nf = std::make_unique<NotFoundMsg>(query->object, query->website_hash,
                                           query->stage);
@@ -211,7 +219,7 @@ std::shared_ptr<const ContentSummary> ContentPeer::CurrentSummary() {
         ctx_->config->num_objects_per_website,
         ctx_->config->summary_bits_per_object,
         ctx_->config->summary_num_hashes);
-    for (ObjectId o : content_) s->Add(o);
+    for (const auto& [o, size] : content_.entries()) s->Add(o);
     summary_ = std::move(s);
     summary_dirty_ = false;
   }
@@ -270,29 +278,68 @@ void ContentPeer::MergeDirPointer(const DirectoryPointer& incoming) {
   if (!dir_pointer_.valid() || incoming.age < dir_pointer_.age) {
     bool changed = incoming.addr != dir_pointer_.addr;
     dir_pointer_ = incoming;
-    if (changed && joined_ && !push_delta_.empty()) MaybePush();
+    if (changed && joined_ &&
+        (!push_delta_.empty() || !push_removed_.empty())) {
+      MaybePush();
+    }
   }
 }
 
 // --- Push & keepalive (Algorithm 5 / Sec 5.1) ------------------------------------
 
 void ContentPeer::AddObject(ObjectId object) {
-  if (!content_.insert(object).second) return;
+  if (content_.Contains(object)) {
+    content_.Touch(object);
+    return;
+  }
+  std::vector<ObjectId> evicted;
+  bool inserted =
+      content_.Insert(object, site_->ObjectSizeBits(object) / 8, &evicted);
+  if (!evicted.empty()) {
+    // Evictions invalidate our gossiped summary and the directory's index
+    // entry for us; both go stale gracefully — the summary rebuilds before
+    // the next gossip exchange, and the deletions ride the next push delta
+    // (PushMsg.removed). Until then misdirected queries fall back through
+    // the query pipeline and are counted (OnStaleRedirect).
+    ctx_->metrics->OnCacheEvictions(evicted.size());
+    for (ObjectId victim : evicted) {
+      DropDelta(&push_delta_, victim);  // never pushed: add+remove cancel
+      push_removed_.push_back(victim);
+    }
+    summary_dirty_ = true;
+  }
+  if (!inserted) {
+    if (!evicted.empty()) MaybePush();
+    return;  // not admitted: nothing new to summarize or push
+  }
+  // An evict-then-refetch within one push window must not ship the object
+  // in both lists: the directory applies additions before removals, so the
+  // pair would net out to a (wrong) removal of a held object.
+  DropDelta(&push_removed_, object);
   summary_dirty_ = true;
   push_delta_.push_back(object);
   MaybePush();
 }
 
+void ContentPeer::DropDelta(std::vector<ObjectId>* delta, ObjectId object) {
+  delta->erase(std::remove(delta->begin(), delta->end(), object),
+               delta->end());
+}
+
 void ContentPeer::MaybePush() {
-  if (!joined_ || !dir_pointer_.valid() || push_delta_.empty()) return;
-  double frac = static_cast<double>(push_delta_.size()) /
+  if (!joined_ || !dir_pointer_.valid()) return;
+  size_t changed = push_delta_.size() + push_removed_.size();
+  if (changed == 0) return;
+  double frac = static_cast<double>(changed) /
                 static_cast<double>(std::max<size_t>(content_.size(), 1));
   if (frac < ctx_->config->push_threshold) return;
   auto push = std::make_unique<PushMsg>();
   push->added = push_delta_;
+  push->removed = push_removed_;
   ctx_->network->Send(this, dir_pointer_.addr, std::move(push));
   dir_pointer_.age = 0;  // the push doubles as a liveness signal
   push_delta_.clear();
+  push_removed_.clear();
 }
 
 void ContentPeer::SendKeepalive() {
@@ -336,9 +383,10 @@ void ContentPeer::HandleJoinDirectoryResp(const JoinDirectoryResp& resp) {
   if (dir_pointer_.valid()) {
     // Re-introduce ourselves to the (new) directory with a full push.
     auto push = std::make_unique<PushMsg>();
-    push->added.assign(content_.begin(), content_.end());
+    push->added = content_.Objects();
     ctx_->network->Send(this, dir_pointer_.addr, std::move(push));
     push_delta_.clear();
+    push_removed_.clear();
   }
 }
 
@@ -353,11 +401,12 @@ void ContentPeer::HandleDirectoryHandoff(
 // --- Replication extension -----------------------------------------------------------
 
 void ContentPeer::HandleReplicaTransferCmd(const ReplicaTransferCmd& cmd) {
-  if (content_.count(cmd.object) == 0) return;
+  if (!content_.Contains(cmd.object)) return;
+  content_.Touch(cmd.object);
   ctx_->network->Send(this, cmd.target,
                       std::make_unique<ReplicaTransferMsg>(
                           cmd.object, site_->dring_hash,
-                          ctx_->config->object_size_bits));
+                          site_->ObjectSizeBits(cmd.object)));
 }
 
 void ContentPeer::HandleReplicaTransfer(
@@ -459,9 +508,26 @@ void ContentPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
     return;
   }
   if (auto* push = dynamic_cast<PushMsg*>(raw)) {
-    // Re-queue the delta and start directory replacement.
-    push_delta_.insert(push_delta_.begin(), push->added.begin(),
-                       push->added.end());
+    // Re-queue the delta and start directory replacement. The cache may
+    // have moved on while the push was in flight: only re-queue entries
+    // that still describe the current content (and are not queued
+    // already), so added/removed never contradict each other.
+    for (auto it = push->added.rbegin(); it != push->added.rend(); ++it) {
+      if (!content_.Contains(*it)) continue;
+      if (std::find(push_delta_.begin(), push_delta_.end(), *it) !=
+          push_delta_.end()) {
+        continue;
+      }
+      push_delta_.insert(push_delta_.begin(), *it);
+    }
+    for (auto it = push->removed.rbegin(); it != push->removed.rend(); ++it) {
+      if (content_.Contains(*it)) continue;
+      if (std::find(push_removed_.begin(), push_removed_.end(), *it) !=
+          push_removed_.end()) {
+        continue;
+      }
+      push_removed_.insert(push_removed_.begin(), *it);
+    }
     OnDirectoryUnreachable();
     return;
   }

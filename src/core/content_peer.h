@@ -13,9 +13,9 @@
 
 #include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
+#include "cache/content_store.h"
 #include "common/rng.h"
 #include "core/flower_context.h"
 #include "core/flower_messages.h"
@@ -48,14 +48,14 @@ class ContentPeer : public Peer {
   SimTime joined_at() const { return joined_at_; }
   PeerAddress directory() const { return dir_pointer_.addr; }
   const View& view() const { return view_; }
-  const std::set<ObjectId>& content() const { return content_; }
+  const ContentStore& content() const { return content_; }
   bool alive() const { return alive_; }
   uint64_t queries_started() const { return queries_started_; }
 
   /// State extraction when this peer is promoted to directory peer
   /// (paper Sec 5.2). Cancels all timers; the peer must then be discarded.
   struct PromotionState {
-    std::set<ObjectId> content;
+    ContentStore content;
     View view;
     SimTime joined_at = -1;
   };
@@ -98,6 +98,7 @@ class ContentPeer : public Peer {
 
   // Push & keepalive (Algorithm 5 / Sec 5.1).
   void AddObject(ObjectId object);
+  static void DropDelta(std::vector<ObjectId>* delta, ObjectId object);
   void MaybePush();
   void SendKeepalive();
 
@@ -119,8 +120,9 @@ class ContentPeer : public Peer {
   bool joined_ = false;
   SimTime joined_at_ = -1;
 
-  std::set<ObjectId> content_;
-  std::vector<ObjectId> push_delta_;  // additions since the last push
+  ContentStore content_;
+  std::vector<ObjectId> push_delta_;    // additions since the last push
+  std::vector<ObjectId> push_removed_;  // evictions since the last push
   std::shared_ptr<const ContentSummary> summary_;  // current snapshot
   bool summary_dirty_ = true;
 

@@ -17,6 +17,7 @@ DirectoryPeer::DirectoryPeer(FlowerContext* ctx, const Website* site,
       locality_(locality),
       instance_(instance),
       rng_(rng_seed),
+      content_(ContentStore::FromConfig(*ctx->config)),
       view_(ctx->config->view_size, ctx->config->view_age_limit) {
   set_app(this);
 }
@@ -46,12 +47,12 @@ bool DirectoryPeer::Start(NodeId node) {
   return true;
 }
 
-void DirectoryPeer::SeedFromPromotion(std::set<ObjectId> content, View view,
+void DirectoryPeer::SeedFromPromotion(ContentStore content, View view,
                                       SimTime member_since) {
   (void)member_since;
   content_ = std::move(content);
   view_ = std::move(view);
-  for (ObjectId o : content_) NoteNewObjectId(o);
+  for (const auto& [o, size] : content_.entries()) NoteNewObjectId(o);
   MaybeRefreshNeighborSummaries();
 }
 
@@ -76,7 +77,7 @@ void DirectoryPeer::InstallHandoff(const DirectoryHandoffMsg& handoff) {
   // predecessor); start counting changes from here.
   std::set<ObjectId> distinct;
   for (const auto& [o, c] : holder_counts_) distinct.insert(o);
-  distinct.insert(content_.begin(), content_.end());
+  for (const auto& [o, size] : content_.entries()) distinct.insert(o);
   ids_in_last_sent_summary_ = distinct.size();
   new_ids_since_summary_ = 0;
 }
@@ -186,7 +187,7 @@ void DirectoryPeer::ProcessQuery(std::unique_ptr<FlowerQueryMsg> query) {
     RedirectToServer(std::move(query));
     return;
   }
-  if (content_.count(query->object) > 0) {
+  if (content_.Contains(query->object)) {
     ServeFromOwnContent(*query);
     return;
   }
@@ -197,12 +198,13 @@ void DirectoryPeer::ProcessQuery(std::unique_ptr<FlowerQueryMsg> query) {
 }
 
 void DirectoryPeer::ServeFromOwnContent(const FlowerQueryMsg& query) {
+  content_.Touch(query.object);
   ctx_->metrics->OnLookupResolved(query.submit_time, ctx_->sim->Now(),
                                   /*provider_is_server=*/false);
   auto serve = std::make_unique<ServeMsg>(
       query.object, query.website, query.website_hash, address(),
       /*from_server=*/false, query.submit_time,
-      ctx_->config->object_size_bits);
+      site_->ObjectSizeBits(query.object));
   if (!query.client_is_member && query.client_loc == locality_ &&
       !view_.empty()) {
     serve->view_subset = view_.SelectSubset(ctx_->config->gossip_length,
@@ -360,7 +362,7 @@ std::shared_ptr<const ContentSummary> DirectoryPeer::BuildIndexSummary() {
       ctx_->config->summary_bits_per_object,
       ctx_->config->summary_num_hashes);
   for (const auto& [o, c] : holder_counts_) s->Add(o);
-  for (ObjectId o : content_) s->Add(o);
+  for (const auto& [o, size] : content_.entries()) s->Add(o);
   return s;
 }
 
@@ -386,7 +388,10 @@ void DirectoryPeer::RequestObject(ObjectId object) {
   if (!alive_) return;
   SimTime now = ctx_->sim->Now();
   // Local-cache hits never become queries (see ContentPeer::RequestObject).
-  if (content_.count(object) > 0) return;
+  if (content_.Contains(object)) {
+    content_.Touch(object);
+    return;
+  }
   if (pending_own_.count(object) > 0) {
     pending_own_[object].push_back(now);
     return;
@@ -401,7 +406,20 @@ void DirectoryPeer::RequestObject(ObjectId object) {
 }
 
 void DirectoryPeer::AddOwnObject(ObjectId object) {
-  if (!content_.insert(object).second) return;
+  if (content_.Contains(object)) {
+    content_.Touch(object);
+    return;
+  }
+  std::vector<ObjectId> evicted;
+  bool inserted =
+      content_.Insert(object, site_->ObjectSizeBits(object) / 8, &evicted);
+  if (!evicted.empty()) {
+    // Own-content evictions leave the next rebuilt index summary; per
+    // Sec 4.2.1 removals do not trigger an eager refresh (neighbors
+    // tolerate stale positives and fall back on NotFound).
+    ctx_->metrics->OnCacheEvictions(evicted.size());
+  }
+  if (!inserted) return;
   if (holder_counts_.count(object) == 0) {
     NoteNewObjectId(object);
     MaybeRefreshNeighborSummaries();
@@ -486,7 +504,7 @@ void DirectoryPeer::ReplicationTick() {
   ranked.reserve(request_counts_.size());
   for (const auto& [obj, count] : request_counts_) {
     // Offer only objects actually present in this overlay.
-    if (holder_counts_.count(obj) == 0 && content_.count(obj) == 0) continue;
+    if (holder_counts_.count(obj) == 0 && !content_.Contains(obj)) continue;
     ranked.emplace_back(count, obj);
   }
   if (ranked.empty()) return;
@@ -508,7 +526,7 @@ void DirectoryPeer::HandleReplicationOffer(const ReplicationOfferMsg& offer,
                                            PeerAddress from) {
   auto req = std::make_unique<ReplicationRequestMsg>();
   for (ObjectId o : offer.objects) {
-    if (holder_counts_.count(o) == 0 && content_.count(o) == 0) {
+    if (holder_counts_.count(o) == 0 && !content_.Contains(o)) {
       req->wanted.push_back(o);
     }
   }
@@ -537,11 +555,12 @@ void DirectoryPeer::HandleReplicationRequest(
       ctx_->network->Send(this, holder,
                           std::make_unique<ReplicaTransferCmd>(
                               o, req.deposit_target));
-    } else if (content_.count(o) > 0) {
+    } else if (content_.Contains(o)) {
+      content_.Touch(o);
       ctx_->network->Send(this, req.deposit_target,
                           std::make_unique<ReplicaTransferMsg>(
                               o, site_->dring_hash,
-                              ctx_->config->object_size_bits));
+                              site_->ObjectSizeBits(o)));
     }
   }
 }
@@ -612,7 +631,7 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
           ctx_->config->num_objects_per_website,
           ctx_->config->summary_bits_per_object,
           ctx_->config->summary_num_hashes);
-      for (ObjectId o : content_) s->Add(o);
+      for (const auto& [o, size] : content_.entries()) s->Add(o);
       reply->own_summary = std::move(s);
     }
     reply->view_subset =

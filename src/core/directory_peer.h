@@ -23,6 +23,7 @@
 #include <set>
 #include <vector>
 
+#include "cache/content_store.h"
 #include "common/rng.h"
 #include "core/dring_node.h"
 #include "core/flower_messages.h"
@@ -43,7 +44,7 @@ class DirectoryPeer : public DRingNode, public KbrApp {
   /// Seeds state when this directory was promoted from a content peer:
   /// its cached content and its view (used to answer first queries from
   /// content summaries while the index rebuilds, Sec 5.2).
-  void SeedFromPromotion(std::set<ObjectId> content, View view,
+  void SeedFromPromotion(ContentStore content, View view,
                          SimTime member_since);
 
   /// Installs a handed-over directory (voluntary leave of the predecessor).
@@ -70,7 +71,7 @@ class DirectoryPeer : public DRingNode, public KbrApp {
   bool HasSummaryFrom(Key dir_id) const {
     return summaries_.count(dir_id) > 0;
   }
-  const std::set<ObjectId>& own_content() const { return content_; }
+  const ContentStore& own_content() const { return content_; }
   uint64_t queries_processed() const { return queries_processed_; }
   uint64_t redirect_failures() const { return redirect_failures_; }
   bool alive() const { return alive_; }
@@ -154,7 +155,7 @@ class DirectoryPeer : public DRingNode, public KbrApp {
   size_t new_ids_since_summary_ = 0;
 
   // Own content (non-empty when promoted from a content peer).
-  std::set<ObjectId> content_;
+  ContentStore content_;
   View view_;  // inherited view; answers first queries during takeover
   std::map<ObjectId, std::vector<SimTime>> pending_own_;  // own requests
 

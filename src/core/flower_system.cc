@@ -49,8 +49,8 @@ void FlowerSystem::Setup() {
   servers_.reserve(static_cast<size_t>(catalog_->size()));
   for (int w = 0; w < catalog_->size(); ++w) {
     Website& site = catalog_->mutable_site(static_cast<WebsiteId>(w));
-    auto server = std::make_unique<OriginServer>(
-        sim_, network_, metrics_, &site, config_.object_size_bits);
+    auto server = std::make_unique<OriginServer>(sim_, network_, metrics_,
+                                                 &site);
     server->Activate(deployment_.server_nodes[static_cast<size_t>(w)]);
     site.server_addr = server->address();
     servers_.push_back(std::move(server));

@@ -7,12 +7,8 @@
 namespace flower {
 
 OriginServer::OriginServer(Simulator* sim, Network* network, Metrics* metrics,
-                           const Website* site, uint64_t object_size_bits)
-    : sim_(sim),
-      network_(network),
-      metrics_(metrics),
-      site_(site),
-      object_size_bits_(object_size_bits) {
+                           const Website* site)
+    : sim_(sim), network_(network), metrics_(metrics), site_(site) {
   assert(site != nullptr);
   objects_.insert(site->objects.begin(), site->objects.end());
 }
@@ -40,7 +36,8 @@ void OriginServer::HandleMessage(MessagePtr msg) {
   }
   auto serve = std::make_unique<ServeMsg>(
       query->object, query->website, query->website_hash, address(),
-      /*from_server=*/true, query->submit_time, object_size_bits_);
+      /*from_server=*/true, query->submit_time,
+      site_->ObjectSizeBits(query->object));
   network_->Send(this, query->client, std::move(serve));
 }
 

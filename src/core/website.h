@@ -4,6 +4,7 @@
 #define FLOWERCDN_CORE_WEBSITE_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
@@ -21,6 +22,27 @@ struct Website {
   std::vector<ObjectId> objects;
   /// Network address of the origin server (filled by the deployment).
   PeerAddress server_addr = kInvalidAddress;
+
+  /// Nominal object size, used for ids missing from the size table
+  /// (defensive: malformed traces, hand-built Websites in tests). Set
+  /// from config.object_size_bits by WebsiteCatalog.
+  uint64_t default_size_bits = 10 * 8 * 1024;
+  /// Per-object wire/storage sizes in bits, drawn from
+  /// config.object_size_distribution; derived from the object URL hash,
+  /// not an RNG stream. Single source of truth for sizes.
+  std::unordered_map<ObjectId, uint64_t> size_bits_by_id;
+
+  /// Size of an object by id.
+  uint64_t ObjectSizeBits(ObjectId id) const {
+    auto it = size_bits_by_id.find(id);
+    return it != size_bits_by_id.end() ? it->second : default_size_bits;
+  }
+
+  /// Size of an object by popularity rank.
+  uint64_t SizeBitsOfRank(size_t rank) const {
+    return rank < objects.size() ? ObjectSizeBits(objects[rank])
+                                 : default_size_bits;
+  }
 };
 
 class WebsiteCatalog {

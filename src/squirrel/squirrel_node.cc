@@ -88,7 +88,7 @@ void SquirrelNode::ServeClient(const FlowerQueryMsg& query) {
   auto serve = std::make_unique<ServeMsg>(
       query.object, query.website, query.website_hash, address(),
       /*from_server=*/false, query.submit_time,
-      ctx_->config->object_size_bits);
+      SiteOf(query)->ObjectSizeBits(query.object));
   ctx_->network->Send(this, query.client, std::move(serve));
 }
 
@@ -163,7 +163,7 @@ void SquirrelNode::HandleServe(std::unique_ptr<ServeMsg> serve) {
       auto out = std::make_unique<ServeMsg>(
           object, q->website, q->website_hash, address(),
           /*from_server=*/first, q->submit_time,
-          ctx_->config->object_size_bits);
+          SiteOf(*q)->ObjectSizeBits(object));
       ctx_->network->Send(this, q->client, std::move(out));
       first = false;
     }

@@ -59,8 +59,12 @@ std::string Metrics::Summary(SimTime elapsed) const {
      << " hit_ratio(cum)=" << CumulativeHitRatio()
      << " lookup_mean=" << MeanLookupLatency() << "ms"
      << " transfer_mean=" << MeanTransferDistance() << "ms"
-     << " server_hits=" << server_hits_
-     << " elapsed=" << elapsed / kHour << "h";
+     << " server_hits=" << server_hits_;
+  if (cache_evictions_ > 0 || stale_redirects_ > 0) {
+    os << " evictions=" << cache_evictions_
+       << " stale_redirects=" << stale_redirects_;
+  }
+  os << " elapsed=" << elapsed / kHour << "h";
   return os.str();
 }
 

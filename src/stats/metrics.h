@@ -45,6 +45,17 @@ class Metrics {
   /// Origin-server load accounting (per query served by the server).
   void OnServerHit() { ++server_hits_; }
 
+  // --- Cache pressure hooks (src/cache/ subsystem) ------------------------------
+
+  /// A peer's bounded content store evicted `n` objects to make room.
+  void OnCacheEvictions(uint64_t n) { cache_evictions_ += n; }
+
+  /// A query was redirected to a peer that no longer (or never) held the
+  /// object — a stale bloom summary / directory entry or a Bloom false
+  /// positive. The query falls back through the pipeline; this counts the
+  /// wasted hop so eviction-induced staleness is measurable.
+  void OnStaleRedirect() { ++stale_redirects_; }
+
   /// Serve counts by provider kind (diagnostics for Fig 8 analyses).
   uint64_t ServesBy(ProviderKind kind) const {
     return serves_by_kind_[static_cast<size_t>(kind)];
@@ -55,6 +66,8 @@ class Metrics {
   uint64_t queries_submitted() const { return queries_submitted_; }
   uint64_t queries_served() const { return hit_series_.total_trials(); }
   uint64_t server_hits() const { return server_hits_; }
+  uint64_t cache_evictions() const { return cache_evictions_; }
+  uint64_t stale_redirects() const { return stale_redirects_; }
 
   const RatioSeries& hit_series() const { return hit_series_; }
   const TimeSeries& lookup_series() const { return lookup_series_; }
@@ -88,6 +101,8 @@ class Metrics {
   Histogram transfer_hist_;
   uint64_t queries_submitted_ = 0;
   uint64_t server_hits_ = 0;
+  uint64_t cache_evictions_ = 0;
+  uint64_t stale_redirects_ = 0;
   std::array<uint64_t, static_cast<size_t>(ProviderKind::kNumKinds)>
       serves_by_kind_{};
 };

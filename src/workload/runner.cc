@@ -102,6 +102,8 @@ void CollectSeries(const Metrics& metrics, const SimConfig& config,
   result->queries_submitted = metrics.queries_submitted();
   result->queries_served = metrics.queries_served();
   result->server_hits = metrics.server_hits();
+  result->cache_evictions = metrics.cache_evictions();
+  result->stale_redirects = metrics.stale_redirects();
   result->final_hit_ratio = metrics.FinalHitRatio();
   result->cumulative_hit_ratio = metrics.CumulativeHitRatio();
   result->mean_lookup_ms = metrics.MeanLookupLatency();
@@ -209,6 +211,10 @@ std::string FormatRunSummary(const RunResult& r) {
      << " background=" << r.background_bps << "bps"
      << " peers=" << r.participants << " queries=" << r.queries_submitted
      << " server_hits=" << r.server_hits;
+  if (r.cache_evictions > 0 || r.stale_redirects > 0) {
+    os << " evictions=" << r.cache_evictions
+       << " stale_redirects=" << r.stale_redirects;
+  }
   return os.str();
 }
 

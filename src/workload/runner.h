@@ -58,6 +58,10 @@ struct RunResult {
   uint64_t served_by_local_peer = 0;
   uint64_t served_by_remote_peer = 0;
 
+  // Cache-pressure statistics (zero with the default unbounded policy).
+  uint64_t cache_evictions = 0;
+  uint64_t stale_redirects = 0;
+
   // Churn statistics (zero without churn).
   uint64_t churn_failures = 0;
   uint64_t churn_leaves = 0;

@@ -14,10 +14,11 @@ Status Trace::Save(const std::string& path) const {
   if (f == nullptr) {
     return Status::Unavailable("cannot open " + path + " for writing");
   }
-  std::fprintf(f, "flower-trace v1 %zu\n", events_.size());
+  std::fprintf(f, "flower-trace v2 %zu\n", events_.size());
   for (const QueryEvent& e : events_) {
-    std::fprintf(f, "%" PRId64 " %u %zu %" PRIu64 " %u %u\n", e.time,
-                 e.website, e.object_rank, e.object, e.node, e.locality);
+    std::fprintf(f, "%" PRId64 " %u %zu %" PRIu64 " %u %u %" PRIu64 "\n",
+                 e.time, e.website, e.object_rank, e.object, e.node,
+                 e.locality, e.size_bits);
   }
   std::fclose(f);
   return Status::Ok();
@@ -28,8 +29,10 @@ Result<Trace> Trace::Load(const std::string& path) {
   if (f == nullptr) {
     return Status::NotFound("cannot open " + path);
   }
+  int version = 0;
   size_t count = 0;
-  if (std::fscanf(f, "flower-trace v1 %zu\n", &count) != 1) {
+  if (std::fscanf(f, "flower-trace v%d %zu\n", &version, &count) != 2 ||
+      (version != 1 && version != 2)) {
     std::fclose(f);
     return Status::InvalidArgument("bad trace header in " + path);
   }
@@ -37,11 +40,18 @@ Result<Trace> Trace::Load(const std::string& path) {
   events.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     QueryEvent e;
-    if (std::fscanf(f, "%" SCNd64 " %u %zu %" SCNu64 " %u %u\n", &e.time,
+    if (std::fscanf(f, "%" SCNd64 " %u %zu %" SCNu64 " %u %u", &e.time,
                     &e.website, &e.object_rank, &e.object, &e.node,
                     &e.locality) != 6) {
       std::fclose(f);
       return Status::InvalidArgument("truncated trace at event " +
+                                     std::to_string(i));
+    }
+    if (version >= 2 &&
+        std::fscanf(f, "%" SCNu64, &e.size_bits) != 1) {
+      // v1 events carry no size; a v2 row without one is malformed.
+      std::fclose(f);
+      return Status::InvalidArgument("missing size_bits at event " +
                                      std::to_string(i));
     }
     events.push_back(e);

@@ -25,12 +25,15 @@ class Trace {
   /// Records the full output of a generator.
   static Trace Record(WorkloadGenerator* generator);
 
-  /// Saves as a line-oriented text file:
-  ///   header line  "flower-trace v1 <count>"
-  ///   event lines  "<time> <website> <rank> <object> <node> <locality>"
+  /// Saves as a line-oriented text file (current format):
+  ///   header line  "flower-trace v2 <count>"
+  ///   event lines  "<time> <website> <rank> <object> <node> <locality>
+  ///                 <size_bits>"
   Status Save(const std::string& path) const;
 
-  /// Loads a file produced by Save. Validates the header and field counts.
+  /// Loads a file produced by Save. Validates the header and field
+  /// counts. v1 files (no per-object sizes) still load; their events
+  /// carry size_bits = 0.
   static Result<Trace> Load(const std::string& path);
 
  private:

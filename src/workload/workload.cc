@@ -52,7 +52,9 @@ bool WorkloadGenerator::Next(QueryEvent* out) {
   out->node = pools[loc][rng_.Index(pools[loc].size())];
 
   out->object_rank = zipf_.Sample(&rng_);
-  out->object = catalog_->site(out->website).objects[out->object_rank];
+  const Website& site = catalog_->site(out->website);
+  out->object = site.objects[out->object_rank];
+  out->size_bits = site.SizeBitsOfRank(out->object_rank);
   ++events_generated_;
   return true;
 }
