@@ -16,8 +16,9 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig base = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Ablation: cache capacity x replacement policy", base);
+  bench::Driver driver("ablation_cache", argc, argv);
+  driver.PrintHeader("Ablation: cache capacity x replacement policy");
+  const SimConfig& base = driver.config();
 
   const uint64_t object_bytes = base.object_size_bits / 8;
   // Capacities in objects' worth of bytes: severe pressure -> roomy.
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
   SimConfig unbounded = base;
   unbounded.cache_policy = "unbounded";
   unbounded.cache_capacity_bytes = 0;
-  RunResult reference = RunExperiment(unbounded, SystemKind::kFlower);
+  RunResult reference = driver.Run(unbounded, "flower", "unbounded");
   std::printf("  %-10s %-14s %-10s %-10s %-12llu %-14llu\n", "unbounded",
               "inf", bench::Fmt(reference.final_hit_ratio).c_str(),
               bench::Fmt(reference.cumulative_hit_ratio).c_str(),
@@ -48,7 +49,8 @@ int main(int argc, char** argv) {
       SimConfig c = base;
       c.cache_policy = policy;
       c.cache_capacity_bytes = capacity;
-      RunResult r = RunExperiment(c, SystemKind::kFlower);
+      RunResult r = driver.Run(c, "flower",
+                               policy + "/" + std::to_string(capacity));
       std::printf("  %-10s %-14llu %-10s %-10s %-12llu %-14llu\n",
                   policy.c_str(), static_cast<unsigned long long>(capacity),
                   bench::Fmt(r.final_hit_ratio).c_str(),

@@ -11,10 +11,11 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig base = bench::ConfigFromArgs(argc, argv);
-  base.churn_enabled = true;
-  base.churn_mean_downtime = 30 * kMinute;
-  bench::PrintHeader("Ablation: churn (mean session length sweep)", base);
+  bench::Driver driver("ablation_churn", argc, argv);
+  driver.config().churn_enabled = true;
+  driver.config().churn_mean_downtime = 30 * kMinute;
+  driver.PrintHeader("Ablation: churn (mean session length sweep)");
+  const SimConfig& base = driver.config();
 
   std::printf("  %-14s %-12s %-12s %-12s %-12s\n", "mean_session",
               "hit_ratio", "served/sub", "dir_deaths", "promotions");
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
     } else {
       c.churn_mean_session = row.session;
     }
-    RunResult r = RunExperiment(c, SystemKind::kFlower);
+    RunResult r = driver.Run(c, "flower", row.label);
     double served_frac =
         r.queries_submitted == 0
             ? 0

@@ -10,16 +10,14 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig base = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Ablation: Squirrel home-store vs directory", base);
+  bench::Driver driver("ablation_homestore", argc, argv);
+  driver.PrintHeader("Ablation: Squirrel home-store vs directory");
 
   std::printf("  %-22s %-12s %-12s %-14s\n", "variant", "hit_ratio",
               "lookup_ms", "transfer_ms");
-  for (SystemKind kind : {SystemKind::kSquirrelDirectory,
-                          SystemKind::kSquirrelHomeStore,
-                          SystemKind::kFlower}) {
-    RunResult r = RunExperiment(base, kind);
-    std::printf("  %-22s %-12s %-12s %-14s\n", SystemKindName(r.system),
+  for (const char* system : {"squirrel", "squirrel-home", "flower"}) {
+    RunResult r = driver.Run(system, system);
+    std::printf("  %-22s %-12s %-12s %-14s\n", r.system_name.c_str(),
                 bench::Fmt(r.final_hit_ratio).c_str(),
                 bench::Fmt(r.mean_lookup_ms, 1).c_str(),
                 bench::Fmt(r.mean_transfer_ms, 1).c_str());

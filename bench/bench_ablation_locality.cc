@@ -13,8 +13,9 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig base = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Ablation: locality-awareness", base);
+  bench::Driver driver("ablation_locality", argc, argv);
+  driver.PrintHeader("Ablation: locality-awareness");
+  const SimConfig& base = driver.config();
 
   std::printf("  %-18s %-12s %-12s %-14s\n", "variant", "hit_ratio",
               "lookup_ms", "transfer_ms");
@@ -26,19 +27,19 @@ int main(int argc, char** argv) {
                 bench::Fmt(r.mean_transfer_ms, 1).c_str());
   };
 
-  RunResult with = RunExperiment(base, SystemKind::kFlower);
+  RunResult with = driver.Run(base, "flower", "locality-aware");
   report("locality-aware", with);
 
   SimConfig flat = base;
   flat.min_intra_latency = flat.min_inter_latency;
   flat.max_intra_latency = flat.max_inter_latency;
-  RunResult no_topology = RunExperiment(flat, SystemKind::kFlower);
+  RunResult no_topology = driver.Run(flat, "flower", "flat-topology");
   report("flat topology", no_topology);
 
   SimConfig single = base;
   single.num_localities = 1;
   single.locality_weights = {1.0};
-  RunResult k1 = RunExperiment(single, SystemKind::kFlower);
+  RunResult k1 = driver.Run(single, "flower", "single-locality");
   report("single locality", k1);
 
   bench::PrintComparison(

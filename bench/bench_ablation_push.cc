@@ -10,8 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig base = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Ablation: push threshold {0.1, 0.5, 0.7}", base);
+  bench::Driver driver("ablation_push", argc, argv);
+  driver.PrintHeader("Ablation: push threshold {0.1, 0.5, 0.7}");
+  const SimConfig& base = driver.config();
 
   std::printf("  %-10s %-12s %-14s %-12s\n", "threshold", "hit_ratio",
               "background_bps", "lookup_ms");
@@ -19,7 +20,7 @@ int main(int argc, char** argv) {
   for (double thr : {0.1, 0.5, 0.7}) {
     SimConfig c = base;
     c.push_threshold = thr;
-    RunResult r = RunExperiment(c, SystemKind::kFlower);
+    RunResult r = driver.Run(c, "flower", "thr=" + bench::Fmt(thr, 1));
     hr_min = std::min(hr_min, r.final_hit_ratio);
     hr_max = std::max(hr_max, r.final_hit_ratio);
     std::printf("  %-10s %-12s %-14s %-12s\n", bench::Fmt(thr, 1).c_str(),

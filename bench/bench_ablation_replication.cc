@@ -11,9 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig base = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Ablation: active replication (Sec 8 extension)",
-                     base);
+  bench::Driver driver("ablation_replication", argc, argv);
+  driver.PrintHeader("Ablation: active replication (Sec 8 extension)");
+  const SimConfig& base = driver.config();
 
   std::printf("  %-14s %-12s %-12s %-14s\n", "replication", "hit_ratio",
               "hit_ratio_cum", "server_hits");
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     c.active_replication = enabled;
     c.replication_period = 1 * kHour;
     c.replication_top_objects = 10;
-    RunResult r = RunExperiment(c, SystemKind::kFlower);
+    RunResult r = driver.Run(c, "flower", enabled ? "on" : "off");
     if (enabled) {
       on = r;
     } else {

@@ -10,10 +10,10 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig base = bench::ConfigFromArgs(argc, argv);
-  base.max_content_overlay_size = 25;  // tight capacity to make b matter
-  bench::PrintHeader("Ablation: scale-up instances (Sec 5.3), S_co=25",
-                     base);
+  bench::Driver driver("ablation_scaleup", argc, argv);
+  driver.config().max_content_overlay_size = 25;  // tight, to make b matter
+  driver.PrintHeader("Ablation: scale-up instances (Sec 5.3), S_co=25");
+  const SimConfig& base = driver.config();
 
   std::printf("  %-12s %-14s %-12s %-12s\n", "instances", "participants",
               "hit_ratio", "server_hits");
@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
     SimConfig c = base;
     c.scaleup_instances = instances;
     c.scaleup_extra_bits = instances > 1 ? 1 : 0;
-    RunResult r = RunExperiment(c, SystemKind::kFlower);
+    RunResult r = driver.Run(c, "flower",
+                             "instances=" + std::to_string(instances));
     if (instances == 1) participants_1 = r.participants;
     if (instances == 2) participants_2 = r.participants;
     std::printf("  %-12d %-14zu %-12s %-12llu\n", instances, r.participants,

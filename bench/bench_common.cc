@@ -24,34 +24,62 @@ SimConfig QuickConfig() {
   return c;
 }
 
-SimConfig ConfigFromArgs(int argc, char** argv) {
-  SimConfig c = PaperConfig();
+Driver::Driver(std::string name, int argc, char** argv)
+    : name_(std::move(name)), config_(PaperConfig()) {
   int start = 1;
   if (argc > 1 && std::strcmp(argv[1], "quick") == 0) {
-    c = QuickConfig();
+    config_ = QuickConfig();
     start = 2;
   }
   for (int a = start; a < argc; ++a) {
     std::string tok = argv[a];
     size_t eq = tok.find('=');
+    std::string key = eq == std::string::npos ? tok : tok.substr(0, eq);
+    if (key == "json" || key == "csv") {
+      std::string path = eq == std::string::npos ? "" : tok.substr(eq + 1);
+      if (path.empty()) path = "BENCH_" + name_ + "." + key;
+      if (key == "json") {
+        sinks_.push_back(std::make_unique<JsonResultSink>(path));
+      } else {
+        sinks_.push_back(std::make_unique<CsvResultSink>(path));
+      }
+      continue;
+    }
     if (eq == std::string::npos) {
       std::fprintf(stderr, "expected key=value, got %s\n", tok.c_str());
       std::exit(1);
     }
-    Status s = c.Apply(tok.substr(0, eq), tok.substr(eq + 1));
+    Status s = config_.Apply(key, tok.substr(eq + 1));
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       std::exit(1);
     }
   }
-  return c;
 }
 
-void PrintHeader(const std::string& title, const SimConfig& config) {
+Driver::~Driver() {
+  for (std::unique_ptr<ResultSink>& sink : sinks_) sink->Flush();
+}
+
+void Driver::PrintHeader(const std::string& title) const {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());
-  std::printf("  %s\n", config.ToString().c_str());
+  std::printf("  %s\n", config_.ToString().c_str());
   std::printf("==============================================================\n");
+}
+
+RunResult Driver::Run(const SimConfig& config, const std::string& system,
+                      const std::string& label) {
+  Experiment experiment(config);
+  experiment.WithSystem(system).WithLabel(label);
+  for (std::unique_ptr<ResultSink>& sink : sinks_) {
+    experiment.AddSink(sink.get());
+  }
+  return experiment.Run();
+}
+
+RunResult Driver::Run(const std::string& system, const std::string& label) {
+  return Run(config_, system, label);
 }
 
 void PrintComparison(const std::string& what, const std::string& paper,

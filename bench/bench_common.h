@@ -1,12 +1,17 @@
 // Shared scaffolding for the experiment drivers that regenerate the
-// paper's tables and figures (see DESIGN.md Sec 4 for the index).
+// paper's tables and figures. Every driver funnels its runs through
+// bench::Driver, which wraps the Experiment builder (src/api/) and owns
+// the optional machine-readable sinks, so `./bench_fig6 quick json`
+// writes BENCH_fig6.json next to the usual text tables.
 #ifndef FLOWERCDN_BENCH_BENCH_COMMON_H_
 #define FLOWERCDN_BENCH_BENCH_COMMON_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "api/experiment.h"
 #include "common/config.h"
-#include "workload/runner.h"
 
 namespace flower {
 namespace bench {
@@ -20,12 +25,35 @@ SimConfig PaperConfig();
 /// Scaled-down setup for quick sanity runs (pass "quick" as argv[1]).
 SimConfig QuickConfig();
 
-/// Parses CLI: optional leading "quick", then key=value overrides.
-/// Exits with a message on bad input.
-SimConfig ConfigFromArgs(int argc, char** argv);
+/// Per-driver harness. Parses the CLI — optional leading "quick", then
+/// any mix of key=value config overrides and the sink tokens
+/// `json[=PATH]` / `csv[=PATH]` (defaults BENCH_<name>.json|csv) — and
+/// runs experiments through the builder with the parsed sinks attached.
+class Driver {
+ public:
+  /// Exits with a message on bad input.
+  Driver(std::string name, int argc, char** argv);
+  ~Driver();
 
-/// Prints a header naming the experiment and the config.
-void PrintHeader(const std::string& title, const SimConfig& config);
+  const SimConfig& config() const { return config_; }
+  SimConfig& config() { return config_; }
+
+  /// Prints a header naming the experiment and the base config.
+  void PrintHeader(const std::string& title) const;
+
+  /// Runs one experiment over `config` with the shared sinks attached.
+  RunResult Run(const SimConfig& config, const std::string& system,
+                const std::string& label = std::string());
+
+  /// Same, over the driver's base config.
+  RunResult Run(const std::string& system,
+                const std::string& label = std::string());
+
+ private:
+  std::string name_;
+  SimConfig config_;
+  std::vector<std::unique_ptr<ResultSink>> sinks_;
+};
 
 /// Prints a paper-vs-measured comparison line.
 void PrintComparison(const std::string& what, const std::string& paper,

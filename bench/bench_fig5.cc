@@ -9,10 +9,11 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig c = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Figure 5: hit ratio & background traffic vs time", c);
+  bench::Driver driver("fig5", argc, argv);
+  driver.PrintHeader("Figure 5: hit ratio & background traffic vs time");
+  const SimConfig& c = driver.config();
 
-  RunResult r = RunExperiment(c, SystemKind::kFlower);
+  RunResult r = driver.Run("flower", "flower");
 
   std::printf("  %-10s %-12s %-14s\n", "hour", "hit_ratio", "background_bps");
   size_t windows = std::max(r.hit_ratio_by_window.size(),

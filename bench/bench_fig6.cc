@@ -9,12 +9,12 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig c = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Figure 6: hit ratio vs time, Flower-CDN vs Squirrel",
-                     c);
+  bench::Driver driver("fig6", argc, argv);
+  driver.PrintHeader("Figure 6: hit ratio vs time, Flower-CDN vs Squirrel");
+  const SimConfig& c = driver.config();
 
-  RunResult flower = RunExperiment(c, SystemKind::kFlower);
-  RunResult squirrel = RunExperiment(c, SystemKind::kSquirrelDirectory);
+  RunResult flower = driver.Run("flower", "flower");
+  RunResult squirrel = driver.Run("squirrel", "squirrel");
 
   std::printf("  %-10s %-14s %-14s\n", "hour", "flower", "squirrel");
   size_t windows = std::max(flower.hit_ratio_by_window.size(),

@@ -9,11 +9,12 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig c = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Figure 8: transfer distance", c);
+  bench::Driver driver("fig8", argc, argv);
+  driver.PrintHeader("Figure 8: transfer distance");
+  const SimConfig& c = driver.config();
 
-  RunResult flower = RunExperiment(c, SystemKind::kFlower);
-  RunResult squirrel = RunExperiment(c, SystemKind::kSquirrelDirectory);
+  RunResult flower = driver.Run("flower", "flower");
+  RunResult squirrel = driver.Run("squirrel", "squirrel");
 
   std::printf("  (a) average transfer distance per window [ms]\n");
   std::printf("  %-10s %-12s\n", "hour", "flower");

@@ -1,6 +1,18 @@
-// Microbenchmarks (google-benchmark) for the hot data structures of the
-// simulator and the protocols: event queue, Bloom filters, view merges,
-// Zipf sampling, Chord routing steps, topology latency lookups.
+// Microbenchmarks for the hot data structures of the simulator and the
+// protocols (google-benchmark: event queue, Bloom filters, view merges,
+// Zipf sampling, Chord routing steps, topology latency lookups), plus a
+// `sweep` subcommand that runs a short end-to-end experiment per system
+// through the Experiment builder — the machine-readable smoke run CI
+// uploads as BENCH_micro.json:
+//
+//   ./bench_micro sweep quick json          # -> BENCH_micro.json
+//   ./bench_micro                           # google-benchmark suite
+#include <algorithm>
+#include <cstring>
+
+#include "bench_common.h"
+
+#ifdef FLOWER_HAVE_GOOGLE_BENCHMARK
 #include <benchmark/benchmark.h>
 
 #include "bloom/bloom_filter.h"
@@ -170,5 +182,56 @@ BENCHMARK(BM_RngNext);
 
 }  // namespace
 }  // namespace flower
+#endif  // FLOWER_HAVE_GOOGLE_BENCHMARK
 
-BENCHMARK_MAIN();
+namespace flower {
+namespace {
+
+/// A fast macro sweep: one short run per registered system, emitting the
+/// full per-window trajectories through the driver's sinks.
+int RunMicroSweep(int argc, char** argv) {
+  bench::Driver driver("micro", argc, argv);
+  // Scale the (already small) quick/paper config down to smoke size.
+  SimConfig& base = driver.config();
+  base.num_topology_nodes = std::min(base.num_topology_nodes, 800);
+  base.num_websites = std::min(base.num_websites, 10);
+  base.num_active_websites = std::min(base.num_active_websites, 3);
+  base.max_content_overlay_size =
+      std::min(base.max_content_overlay_size, 30);
+  base.duration = std::min<SimTime>(base.duration, 2 * kHour);
+  base.queries_per_second = std::min(base.queries_per_second, 2.0);
+  driver.PrintHeader("Micro sweep: one short run per system");
+
+  std::printf("  %-22s %-12s %-12s %-14s\n", "system", "hit_ratio",
+              "lookup_ms", "queries");
+  for (const std::string& system : SystemRegistry::Instance().Keys()) {
+    RunResult r = driver.Run(base, system, system);
+    std::printf("  %-22s %-12s %-12s %-14llu\n", r.system_name.c_str(),
+                bench::Fmt(r.final_hit_ratio).c_str(),
+                bench::Fmt(r.mean_lookup_ms, 1).c_str(),
+                static_cast<unsigned long long>(r.queries_submitted));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flower
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
+    return flower::RunMicroSweep(argc - 1, argv + 1);
+  }
+#ifdef FLOWER_HAVE_GOOGLE_BENCHMARK
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "google-benchmark unavailable at build time; only "
+               "`bench_micro sweep [quick] [key=value...] [json|csv]` "
+               "is supported\n");
+  return 2;
+#endif
+}

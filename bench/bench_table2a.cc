@@ -11,8 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig base = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Table 2(a): varying L_gossip (T=30min, V=50)", base);
+  bench::Driver driver("table2a", argc, argv);
+  driver.PrintHeader("Table 2(a): varying L_gossip (T=30min, V=50)");
+  const SimConfig& base = driver.config();
 
   struct Row {
     int lgossip;
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     SimConfig c = base;
     c.gossip_length = row.lgossip;
-    RunResult r = RunExperiment(c, SystemKind::kFlower);
+    RunResult r = driver.Run(c, "flower", "L=" + std::to_string(row.lgossip));
     if (row.lgossip == 5) bps_l5 = r.background_bps;
     if (row.lgossip == 20) bps_l20 = r.background_bps;
     std::printf("  %-8d %-7s (%0.3f)        %-8s (%0.0f)\n", row.lgossip,

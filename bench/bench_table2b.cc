@@ -11,8 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig base = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Table 2(b): varying T_gossip (L=10, V=50)", base);
+  bench::Driver driver("table2b", argc, argv);
+  driver.PrintHeader("Table 2(b): varying T_gossip (L=10, V=50)");
+  const SimConfig& base = driver.config();
 
   struct Row {
     SimTime period;
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     SimConfig c = base;
     c.gossip_period = row.period;
-    RunResult r = RunExperiment(c, SystemKind::kFlower);
+    RunResult r = driver.Run(c, "flower", std::string("T=") + row.label);
     if (row.period == 1 * kMinute) bps_fast = r.background_bps;
     if (row.period == 1 * kHour) bps_slow = r.background_bps;
     std::printf("  %-8s %-7s (%0.2f)         %-9s (%0.0f)\n", row.label,

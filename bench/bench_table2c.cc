@@ -11,8 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace flower;
-  SimConfig base = bench::ConfigFromArgs(argc, argv);
-  bench::PrintHeader("Table 2(c): varying V_gossip (L=10, T=30min)", base);
+  bench::Driver driver("table2c", argc, argv);
+  driver.PrintHeader("Table 2(c): varying V_gossip (L=10, T=30min)");
+  const SimConfig& base = driver.config();
 
   struct Row {
     int vgossip;
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     SimConfig c = base;
     c.view_size = row.vgossip;
-    RunResult r = RunExperiment(c, SystemKind::kFlower);
+    RunResult r = driver.Run(c, "flower", "V=" + std::to_string(row.vgossip));
     bps_min = std::min(bps_min, r.background_bps);
     bps_max = std::max(bps_max, r.background_bps);
     std::printf("  %-8d %-7s (%0.3f)        %-9s (%0.0f)\n", row.vgossip,

@@ -6,8 +6,7 @@
 //   ./cache_pressure cache_capacity_bytes=65536 cache_policy=gdsf
 #include <cstdio>
 
-#include "common/config.h"
-#include "workload/runner.h"
+#include "api/experiment.h"
 
 int main(int argc, char** argv) {
   flower::SimConfig config;
@@ -34,12 +33,16 @@ int main(int argc, char** argv) {
   flower::SimConfig unbounded = config;
   unbounded.cache_policy = "unbounded";
   unbounded.cache_capacity_bytes = 0;
-  flower::RunResult baseline =
-      flower::RunExperiment(unbounded, flower::SystemKind::kFlower);
+  flower::RunResult baseline = flower::Experiment(unbounded)
+                                   .WithSystem("flower")
+                                   .WithLabel("unbounded")
+                                   .Run();
   std::printf("  unbounded : %s\n", flower::FormatRunSummary(baseline).c_str());
 
-  flower::RunResult bounded =
-      flower::RunExperiment(config, flower::SystemKind::kFlower);
+  flower::RunResult bounded = flower::Experiment(config)
+                                  .WithSystem("flower")
+                                  .WithLabel(config.cache_policy)
+                                  .Run();
   std::printf("  %-9s : %s\n", config.cache_policy.c_str(),
               flower::FormatRunSummary(bounded).c_str());
 

@@ -2,16 +2,13 @@
 // and go — including directory peers — while the workload keeps running.
 // Demonstrates keepalive-based failure detection, directory replacement
 // (join race and voluntary handoff) and the resulting service continuity.
+//
+// Built on the Experiment builder with an hourly Every() observer that
+// reads live system state through the typed FlowerAdapter.
 #include <cstdio>
 
-#include "common/config.h"
-#include "core/churn.h"
-#include "core/flower_system.h"
-#include "net/network.h"
-#include "net/topology.h"
-#include "sim/simulator.h"
-#include "stats/metrics.h"
-#include "workload/workload.h"
+#include "api/experiment.h"
+#include "api/systems.h"
 
 using namespace flower;
 
@@ -36,60 +33,47 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Simulator sim(config.seed);
-  Topology topology(config, sim.rng());
-  Network network(&sim, &topology);
-  Metrics metrics(config);
-  FlowerSystem system(config, &sim, &network, &topology, &metrics);
-  system.Setup();
-  ChurnManager churn(&system, config, Mix64(config.seed ^ 0xC0FFEE));
-  churn.Start();
-
-  WorkloadGenerator gen(config, system.deployment(), system.catalog(),
-                        Mix64(config.seed ^ 0x5EED));
-
-  // Drive the workload one event at a time; report hourly.
   std::printf("Churn resilience: mean session %lld min, %d%% crashes\n\n",
               static_cast<long long>(config.churn_mean_session / kMinute),
               static_cast<int>(100 * config.churn_fail_probability));
   std::printf("  %-6s %-10s %-10s %-10s %-12s %-12s\n", "hour", "hit",
               "deaths", "promos", "live_dirs", "live_peers");
 
-  QueryEvent ev;
-  bool more = gen.Next(&ev);
-  for (SimTime hour = 1; hour <= config.duration / kHour; ++hour) {
-    while (more && ev.time <= hour * kHour) {
-      QueryEvent current = ev;
-      sim.ScheduleAt(current.time, [&system, &churn, current]() {
-        if (!churn.IsBlackedOut(current.node)) {
-          system.SubmitQuery(current.node, current.website, current.object);
-        }
-      });
-      more = gen.Next(&ev);
-    }
-    sim.RunUntil(hour * kHour);
-    size_t windows = metrics.hit_series().NumWindows();
-    double hit = windows == 0
-                     ? 0
-                     : metrics.hit_series().WindowRatio(windows - 1);
-    std::printf("  %-6lld %-10.3f %-10llu %-10llu %-12zu %-12zu\n",
-                static_cast<long long>(hour), hit,
-                static_cast<unsigned long long>(churn.failures() +
-                                                churn.leaves()),
-                static_cast<unsigned long long>(system.promotions()),
-                system.LiveDirectories().size(),
-                system.LiveContentPeers().size());
-  }
+  RunResult result =
+      Experiment(config)
+          .WithSystem("flower")
+          .Every(kHour,
+                 [](const ObserverContext& ctx) {
+                   auto* adapter = dynamic_cast<FlowerAdapter*>(ctx.system);
+                   FlowerSystem& system = adapter->system();
+                   ChurnManager* churn = adapter->churn();
+                   size_t windows = ctx.metrics->hit_series().NumWindows();
+                   double hit =
+                       windows == 0
+                           ? 0
+                           : ctx.metrics->hit_series().WindowRatio(windows -
+                                                                   1);
+                   std::printf(
+                       "  %-6lld %-10.3f %-10llu %-10llu %-12zu %-12zu\n",
+                       static_cast<long long>(ctx.now / kHour), hit,
+                       static_cast<unsigned long long>(churn->failures() +
+                                                       churn->leaves()),
+                       static_cast<unsigned long long>(system.promotions()),
+                       system.LiveDirectories().size(),
+                       system.LiveContentPeers().size());
+                 })
+          .Run();
 
-  std::printf("\n  %s\n", metrics.Summary(sim.Now()).c_str());
+  std::printf("\n  %s\n", FormatRunSummary(result).c_str());
   std::printf(
       "  %llu peers died (%llu crashes / %llu leaves); %llu directory\n"
       "  replacements kept every overlay reachable. Unserved queries: %llu\n",
-      static_cast<unsigned long long>(churn.failures() + churn.leaves()),
-      static_cast<unsigned long long>(churn.failures()),
-      static_cast<unsigned long long>(churn.leaves()),
-      static_cast<unsigned long long>(system.promotions()),
-      static_cast<unsigned long long>(metrics.queries_submitted() -
-                                      metrics.queries_served()));
+      static_cast<unsigned long long>(result.churn_failures +
+                                      result.churn_leaves),
+      static_cast<unsigned long long>(result.churn_failures),
+      static_cast<unsigned long long>(result.churn_leaves),
+      static_cast<unsigned long long>(result.directory_promotions),
+      static_cast<unsigned long long>(result.queries_submitted -
+                                      result.queries_served));
   return 0;
 }

@@ -3,19 +3,72 @@
 // a popular site and its query rate explodes. Flower-CDN absorbs the burst
 // in the content overlays; the origin server sees only first-fetches.
 //
-// This example drives FlowerSystem directly through its public API rather
-// than the canned runner, showing how to embed the library.
+// This example shows the two extension points of the Experiment builder:
+// a custom WorkloadSource (the three-phase flash-crowd arrival process)
+// and At() observers (per-phase reporting against the typed FlowerAdapter
+// from src/api/systems.h).
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "common/config.h"
-#include "core/flower_system.h"
-#include "net/network.h"
-#include "net/topology.h"
-#include "sim/simulator.h"
-#include "stats/metrics.h"
-#include "workload/workload.h"
+#include "api/experiment.h"
+#include "api/systems.h"
+#include "common/hash.h"
 
 using namespace flower;
+
+namespace {
+
+struct Phase {
+  const char* name;
+  double qps;
+  SimTime length;
+};
+
+/// Piecewise-constant Poisson arrivals: each phase runs the paper's
+/// synthetic generator at its own rate over its own time slice.
+class PhasedWorkload : public WorkloadSource {
+ public:
+  PhasedWorkload(const WorkloadEnv& env, std::vector<Phase> phases)
+      : env_(env), phases_(std::move(phases)) {}
+
+  const std::string& name() const override { return name_; }
+
+  bool Next(QueryEvent* out) override {
+    while (phase_ < phases_.size()) {
+      if (generator_ == nullptr) {
+        phase_config_ = *env_.config;
+        phase_config_.queries_per_second = phases_[phase_].qps;
+        phase_config_.duration = start_ + phases_[phase_].length;
+        generator_ = std::make_unique<WorkloadGenerator>(
+            phase_config_, *env_.deployment, *env_.catalog,
+            Mix64(env_.config->seed) ^ static_cast<uint64_t>(start_));
+      }
+      QueryEvent ev;
+      while (generator_->Next(&ev)) {
+        if (ev.time <= start_) continue;  // skip the pre-phase warm-up
+        *out = ev;
+        return true;
+      }
+      start_ += phases_[phase_].length;
+      ++phase_;
+      generator_.reset();
+    }
+    return false;
+  }
+
+ private:
+  WorkloadEnv env_;
+  std::vector<Phase> phases_;
+  SimConfig phase_config_;
+  std::unique_ptr<WorkloadGenerator> generator_;
+  size_t phase_ = 0;
+  SimTime start_ = 0;
+  std::string name_ = "flash-crowd";
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   SimConfig config;
@@ -33,51 +86,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Simulator sim(config.seed);
-  Topology topology(config, sim.rng());
-  Network network(&sim, &topology);
-  Metrics metrics(config);
-  FlowerSystem system(config, &sim, &network, &topology, &metrics);
-  system.Setup();
-
-  std::printf("Flash crowd on %s\n",
-              system.catalog().site(0).url.c_str());
-
   // Phase 1: calm browsing at 0.5 q/s for 2 hours.
   // Phase 2: the flash crowd - 20 q/s for 2 hours.
   // Phase 3: decay back to 2 q/s.
-  struct Phase {
-    const char* name;
-    double qps;
-    SimTime length;
-  };
-  const Phase phases[] = {{"calm", 0.5, 2 * kHour},
-                          {"flash crowd", 20.0, 2 * kHour},
-                          {"decay", 2.0, 4 * kHour}};
+  const std::vector<Phase> phases = {{"calm", 0.5, 2 * kHour},
+                                     {"flash crowd", 20.0, 2 * kHour},
+                                     {"decay", 2.0, 4 * kHour}};
 
-  OriginServer* server = system.FindServer(0);
-  uint64_t prev_server_hits = 0;
+  std::printf("Flash crowd through the Experiment builder\n\n");
+
   uint64_t prev_queries = 0;
-
-  for (const Phase& phase : phases) {
-    SimConfig phase_config = config;
-    phase_config.queries_per_second = phase.qps;
-    phase_config.duration = sim.Now() + phase.length;
-    WorkloadGenerator gen(phase_config, system.deployment(),
-                          system.catalog(), Mix64(config.seed) ^ sim.Now());
-    // Skip the generator ahead to "now".
-    QueryEvent ev;
-    while (gen.Next(&ev)) {
-      if (ev.time <= sim.Now()) continue;
-      sim.ScheduleAt(ev.time, [&system, ev]() {
-        system.SubmitQuery(ev.node, ev.website, ev.object);
-      });
-    }
-    sim.RunUntil(phase_config.duration);
-
-    uint64_t queries = metrics.queries_submitted() - prev_queries;
+  uint64_t prev_server_hits = 0;
+  size_t reported = 0;
+  auto report_phase = [&](const ObserverContext& ctx) {
+    auto* adapter = dynamic_cast<FlowerAdapter*>(ctx.system);
+    OriginServer* server = adapter->system().FindServer(0);
+    const Phase& phase = phases[reported++];
+    uint64_t queries = ctx.metrics->queries_submitted() - prev_queries;
     uint64_t server_hits = server->queries_served() - prev_server_hits;
-    prev_queries = metrics.queries_submitted();
+    prev_queries = ctx.metrics->queries_submitted();
     prev_server_hits = server->queries_served();
     double relief =
         queries == 0 ? 0
@@ -88,13 +115,29 @@ int main(int argc, char** argv) {
         "server relief=%5.1f%%\n",
         phase.name, phase.qps, static_cast<unsigned long long>(queries),
         static_cast<unsigned long long>(server_hits), relief);
-  }
+  };
 
-  std::printf("\n  %s\n", metrics.Summary(sim.Now()).c_str());
+  Experiment experiment(config);
+  experiment.WithSystem("flower").WithWorkload(
+      [&phases](const WorkloadEnv& env)
+          -> Result<std::unique_ptr<WorkloadSource>> {
+        return std::unique_ptr<WorkloadSource>(
+            new PhasedWorkload(env, phases));
+      });
+  SimTime boundary = 0;
+  for (const Phase& phase : phases) {
+    boundary += phase.length;
+    // The run is clamped to `duration` (RunUntil is inclusive, so a
+    // boundary right at the end still reports).
+    experiment.At(std::min(boundary, config.duration), report_phase);
+  }
+  RunResult result = experiment.Run();
+
+  std::printf("\n  %s\n", FormatRunSummary(result).c_str());
   std::printf(
       "  The flash crowd was served almost entirely by the P2P overlays:\n"
       "  the origin server handled %llu of %llu total queries.\n",
-      static_cast<unsigned long long>(server->queries_served()),
-      static_cast<unsigned long long>(metrics.queries_submitted()));
+      static_cast<unsigned long long>(result.server_hits),
+      static_cast<unsigned long long>(result.queries_submitted));
   return 0;
 }

@@ -3,6 +3,11 @@
 // locality via landmark pings, joins the content overlay of the new
 // locality as a fresh client, and its old overlay forgets it through the
 // usual failure-handling machinery.
+//
+// Unlike the other examples this one is not an experiment run at all —
+// it steps single peers through a scripted scenario — so it uses the
+// low-level wiring directly (see the appendix in core/flower_system.h)
+// rather than the Experiment builder.
 #include <cstdio>
 
 #include "common/config.h"

@@ -1,11 +1,12 @@
-// Quickstart: run a small Flower-CDN simulation and print the paper's four
-// metrics. Any config knob can be overridden on the command line as
-// key=value, e.g.:
+// Quickstart: run a small Flower-CDN simulation through the Experiment
+// builder (src/api/experiment.h) and print the paper's four metrics. Any
+// config knob can be overridden on the command line as key=value, e.g.:
 //   ./quickstart duration=2h gossip_period=5min num_websites=20
+//   ./quickstart system=squirrel-home          # via the SystemRegistry
+//   ./quickstart workload_trace=run.trace      # replay a recorded trace
 #include <cstdio>
 
-#include "common/config.h"
-#include "workload/runner.h"
+#include "api/experiment.h"
 
 int main(int argc, char** argv) {
   flower::SimConfig config;
@@ -26,13 +27,34 @@ int main(int argc, char** argv) {
   std::printf("Flower-CDN quickstart\n  config: %s\n\n",
               config.ToString().c_str());
 
-  flower::RunResult flower_run =
-      flower::RunExperiment(config, flower::SystemKind::kFlower);
-  std::printf("  %s\n", flower::FormatRunSummary(flower_run).c_str());
+  // One builder per run; the text sink prints each summary line.
+  flower::TextSummarySink text;
 
-  flower::RunResult squirrel_run =
-      flower::RunExperiment(config, flower::SystemKind::kSquirrelDirectory);
-  std::printf("  %s\n\n", flower::FormatRunSummary(squirrel_run).c_str());
+  // An explicit system= override runs just that system, resolved through
+  // the SystemRegistry (unknown keys fail with the known-key list).
+  bool explicit_system = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::string(argv[a]).rfind("system=", 0) == 0) {
+      explicit_system = true;
+    }
+  }
+  if (explicit_system) {
+    flower::RunResult r = flower::Experiment(config).AddSink(&text).Run();
+    std::printf("\n  lookup  < 150 ms : %.0f%%\n",
+                100 * r.LookupFractionBelow(150));
+    std::printf("  transfer< 100 ms : %.0f%%\n",
+                100 * r.TransferFractionBelow(100));
+    return 0;
+  }
+  flower::RunResult flower_run = flower::Experiment(config)
+                                     .WithSystem("flower")
+                                     .AddSink(&text)
+                                     .Run();
+  flower::RunResult squirrel_run = flower::Experiment(config)
+                                       .WithSystem("squirrel")
+                                       .AddSink(&text)
+                                       .Run();
+  std::printf("\n");
 
   std::printf("  lookup  < 150 ms : flower %.0f%%  squirrel %.0f%%\n",
               100 * flower_run.LookupFractionBelow(150),

@@ -1,0 +1,40 @@
+#include "api/cdn_system.h"
+
+namespace flower {
+
+SystemRegistry& SystemRegistry::Instance() {
+  static SystemRegistry* registry = []() {
+    auto* r = new SystemRegistry();
+    RegisterBuiltinSystems(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SystemRegistry::Register(const std::string& key, SystemFactory factory) {
+  factories_[key] = std::move(factory);
+}
+
+std::vector<std::string> SystemRegistry::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(factories_.size());
+  for (const auto& [key, factory] : factories_) keys.push_back(key);
+  return keys;
+}
+
+Result<std::unique_ptr<CdnSystem>> SystemRegistry::Create(
+    const std::string& key, const SystemContext& ctx) const {
+  auto it = factories_.find(key);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const std::string& k : Keys()) {
+      if (!known.empty()) known += "|";
+      known += k;
+    }
+    return Status::NotFound("unknown system \"" + key + "\" (known: " +
+                            known + ")");
+  }
+  return it->second(ctx);
+}
+
+}  // namespace flower

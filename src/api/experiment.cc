@@ -1,0 +1,260 @@
+#include "api/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "stats/metrics.h"
+
+namespace flower {
+
+namespace {
+
+/// Schedules workload events one at a time (keeps the event heap small),
+/// skipping originators the system reports as blacked out by churn.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Simulator* sim, WorkloadSource* source, CdnSystem* system)
+      : sim_(sim), source_(source), system_(system) {
+    ScheduleNext();
+  }
+
+ private:
+  void ScheduleNext() {
+    QueryEvent ev;
+    if (!source_->Next(&ev)) return;
+    sim_->ScheduleAt(ev.time, [this, ev]() {
+      if (!system_->IsBlackedOut(ev.node)) {
+        system_->SubmitQuery(ev.node, ev.website, ev.object);
+      }
+      ScheduleNext();
+    });
+  }
+
+  Simulator* sim_;
+  WorkloadSource* source_;
+  CdnSystem* system_;
+};
+
+/// Samples per-window background traffic for Figure 5.
+class BackgroundSampler {
+ public:
+  BackgroundSampler(Simulator* sim, const Network* network, SimTime window,
+                    CdnSystem* system)
+      : network_(network), system_(system) {
+    timer_ = sim->SchedulePeriodic(window, window, [this, window]() {
+      std::vector<PeerAddress> peers = system_->ParticipantAddresses();
+      uint64_t bits = network_->SumBits(
+          peers, {TrafficClass::kGossip, TrafficClass::kPush,
+                  TrafficClass::kKeepalive});
+      double window_s = static_cast<double>(window) / kSecond;
+      double bps = 0;
+      if (!peers.empty()) {
+        uint64_t delta = bits >= prev_bits_ ? bits - prev_bits_ : 0;
+        bps = static_cast<double>(delta) / window_s /
+              static_cast<double>(peers.size());
+      }
+      prev_bits_ = bits;
+      samples_.push_back(bps);
+    });
+  }
+  ~BackgroundSampler() { timer_.Cancel(); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  const Network* network_;
+  CdnSystem* system_;
+  uint64_t prev_bits_ = 0;
+  std::vector<double> samples_;
+  Simulator::PeriodicHandle timer_;
+};
+
+void CollectSeries(const Metrics& metrics, RunResult* result) {
+  const RatioSeries& hits = metrics.hit_series();
+  for (size_t i = 0; i < hits.NumWindows(); ++i) {
+    result->hit_ratio_by_window.push_back(hits.WindowRatio(i));
+  }
+  const TimeSeries& lookups = metrics.lookup_series();
+  for (size_t i = 0; i < lookups.NumWindows(); ++i) {
+    result->lookup_ms_by_window.push_back(lookups.WindowMean(i));
+  }
+  const TimeSeries& transfers = metrics.transfer_series();
+  for (size_t i = 0; i < transfers.NumWindows(); ++i) {
+    result->transfer_ms_by_window.push_back(transfers.WindowMean(i));
+  }
+  result->served_by_server =
+      metrics.ServesBy(Metrics::ProviderKind::kServer);
+  result->served_by_local_peer =
+      metrics.ServesBy(Metrics::ProviderKind::kLocalPeer);
+  result->served_by_remote_peer =
+      metrics.ServesBy(Metrics::ProviderKind::kRemotePeer);
+  result->queries_submitted = metrics.queries_submitted();
+  result->queries_served = metrics.queries_served();
+  result->server_hits = metrics.server_hits();
+  result->cache_evictions = metrics.cache_evictions();
+  result->stale_redirects = metrics.stale_redirects();
+  result->replica_declines = metrics.replica_declines();
+  result->final_hit_ratio = metrics.FinalHitRatio();
+  result->cumulative_hit_ratio = metrics.CumulativeHitRatio();
+  result->mean_lookup_ms = metrics.MeanLookupLatency();
+  result->mean_transfer_ms = metrics.MeanTransferDistance();
+  result->lookup_hist = metrics.lookup_histogram();
+  result->transfer_hist = metrics.transfer_histogram();
+}
+
+}  // namespace
+
+Experiment::Experiment(SimConfig config) : config_(std::move(config)) {}
+
+Experiment& Experiment::WithSystem(std::string registry_key) {
+  system_key_ = std::move(registry_key);
+  system_factory_ = nullptr;
+  return *this;
+}
+
+Experiment& Experiment::WithSystem(SystemFactory factory) {
+  system_factory_ = std::move(factory);
+  system_key_.clear();
+  return *this;
+}
+
+Experiment& Experiment::WithWorkload(WorkloadFactory factory) {
+  workload_factory_ = std::move(factory);
+  return *this;
+}
+
+Experiment& Experiment::WithLabel(std::string label) {
+  label_ = std::move(label);
+  return *this;
+}
+
+Experiment& Experiment::AddSink(ResultSink* sink) {
+  sinks_.push_back(sink);
+  return *this;
+}
+
+Experiment& Experiment::At(SimTime t, ObserverFn fn) {
+  at_observers_.emplace_back(t, std::move(fn));
+  return *this;
+}
+
+Experiment& Experiment::Every(SimTime period, ObserverFn fn) {
+  every_observers_.emplace_back(period, std::move(fn));
+  return *this;
+}
+
+Result<RunResult> Experiment::TryRun() {
+  // The construction order below (simulator, topology, network, metrics,
+  // system, churn-in-Setup, workload, driver, sampler) is exactly the v1
+  // runner's; preserving it keeps every RNG draw, and therefore every
+  // metric value, bit-identical across the API migration.
+  Simulator sim(config_.seed);
+  Topology topology(config_, sim.rng());
+  Network network(&sim, &topology);
+  Metrics metrics(config_);
+
+  SystemContext ctx;
+  ctx.config = &config_;
+  ctx.sim = &sim;
+  ctx.network = &network;
+  ctx.topology = &topology;
+  ctx.metrics = &metrics;
+
+  std::unique_ptr<CdnSystem> system;
+  if (system_factory_ != nullptr) {
+    system = system_factory_(ctx);
+    if (system == nullptr) {
+      return Status::InvalidArgument("system factory returned null");
+    }
+  } else {
+    const std::string& key =
+        system_key_.empty() ? config_.system : system_key_;
+    Result<std::unique_ptr<CdnSystem>> created =
+        SystemRegistry::Instance().Create(key, ctx);
+    if (!created.ok()) return created.status();
+    system = std::move(created).value();
+  }
+  system->Setup();
+
+  WorkloadEnv env;
+  env.config = &config_;
+  env.deployment = &system->deployment();
+  env.catalog = &system->catalog();
+  WorkloadFactory make_workload = workload_factory_;
+  if (make_workload == nullptr) {
+    make_workload = config_.workload_trace.empty()
+                        ? SyntheticWorkload()
+                        : TraceWorkload(config_.workload_trace);
+  }
+  Result<std::unique_ptr<WorkloadSource>> source = make_workload(env);
+  if (!source.ok()) return source.status();
+  if (source.value() == nullptr) {
+    return Status::InvalidArgument("workload factory returned null");
+  }
+
+  WorkloadDriver driver(&sim, source.value().get(), system.get());
+  BackgroundSampler sampler(&sim, &network, config_.metrics_window,
+                            system.get());
+
+  ObserverContext octx;
+  octx.sim = &sim;
+  octx.config = &config_;
+  octx.metrics = &metrics;
+  octx.system = system.get();
+  octx.network = &network;
+  std::vector<Simulator::PeriodicHandle> observer_timers;
+  Simulator* sim_ptr = &sim;
+  for (const auto& obs : at_observers_) {
+    ObserverFn fn = obs.second;
+    sim.ScheduleAt(obs.first, [octx, sim_ptr, fn]() mutable {
+      octx.now = sim_ptr->Now();
+      fn(octx);
+    });
+  }
+  for (const auto& obs : every_observers_) {
+    ObserverFn fn = obs.second;
+    observer_timers.push_back(sim.SchedulePeriodic(
+        obs.first, obs.first, [octx, sim_ptr, fn]() mutable {
+          octx.now = sim_ptr->Now();
+          fn(octx);
+        }));
+  }
+
+  sim.RunUntil(config_.duration);
+  for (Simulator::PeriodicHandle& timer : observer_timers) timer.Cancel();
+
+  RunResult result;
+  result.system = system->key();
+  result.system_name = system->name();
+  result.label = label_;
+  CollectSeries(metrics, &result);
+  result.background_bps_by_window = sampler.samples();
+  std::vector<PeerAddress> peers = system->ParticipantAddresses();
+  result.participants = peers.size();
+  result.background_bps =
+      Metrics::BackgroundBps(network, peers, config_.duration);
+  system->FillStats(&result);
+
+  for (ResultSink* sink : sinks_) sink->Write(config_, result);
+  return result;
+}
+
+RunResult Experiment::Run() {
+  Result<RunResult> result = TryRun();
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    // exit() skips stack unwinding; flush the attached sinks so results
+    // already collected by earlier runs of a sweep are not lost.
+    for (ResultSink* sink : sinks_) sink->Flush();
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace flower

@@ -1,0 +1,201 @@
+#include "api/result_sink.h"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/config.h"
+#include "common/logging.h"
+
+namespace flower {
+
+std::string FormatRunSummary(const RunResult& r) {
+  std::ostringstream os;
+  os << r.system_name << ": hit_ratio=" << r.final_hit_ratio
+     << " (cum " << r.cumulative_hit_ratio << ")"
+     << " lookup=" << r.mean_lookup_ms << "ms"
+     << " transfer=" << r.mean_transfer_ms << "ms"
+     << " background=" << r.background_bps << "bps"
+     << " peers=" << r.participants << " queries=" << r.queries_submitted
+     << " server_hits=" << r.server_hits;
+  if (r.cache_evictions > 0 || r.stale_redirects > 0) {
+    os << " evictions=" << r.cache_evictions
+       << " stale_redirects=" << r.stale_redirects;
+  }
+  if (r.replica_declines > 0) {
+    os << " replica_declines=" << r.replica_declines;
+  }
+  return os.str();
+}
+
+// --- TextSummarySink ----------------------------------------------------------
+
+TextSummarySink::TextSummarySink(std::FILE* out, std::string indent)
+    : out_(out), indent_(std::move(indent)) {}
+
+void TextSummarySink::Write(const SimConfig& config,
+                            const RunResult& result) {
+  (void)config;
+  std::fprintf(out_, "%s%s\n", indent_.c_str(),
+               FormatRunSummary(result).c_str());
+}
+
+// --- JSON ---------------------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendSeries(std::ostringstream* os, const char* key,
+                  const std::vector<double>& series) {
+  *os << "\"" << key << "\":[";
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) *os << ",";
+    *os << series[i];
+  }
+  *os << "]";
+}
+
+}  // namespace
+
+JsonResultSink::JsonResultSink(std::string path) : path_(std::move(path)) {}
+
+JsonResultSink::~JsonResultSink() { Flush(); }
+
+void JsonResultSink::Write(const SimConfig& config, const RunResult& r) {
+  std::ostringstream os;
+  // Round-trip-exact doubles: trajectory files exist to detect drift
+  // between runs, which default 6-digit precision would mask.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "{\"system\":\"" << JsonEscape(r.system) << "\""
+     << ",\"system_name\":\"" << JsonEscape(r.system_name) << "\""
+     << ",\"label\":\"" << JsonEscape(r.label) << "\""
+     << ",\"seed\":" << config.seed
+     << ",\"config\":\"" << JsonEscape(config.ToString()) << "\""
+     << ",\"duration_ms\":" << config.duration
+     << ",\"metrics_window_ms\":" << config.metrics_window
+     << ",\"queries_submitted\":" << r.queries_submitted
+     << ",\"queries_served\":" << r.queries_served
+     << ",\"server_hits\":" << r.server_hits
+     << ",\"participants\":" << r.participants
+     << ",\"final_hit_ratio\":" << r.final_hit_ratio
+     << ",\"cumulative_hit_ratio\":" << r.cumulative_hit_ratio
+     << ",\"mean_lookup_ms\":" << r.mean_lookup_ms
+     << ",\"mean_transfer_ms\":" << r.mean_transfer_ms
+     << ",\"background_bps\":" << r.background_bps
+     << ",\"served_by_server\":" << r.served_by_server
+     << ",\"served_by_local_peer\":" << r.served_by_local_peer
+     << ",\"served_by_remote_peer\":" << r.served_by_remote_peer
+     << ",\"cache_evictions\":" << r.cache_evictions
+     << ",\"stale_redirects\":" << r.stale_redirects
+     << ",\"replica_declines\":" << r.replica_declines
+     << ",\"churn_failures\":" << r.churn_failures
+     << ",\"churn_leaves\":" << r.churn_leaves
+     << ",\"directory_promotions\":" << r.directory_promotions << ",";
+  AppendSeries(&os, "hit_ratio_by_window", r.hit_ratio_by_window);
+  os << ",";
+  AppendSeries(&os, "lookup_ms_by_window", r.lookup_ms_by_window);
+  os << ",";
+  AppendSeries(&os, "transfer_ms_by_window", r.transfer_ms_by_window);
+  os << ",";
+  AppendSeries(&os, "background_bps_by_window", r.background_bps_by_window);
+  os << "}";
+  records_.push_back(os.str());
+  dirty_ = true;
+}
+
+void JsonResultSink::Flush() {
+  if (!dirty_) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    FLOWER_LOG(Warn) << "cannot write JSON results to " << path_;
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records_.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", records_[i].c_str(),
+                 i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  dirty_ = false;
+}
+
+// --- CSV ----------------------------------------------------------------------
+
+namespace {
+constexpr const char* kCsvHeader =
+    "system,label,seed,participants,queries_submitted,queries_served,"
+    "server_hits,final_hit_ratio,cumulative_hit_ratio,mean_lookup_ms,"
+    "mean_transfer_ms,background_bps,cache_evictions,stale_redirects,"
+    "replica_declines,churn_failures,churn_leaves,directory_promotions";
+
+/// CSV-quotes a field when it contains a comma or quote.
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvResultSink::CsvResultSink(std::string path) : path_(std::move(path)) {}
+
+CsvResultSink::~CsvResultSink() { Flush(); }
+
+void CsvResultSink::Write(const SimConfig& config, const RunResult& r) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << CsvField(r.system) << "," << CsvField(r.label) << "," << config.seed
+     << "," << r.participants << "," << r.queries_submitted << ","
+     << r.queries_served << "," << r.server_hits << "," << r.final_hit_ratio
+     << "," << r.cumulative_hit_ratio << "," << r.mean_lookup_ms << ","
+     << r.mean_transfer_ms << "," << r.background_bps << ","
+     << r.cache_evictions << "," << r.stale_redirects << ","
+     << r.replica_declines << "," << r.churn_failures << ","
+     << r.churn_leaves << "," << r.directory_promotions;
+  rows_.push_back(os.str());
+  dirty_ = true;
+}
+
+void CsvResultSink::Flush() {
+  if (!dirty_) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    FLOWER_LOG(Warn) << "cannot write CSV results to " << path_;
+    return;
+  }
+  std::fprintf(f, "%s\n", kCsvHeader);
+  for (const std::string& row : rows_) {
+    std::fprintf(f, "%s\n", row.c_str());
+  }
+  std::fclose(f);
+  dirty_ = false;
+}
+
+}  // namespace flower

@@ -1,0 +1,77 @@
+// The outcome of one experiment run: the paper's four metrics plus
+// per-window trajectories, distributions and subsystem counters. Produced
+// by Experiment::Run (src/api/experiment.h) and consumed by ResultSinks
+// and by driver code directly.
+#ifndef FLOWERCDN_API_RUN_RESULT_H_
+#define FLOWERCDN_API_RUN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace flower {
+
+struct RunResult {
+  /// Registry key of the system that ran ("flower", "squirrel", ...).
+  std::string system = "flower";
+  /// Human-readable system name ("Flower-CDN"), used in text summaries.
+  std::string system_name = "Flower-CDN";
+  /// Free-form row label (Experiment::WithLabel), carried into sinks so
+  /// sweep output stays self-describing ("L=5", "capacity=64KB", ...).
+  std::string label;
+
+  uint64_t queries_submitted = 0;
+  uint64_t queries_served = 0;
+  uint64_t server_hits = 0;
+  size_t participants = 0;
+
+  double final_hit_ratio = 0;       // last metric windows (headline number)
+  double cumulative_hit_ratio = 0;  // over the whole run
+  double mean_lookup_ms = 0;
+  double mean_transfer_ms = 0;
+  double background_bps = 0;  // per content/directory peer, whole run
+
+  // Per-window series (window = config.metrics_window).
+  std::vector<double> hit_ratio_by_window;
+  std::vector<double> lookup_ms_by_window;
+  std::vector<double> transfer_ms_by_window;
+  std::vector<double> background_bps_by_window;
+
+  // Distributions.
+  Histogram lookup_hist{25.0, 240};
+  Histogram transfer_hist{25.0, 60};
+
+  // Serve-path split (diagnostics: who provided the objects).
+  uint64_t served_by_server = 0;
+  uint64_t served_by_local_peer = 0;
+  uint64_t served_by_remote_peer = 0;
+
+  // Cache-pressure statistics (zero with the default unbounded policy).
+  uint64_t cache_evictions = 0;
+  uint64_t stale_redirects = 0;
+  /// Offered replicas declined by the admission hook because the peer's
+  /// store was within `replication_admission_headroom` of its budget.
+  uint64_t replica_declines = 0;
+
+  // Churn statistics (zero without churn).
+  uint64_t churn_failures = 0;
+  uint64_t churn_leaves = 0;
+  uint64_t directory_promotions = 0;
+
+  /// Fraction of lookups resolved faster than `ms`.
+  double LookupFractionBelow(double ms) const {
+    return lookup_hist.FractionBelow(ms);
+  }
+  double TransferFractionBelow(double ms) const {
+    return transfer_hist.FractionBelow(ms);
+  }
+};
+
+/// Formats one summary line, used by TextSummarySink and the drivers.
+std::string FormatRunSummary(const RunResult& result);
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_API_RUN_RESULT_H_

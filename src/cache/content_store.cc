@@ -86,4 +86,19 @@ std::vector<ObjectId> ContentStore::Objects() const {
   return out;
 }
 
+ContentStore::AdmissionHook ContentStore::HeadroomHook(
+    const ContentStore* store, double headroom,
+    std::function<void()> on_decline) {
+  return [store, headroom, on_decline = std::move(on_decline)](
+             ObjectId /*id*/, uint64_t size_bytes) {
+    const double budget =
+        static_cast<double>(store->capacity_bytes()) * (1.0 - headroom);
+    if (static_cast<double>(store->bytes_used() + size_bytes) > budget) {
+      if (on_decline) on_decline();
+      return false;
+    }
+    return true;
+  };
+}
+
 }  // namespace flower

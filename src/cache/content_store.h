@@ -101,6 +101,24 @@ class ContentStore {
     admission_hook_ = std::move(hook);
   }
 
+  /// Installs `hook` and returns the previously installed one, so scoped
+  /// hooks (replica admission) can restore instead of clobbering.
+  AdmissionHook swap_admission_hook(AdmissionHook hook) {
+    AdmissionHook prev = std::move(admission_hook_);
+    admission_hook_ = std::move(hook);
+    return prev;
+  }
+
+  /// An admission hook refusing any insert that would leave `store`
+  /// within `headroom` (a fraction of capacity) of its budget;
+  /// `on_decline` is invoked per refusal. Shared by the replica-admission
+  /// paths of content and directory peers so the budget rule cannot
+  /// diverge between them. Only meaningful on bounded stores (unbounded
+  /// stores never consult their hook).
+  static AdmissionHook HeadroomHook(const ContentStore* store,
+                                    double headroom,
+                                    std::function<void()> on_decline);
+
  private:
   CachePolicy policy_kind_;
   uint64_t capacity_bytes_;

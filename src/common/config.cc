@@ -99,6 +99,19 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
   }
 
   INT_KEY("seed", seed)
+  if (key == "system") {
+    // Validated against the SystemRegistry when the Experiment is built
+    // (the registry lives above this layer and is user-extensible).
+    if (value.empty()) {
+      return Status::InvalidArgument("system key must not be empty");
+    }
+    system = value;
+    return Status::Ok();
+  }
+  if (key == "workload_trace") {
+    workload_trace = value;
+    return Status::Ok();
+  }
   INT_KEY("num_topology_nodes", num_topology_nodes)
   INT_KEY("num_localities", num_localities)
   TIME_KEY("min_intra_latency", min_intra_latency)
@@ -158,6 +171,14 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
   BOOL_KEY("active_replication", active_replication)
   INT_KEY("replication_top_objects", replication_top_objects)
   TIME_KEY("replication_period", replication_period)
+  if (key == "replication_admission_headroom") {
+    if (!ParseDouble(value, &d) || d < 0.0 || d >= 1.0) {
+      return Status::InvalidArgument(
+          "replication_admission_headroom must be in [0, 1)");
+    }
+    replication_admission_headroom = d;
+    return Status::Ok();
+  }
   TIME_KEY("metrics_window", metrics_window)
 
 #undef INT_KEY
@@ -197,6 +218,8 @@ std::string SimConfig::ToString() const {
   if (cache_capacity_bytes > 0) {
     os << "/" << cache_capacity_bytes << "B";
   }
+  if (system != "flower") os << " system=" << system;
+  if (!workload_trace.empty()) os << " workload=trace:" << workload_trace;
   return os.str();
 }
 

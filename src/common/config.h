@@ -16,6 +16,16 @@ struct SimConfig {
   // --- Reproducibility -----------------------------------------------------
   uint64_t seed = 42;
 
+  // --- Experiment composition (src/api/) -----------------------------------
+  /// Which system an Experiment runs, by SystemRegistry key:
+  /// "flower" | "squirrel" | "squirrel-home" (or any registered key).
+  /// Validated when the experiment is built, not here, so embedders can
+  /// register systems the config parser has never heard of.
+  std::string system = "flower";
+  /// When non-empty, Experiment replays this recorded trace file (v1/v2,
+  /// see workload/trace.h) instead of the synthetic generator.
+  std::string workload_trace;
+
   // --- Underlying topology (paper Table 1 / BRITE-inspired model) ----------
   int num_topology_nodes = 5000;
   int num_localities = 6;          // k
@@ -110,6 +120,11 @@ struct SimConfig {
   bool active_replication = false;        // Sec 8 future work
   int replication_top_objects = 10;
   SimTime replication_period = 1 * kHour;
+  /// Admission headroom for offered replicas: a peer with a bounded store
+  /// declines a replica that would leave it within this fraction of
+  /// `cache_capacity_bytes`, protecting its own working set from
+  /// replication-induced evictions. Ignored by unbounded stores.
+  double replication_admission_headroom = 0.1;
 
   // --- Metrics -------------------------------------------------------------
   SimTime metrics_window = 30 * kMinute;

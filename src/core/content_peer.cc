@@ -411,7 +411,17 @@ void ContentPeer::HandleReplicaTransferCmd(const ReplicaTransferCmd& cmd) {
 
 void ContentPeer::HandleReplicaTransfer(
     std::unique_ptr<ReplicaTransferMsg> msg) {
+  // Offered replicas are opportunistic: a bounded store declines them
+  // while it sits within `replication_admission_headroom` of its budget,
+  // so replication cannot evict the peer's own working set (the hook is
+  // never consulted by unbounded stores). Query-driven inserts stay
+  // unconditional — a peer always caches what it asked for.
+  ContentStore::AdmissionHook prev =
+      content_.swap_admission_hook(ContentStore::HeadroomHook(
+          &content_, ctx_->config->replication_admission_headroom,
+          [this]() { ctx_->metrics->OnReplicaDeclined(); }));
   AddObject(msg->object);
+  content_.swap_admission_hook(std::move(prev));
 }
 
 // --- Lifecycle ---------------------------------------------------------------------

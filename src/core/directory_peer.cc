@@ -654,7 +654,15 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
     return;
   }
   if (auto* rt = dynamic_cast<ReplicaTransferMsg*>(raw)) {
+    // Deposited replicas obey the same admission rule as content peers:
+    // a bounded own-content store declines them within the configured
+    // headroom of its budget (unbounded stores never consult the hook).
+    ContentStore::AdmissionHook prev =
+        content_.swap_admission_hook(ContentStore::HeadroomHook(
+            &content_, ctx_->config->replication_admission_headroom,
+            [this]() { ctx_->metrics->OnReplicaDeclined(); }));
     AddOwnObject(rt->object);
+    content_.swap_admission_hook(std::move(prev));
     return;
   }
   // Everything else is DHT traffic.

@@ -1,7 +1,13 @@
 // FlowerSystem: the public facade wiring D-ring, content overlays, origin
 // servers and metrics into one runnable Flower-CDN instance.
 //
-// Typical use (see examples/quickstart.cpp):
+// Typical use goes through the Experiment builder (src/api/experiment.h),
+// which owns this wiring and adds pluggable workloads and result sinks:
+//   RunResult r = Experiment(config).WithSystem("flower").Run();
+//
+// Appendix — low-level wiring, for embedders that need to drive the
+// system directly (see examples/locality_migration.cpp; this is what the
+// builder does internally):
 //   Simulator sim(seed);
 //   Topology topo(config, sim.rng());
 //   Network net(&sim, &topo);

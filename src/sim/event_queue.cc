@@ -5,11 +5,27 @@
 namespace flower {
 
 void EventHandle::Cancel() {
-  if (state_ && !state_->fired) state_->cancelled = true;
+  if (state_ == nullptr || state_->fired) return;
+  state_->cancelled = true;
+  // The callback will never run; drop it now. Closures can own handles
+  // back into the queue (periodic timers), so keeping the callback alive
+  // until the heap skims the entry would leak such cycles.
+  state_->fn = nullptr;
 }
 
 bool EventHandle::pending() const {
   return state_ && !state_->fired && !state_->cancelled;
+}
+
+EventQueue::~EventQueue() {
+  // Pending closures may own EventHandles back into this queue (periodic
+  // timers capture their own handle state), forming shared_ptr cycles;
+  // dropping the callbacks breaks the cycles so tearing a simulation down
+  // with events still scheduled cannot leak.
+  while (!heap_.empty()) {
+    heap_.top().state->fn = nullptr;
+    heap_.pop();
+  }
 }
 
 EventHandle EventQueue::Push(SimTime t, std::function<void()> fn) {

@@ -41,6 +41,7 @@ class EventHandle {
 class EventQueue {
  public:
   EventQueue() = default;
+  ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 

@@ -9,7 +9,8 @@ namespace flower {
 SquirrelNode::SquirrelNode(SquirrelContext* ctx, Key id, uint64_t rng_seed)
     : ChordNode(ctx->sim, ctx->network, ctx->ring, id),
       ctx_(ctx),
-      rng_(rng_seed) {
+      rng_(rng_seed),
+      cache_(ContentStore::FromConfig(*ctx->config)) {
   set_app(this);
 }
 
@@ -45,7 +46,10 @@ void SquirrelNode::RequestObject(const Website* site, ObjectId object) {
   SimTime now = ctx_->sim->Now();
   // Local-cache hits never become queries (web-cache semantics; matches
   // the Squirrel paper, where only browser-cache misses reach the overlay).
-  if (cache_.count(object) > 0) return;
+  if (cache_.Contains(object)) {
+    cache_.Touch(object);
+    return;
+  }
   if (!pending_own_.insert(object).second) return;  // already in flight
   ctx_->metrics->OnQuerySubmitted(now);
   auto q = std::make_unique<FlowerQueryMsg>(
@@ -66,6 +70,25 @@ void SquirrelNode::Deliver(Key key, MessagePtr payload,
     return;
   }
   FLOWER_LOG(Warn) << "squirrel home got unknown routed payload";
+}
+
+void SquirrelNode::CacheObject(WebsiteId website, ObjectId object) {
+  if (cache_.Contains(object)) {
+    cache_.Touch(object);
+    return;
+  }
+  std::vector<ObjectId> evicted;
+  bool inserted =
+      cache_.Insert(object,
+                    ctx_->catalog->site(website).ObjectSizeBits(object) / 8,
+                    &evicted);
+  if (inserted) evicted_ids_.erase(object);
+  // Evictions leave stale downloader pointers at the objects' home nodes;
+  // those heal through the existing NotFound retry path when followed.
+  if (!evicted.empty()) {
+    ctx_->metrics->OnCacheEvictions(evicted.size());
+    evicted_ids_.insert(evicted.begin(), evicted.end());
+  }
 }
 
 void SquirrelNode::RememberDownloader(ObjectId object, PeerAddress peer) {
@@ -95,9 +118,10 @@ void SquirrelNode::ServeClient(const FlowerQueryMsg& query) {
 void SquirrelNode::ProcessAsHome(std::unique_ptr<FlowerQueryMsg> query) {
   const ObjectId object = query->object;
 
-  if (cache_.count(object) > 0) {
+  if (cache_.Contains(object)) {
     // The home node happens to hold the object (it downloaded it itself,
     // or home-store keeps it here by design).
+    cache_.Touch(object);
     ServeClient(*query);
     return;
   }
@@ -150,7 +174,7 @@ void SquirrelNode::HandleServe(std::unique_ptr<ServeMsg> serve) {
             : Metrics::ProviderKind::kRemotePeer;
     ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
   }
-  cache_.insert(object);
+  CacheObject(serve->website, object);
 
   // Home-store: the object just arrived from the server; serve the queue.
   auto wit = awaiting_fetch_.find(object);
@@ -177,9 +201,18 @@ void SquirrelNode::HandleMessage(MessagePtr msg) {
     // A home node redirected a requester to us.
     msg.release();
     auto owned = std::unique_ptr<FlowerQueryMsg>(query);
-    if (cache_.count(owned->object) > 0) {
+    if (cache_.Contains(owned->object)) {
+      cache_.Touch(owned->object);
       ServeClient(*owned);
     } else {
+      // Count the wasted hop only when the pointer went stale because we
+      // evicted the object. (Pointers can also miss because the home
+      // remembers requesters optimistically — that pre-existing path
+      // stays uncounted, keeping unbounded runs bit-identical with the
+      // v1 baseline and the eviction-staleness metric exact.)
+      if (evicted_ids_.count(owned->object) > 0) {
+        ctx_->metrics->OnStaleRedirect();
+      }
       PeerAddress home = owned->sender;
       auto nf = std::make_unique<NotFoundMsg>(owned->object,
                                               owned->website_hash,

@@ -18,6 +18,7 @@
 #include <set>
 #include <vector>
 
+#include "cache/content_store.h"
 #include "common/config.h"
 #include "common/rng.h"
 #include "core/flower_messages.h"
@@ -55,7 +56,7 @@ class SquirrelNode : public ChordNode, public KbrApp {
   void RequestObject(const Website* site, ObjectId object);
 
   // --- Introspection ------------------------------------------------------
-  const std::set<ObjectId>& cache() const { return cache_; }
+  const ContentStore& cache() const { return cache_; }
   size_t HomeDirectorySize(ObjectId object) const;
   bool alive() const { return alive_; }
   void FailAbruptly();
@@ -72,6 +73,8 @@ class SquirrelNode : public ChordNode, public KbrApp {
   /// Home-node processing: forward to a recent downloader, to the origin
   /// server, or (home-store) serve/fetch the object itself.
   void ProcessAsHome(std::unique_ptr<FlowerQueryMsg> query);
+  /// Caches an object under the store's policy/budget, counting evictions.
+  void CacheObject(WebsiteId website, ObjectId object);
   void RememberDownloader(ObjectId object, PeerAddress peer);
   void ServeClient(const FlowerQueryMsg& query);
   void HandleServe(std::unique_ptr<ServeMsg> serve);
@@ -81,7 +84,17 @@ class SquirrelNode : public ChordNode, public KbrApp {
   Rng rng_;
   bool alive_ = false;
 
-  std::set<ObjectId> cache_;
+  /// Bounded web cache (src/cache/). With the default unbounded policy it
+  /// behaves exactly like the std::set it replaced; with a finite
+  /// `cache_capacity_bytes` the baseline runs under the same storage
+  /// pressure as Flower-CDN's peers, so policy/capacity ablations compare
+  /// both systems fairly.
+  ContentStore cache_;
+  /// Objects this node evicted and has not re-cached. A redirected query
+  /// that misses one of these is an eviction-induced stale pointer
+  /// (counted via OnStaleRedirect); misses on never-held objects are the
+  /// baseline's pre-existing optimistic-pointer noise and stay uncounted.
+  std::set<ObjectId> evicted_ids_;
   /// Directory strategy: recent downloaders per object homed here
   /// (most recent at the back; capped at directory_capacity).
   std::map<ObjectId, std::deque<PeerAddress>> home_dirs_;

@@ -56,6 +56,10 @@ class Metrics {
   /// wasted hop so eviction-induced staleness is measurable.
   void OnStaleRedirect() { ++stale_redirects_; }
 
+  /// A peer declined an offered replica because its bounded store was
+  /// within the configured admission headroom of its capacity.
+  void OnReplicaDeclined() { ++replica_declines_; }
+
   /// Serve counts by provider kind (diagnostics for Fig 8 analyses).
   uint64_t ServesBy(ProviderKind kind) const {
     return serves_by_kind_[static_cast<size_t>(kind)];
@@ -68,6 +72,7 @@ class Metrics {
   uint64_t server_hits() const { return server_hits_; }
   uint64_t cache_evictions() const { return cache_evictions_; }
   uint64_t stale_redirects() const { return stale_redirects_; }
+  uint64_t replica_declines() const { return replica_declines_; }
 
   const RatioSeries& hit_series() const { return hit_series_; }
   const TimeSeries& lookup_series() const { return lookup_series_; }
@@ -103,6 +108,7 @@ class Metrics {
   uint64_t server_hits_ = 0;
   uint64_t cache_evictions_ = 0;
   uint64_t stale_redirects_ = 0;
+  uint64_t replica_declines_ = 0;
   std::array<uint64_t, static_cast<size_t>(ProviderKind::kNumKinds)>
       serves_by_kind_{};
 };

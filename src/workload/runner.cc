@@ -1,221 +1,9 @@
 #include "workload/runner.h"
 
-#include <memory>
-#include <sstream>
-
-#include "core/churn.h"
-#include "core/flower_system.h"
-#include "net/network.h"
-#include "net/topology.h"
-#include "sim/simulator.h"
-#include "squirrel/squirrel_system.h"
-#include "stats/metrics.h"
-#include "workload/workload.h"
-
 namespace flower {
 
-namespace {
-
-/// Schedules workload events one at a time (keeps the event heap small),
-/// skipping originators that are blacked out by churn.
-template <typename SubmitFn>
-class WorkloadDriver {
- public:
-  WorkloadDriver(Simulator* sim, WorkloadGenerator* gen, SubmitFn submit,
-                 const ChurnManager* churn)
-      : sim_(sim), gen_(gen), submit_(std::move(submit)), churn_(churn) {
-    ScheduleNext();
-  }
-
- private:
-  void ScheduleNext() {
-    QueryEvent ev;
-    if (!gen_->Next(&ev)) return;
-    sim_->ScheduleAt(ev.time, [this, ev]() {
-      if (churn_ == nullptr || !churn_->IsBlackedOut(ev.node)) {
-        submit_(ev);
-      }
-      ScheduleNext();
-    });
-  }
-
-  Simulator* sim_;
-  WorkloadGenerator* gen_;
-  SubmitFn submit_;
-  const ChurnManager* churn_;
-};
-
-/// Samples per-window background traffic for Figure 5.
-class BackgroundSampler {
- public:
-  BackgroundSampler(Simulator* sim, const Network* network, SimTime window,
-                    std::function<std::vector<PeerAddress>()> participants)
-      : network_(network), participants_(std::move(participants)) {
-    timer_ = sim->SchedulePeriodic(window, window, [this, window]() {
-      std::vector<PeerAddress> peers = participants_();
-      uint64_t bits = network_->SumBits(
-          peers, {TrafficClass::kGossip, TrafficClass::kPush,
-                  TrafficClass::kKeepalive});
-      double window_s = static_cast<double>(window) / kSecond;
-      double bps = 0;
-      if (!peers.empty()) {
-        uint64_t delta = bits >= prev_bits_ ? bits - prev_bits_ : 0;
-        bps = static_cast<double>(delta) / window_s /
-              static_cast<double>(peers.size());
-      }
-      prev_bits_ = bits;
-      samples_.push_back(bps);
-    });
-  }
-  ~BackgroundSampler() { timer_.Cancel(); }
-
-  const std::vector<double>& samples() const { return samples_; }
-
- private:
-  const Network* network_;
-  std::function<std::vector<PeerAddress>()> participants_;
-  uint64_t prev_bits_ = 0;
-  std::vector<double> samples_;
-  Simulator::PeriodicHandle timer_;
-};
-
-void CollectSeries(const Metrics& metrics, const SimConfig& config,
-                   RunResult* result) {
-  const RatioSeries& hits = metrics.hit_series();
-  for (size_t i = 0; i < hits.NumWindows(); ++i) {
-    result->hit_ratio_by_window.push_back(hits.WindowRatio(i));
-  }
-  const TimeSeries& lookups = metrics.lookup_series();
-  for (size_t i = 0; i < lookups.NumWindows(); ++i) {
-    result->lookup_ms_by_window.push_back(lookups.WindowMean(i));
-  }
-  const TimeSeries& transfers = metrics.transfer_series();
-  for (size_t i = 0; i < transfers.NumWindows(); ++i) {
-    result->transfer_ms_by_window.push_back(transfers.WindowMean(i));
-  }
-  result->served_by_server =
-      metrics.ServesBy(Metrics::ProviderKind::kServer);
-  result->served_by_local_peer =
-      metrics.ServesBy(Metrics::ProviderKind::kLocalPeer);
-  result->served_by_remote_peer =
-      metrics.ServesBy(Metrics::ProviderKind::kRemotePeer);
-  result->queries_submitted = metrics.queries_submitted();
-  result->queries_served = metrics.queries_served();
-  result->server_hits = metrics.server_hits();
-  result->cache_evictions = metrics.cache_evictions();
-  result->stale_redirects = metrics.stale_redirects();
-  result->final_hit_ratio = metrics.FinalHitRatio();
-  result->cumulative_hit_ratio = metrics.CumulativeHitRatio();
-  result->mean_lookup_ms = metrics.MeanLookupLatency();
-  result->mean_transfer_ms = metrics.MeanTransferDistance();
-  result->lookup_hist = metrics.lookup_histogram();
-  result->transfer_hist = metrics.transfer_histogram();
-  (void)config;
-}
-
-RunResult RunFlower(const SimConfig& config) {
-  Simulator sim(config.seed);
-  Topology topology(config, sim.rng());
-  Network network(&sim, &topology);
-  Metrics metrics(config);
-  FlowerSystem system(config, &sim, &network, &topology, &metrics);
-  system.Setup();
-
-  ChurnManager churn(&system, config, Mix64(config.seed ^ 0xC0FFEE));
-  churn.Start();
-
-  WorkloadGenerator gen(config, system.deployment(), system.catalog(),
-                        Mix64(config.seed ^ 0x5EED));
-  auto submit = [&system](const QueryEvent& ev) {
-    system.SubmitQuery(ev.node, ev.website, ev.object);
-  };
-  WorkloadDriver<decltype(submit)> driver(&sim, &gen, submit,
-                                          config.churn_enabled ? &churn
-                                                               : nullptr);
-  BackgroundSampler sampler(&sim, &network, config.metrics_window,
-                            [&system]() {
-                              return system.ParticipantAddresses();
-                            });
-
-  sim.RunUntil(config.duration);
-
-  RunResult result;
-  result.system = SystemKind::kFlower;
-  CollectSeries(metrics, config, &result);
-  result.background_bps_by_window = sampler.samples();
-  std::vector<PeerAddress> peers = system.ParticipantAddresses();
-  result.participants = peers.size();
-  result.background_bps =
-      Metrics::BackgroundBps(network, peers, config.duration);
-  result.churn_failures = churn.failures();
-  result.churn_leaves = churn.leaves();
-  result.directory_promotions = system.promotions();
-  return result;
-}
-
-RunResult RunSquirrel(const SimConfig& config, SquirrelStrategy strategy) {
-  Simulator sim(config.seed);
-  Topology topology(config, sim.rng());
-  Network network(&sim, &topology);
-  Metrics metrics(config);
-  SquirrelSystem system(config, &sim, &network, &topology, &metrics,
-                        strategy);
-  system.Setup();
-
-  WorkloadGenerator gen(config, system.deployment(), system.catalog(),
-                        Mix64(config.seed ^ 0x5EED));
-  auto submit = [&system](const QueryEvent& ev) {
-    system.SubmitQuery(ev.node, ev.website, ev.object);
-  };
-  WorkloadDriver<decltype(submit)> driver(&sim, &gen, submit, nullptr);
-  BackgroundSampler sampler(&sim, &network, config.metrics_window,
-                            [&system]() {
-                              return system.ParticipantAddresses();
-                            });
-
-  sim.RunUntil(config.duration);
-
-  RunResult result;
-  result.system = strategy == SquirrelStrategy::kDirectory
-                      ? SystemKind::kSquirrelDirectory
-                      : SystemKind::kSquirrelHomeStore;
-  CollectSeries(metrics, config, &result);
-  result.background_bps_by_window = sampler.samples();
-  std::vector<PeerAddress> peers = system.ParticipantAddresses();
-  result.participants = peers.size();
-  result.background_bps =
-      Metrics::BackgroundBps(network, peers, config.duration);
-  return result;
-}
-
-}  // namespace
-
 RunResult RunExperiment(const SimConfig& config, SystemKind system) {
-  switch (system) {
-    case SystemKind::kFlower:
-      return RunFlower(config);
-    case SystemKind::kSquirrelDirectory:
-      return RunSquirrel(config, SquirrelStrategy::kDirectory);
-    case SystemKind::kSquirrelHomeStore:
-      return RunSquirrel(config, SquirrelStrategy::kHomeStore);
-  }
-  return RunResult{};
-}
-
-std::string FormatRunSummary(const RunResult& r) {
-  std::ostringstream os;
-  os << SystemKindName(r.system) << ": hit_ratio=" << r.final_hit_ratio
-     << " (cum " << r.cumulative_hit_ratio << ")"
-     << " lookup=" << r.mean_lookup_ms << "ms"
-     << " transfer=" << r.mean_transfer_ms << "ms"
-     << " background=" << r.background_bps << "bps"
-     << " peers=" << r.participants << " queries=" << r.queries_submitted
-     << " server_hits=" << r.server_hits;
-  if (r.cache_evictions > 0 || r.stale_redirects > 0) {
-    os << " evictions=" << r.cache_evictions
-       << " stale_redirects=" << r.stale_redirects;
-  }
-  return os.str();
+  return Experiment(config).WithSystem(SystemKindKey(system)).Run();
 }
 
 }  // namespace flower

@@ -1,16 +1,19 @@
-// End-to-end experiment runner: wires simulator, topology, network,
-// metrics, one of the two systems, the workload and optional churn into a
-// single run, and collects the paper's metrics. All benchmark drivers and
-// several integration tests sit on top of this.
+// DEPRECATED v1 experiment entry point, kept as a thin shim for one PR.
+//
+// The driver layer moved to the Experiment builder (src/api/experiment.h):
+//
+//   RunResult r = Experiment(config).WithSystem("flower").Run();
+//
+// which adds pluggable systems (SystemRegistry), workloads (synthetic or
+// trace replay) and result sinks (text/JSON/CSV). RunExperiment survives
+// below only so out-of-tree callers get a deprecation warning instead of
+// a build break; it will be removed in the next PR.
 #ifndef FLOWERCDN_WORKLOAD_RUNNER_H_
 #define FLOWERCDN_WORKLOAD_RUNNER_H_
 
-#include <string>
-#include <vector>
-
+#include "api/experiment.h"
+#include "api/run_result.h"
 #include "common/config.h"
-#include "common/histogram.h"
-#include "squirrel/squirrel_node.h"
 
 namespace flower {
 
@@ -29,58 +32,19 @@ inline const char* SystemKindName(SystemKind k) {
   return "?";
 }
 
-struct RunResult {
-  SystemKind system = SystemKind::kFlower;
-
-  uint64_t queries_submitted = 0;
-  uint64_t queries_served = 0;
-  uint64_t server_hits = 0;
-  size_t participants = 0;
-
-  double final_hit_ratio = 0;       // last metric windows (headline number)
-  double cumulative_hit_ratio = 0;  // over the whole run
-  double mean_lookup_ms = 0;
-  double mean_transfer_ms = 0;
-  double background_bps = 0;  // per content/directory peer, whole run
-
-  // Per-window series (window = config.metrics_window).
-  std::vector<double> hit_ratio_by_window;
-  std::vector<double> lookup_ms_by_window;
-  std::vector<double> transfer_ms_by_window;
-  std::vector<double> background_bps_by_window;
-
-  // Distributions.
-  Histogram lookup_hist{25.0, 240};
-  Histogram transfer_hist{25.0, 60};
-
-  // Serve-path split (diagnostics: who provided the objects).
-  uint64_t served_by_server = 0;
-  uint64_t served_by_local_peer = 0;
-  uint64_t served_by_remote_peer = 0;
-
-  // Cache-pressure statistics (zero with the default unbounded policy).
-  uint64_t cache_evictions = 0;
-  uint64_t stale_redirects = 0;
-
-  // Churn statistics (zero without churn).
-  uint64_t churn_failures = 0;
-  uint64_t churn_leaves = 0;
-  uint64_t directory_promotions = 0;
-
-  /// Fraction of lookups resolved faster than `ms`.
-  double LookupFractionBelow(double ms) const {
-    return lookup_hist.FractionBelow(ms);
+/// Maps the v1 enum onto the v2 registry key.
+inline const char* SystemKindKey(SystemKind k) {
+  switch (k) {
+    case SystemKind::kFlower: return "flower";
+    case SystemKind::kSquirrelDirectory: return "squirrel";
+    case SystemKind::kSquirrelHomeStore: return "squirrel-home";
   }
-  double TransferFractionBelow(double ms) const {
-    return transfer_hist.FractionBelow(ms);
-  }
-};
+  return "?";
+}
 
 /// Runs one full simulation of the given system under `config`.
+[[deprecated("use Experiment(config).WithSystem(key).Run()")]]
 RunResult RunExperiment(const SimConfig& config, SystemKind system);
-
-/// Formats one summary line, used by the benchmark drivers.
-std::string FormatRunSummary(const RunResult& result);
 
 }  // namespace flower
 

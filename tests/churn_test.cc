@@ -5,7 +5,7 @@
 
 #include "core/churn.h"
 #include "test_util.h"
-#include "workload/runner.h"
+#include "api/experiment.h"
 
 namespace flower {
 namespace {
@@ -25,7 +25,7 @@ SimConfig ChurnConfig() {
 }
 
 TEST(ChurnTest, SystemSurvivesAndServesUnderChurn) {
-  RunResult r = RunExperiment(ChurnConfig(), SystemKind::kFlower);
+  RunResult r = Experiment(ChurnConfig()).WithSystem("flower").Run();
   EXPECT_GT(r.queries_submitted, 500u);
   // Nearly all queries must still resolve (server fallback guarantees
   // liveness even when overlays are churning).
@@ -35,15 +35,15 @@ TEST(ChurnTest, SystemSurvivesAndServesUnderChurn) {
 }
 
 TEST(ChurnTest, DirectoryReplacementsHappenUnderChurn) {
-  RunResult r = RunExperiment(ChurnConfig(), SystemKind::kFlower);
+  RunResult r = Experiment(ChurnConfig()).WithSystem("flower").Run();
   EXPECT_GT(r.directory_promotions, 0u);
 }
 
 TEST(ChurnTest, HitRatioDegradesGracefully) {
   SimConfig stable = ChurnConfig();
   stable.churn_enabled = false;
-  RunResult calm = RunExperiment(stable, SystemKind::kFlower);
-  RunResult churned = RunExperiment(ChurnConfig(), SystemKind::kFlower);
+  RunResult calm = Experiment(stable).WithSystem("flower").Run();
+  RunResult churned = Experiment(ChurnConfig()).WithSystem("flower").Run();
   EXPECT_LE(churned.final_hit_ratio, calm.final_hit_ratio + 0.05);
   EXPECT_GT(churned.final_hit_ratio, 0.3);
 }
@@ -53,8 +53,8 @@ TEST(ChurnTest, HarsherChurnHurtsMore) {
   mild.churn_mean_session = 2 * kHour;
   SimConfig harsh = ChurnConfig();
   harsh.churn_mean_session = 20 * kMinute;
-  RunResult m = RunExperiment(mild, SystemKind::kFlower);
-  RunResult h = RunExperiment(harsh, SystemKind::kFlower);
+  RunResult m = Experiment(mild).WithSystem("flower").Run();
+  RunResult h = Experiment(harsh).WithSystem("flower").Run();
   EXPECT_GE(m.final_hit_ratio + 0.02, h.final_hit_ratio);
   EXPECT_GT(h.churn_failures + h.churn_leaves,
             m.churn_failures + m.churn_leaves);

@@ -4,7 +4,7 @@
 
 #include "core/flower_system.h"
 #include "test_util.h"
-#include "workload/runner.h"
+#include "api/experiment.h"
 
 namespace flower {
 namespace {
@@ -70,8 +70,8 @@ TEST(ReplicationTest, ReplicationImprovesOrMatchesHitRatio) {
   repl.active_replication = true;
   repl.replication_period = 30 * kMinute;
 
-  RunResult off = RunExperiment(base, SystemKind::kFlower);
-  RunResult on = RunExperiment(repl, SystemKind::kFlower);
+  RunResult off = Experiment(base).WithSystem("flower").Run();
+  RunResult on = Experiment(repl).WithSystem("flower").Run();
   EXPECT_GE(on.cumulative_hit_ratio + 0.02, off.cumulative_hit_ratio);
 }
 

@@ -1,6 +1,6 @@
 // Whole-experiment integration: small versions of the paper's headline
 // results must reproduce (who wins, and in which direction) on every run.
-#include "workload/runner.h"
+#include "api/experiment.h"
 
 #include <gtest/gtest.h>
 
@@ -19,7 +19,7 @@ SimConfig SmallRunConfig() {
 }
 
 TEST(RunnerIntegrationTest, FlowerConvergesToHighHitRatio) {
-  RunResult r = RunExperiment(SmallRunConfig(), SystemKind::kFlower);
+  RunResult r = Experiment(SmallRunConfig()).WithSystem("flower").Run();
   EXPECT_GT(r.queries_submitted, 1000u);
   EXPECT_GT(r.final_hit_ratio, 0.8);
   EXPECT_GT(r.participants, 20u);
@@ -30,15 +30,14 @@ TEST(RunnerIntegrationTest, FlowerConvergesToHighHitRatio) {
 }
 
 TEST(RunnerIntegrationTest, SquirrelConvergesToo) {
-  RunResult r = RunExperiment(SmallRunConfig(),
-                              SystemKind::kSquirrelDirectory);
+  RunResult r = Experiment(SmallRunConfig()).WithSystem("squirrel").Run();
   EXPECT_GT(r.final_hit_ratio, 0.8);
 }
 
 TEST(RunnerIntegrationTest, FlowerBeatsSquirrelOnLookupAndTransfer) {
   SimConfig c = SmallRunConfig();
-  RunResult flower = RunExperiment(c, SystemKind::kFlower);
-  RunResult squirrel = RunExperiment(c, SystemKind::kSquirrelDirectory);
+  RunResult flower = Experiment(c).WithSystem("flower").Run();
+  RunResult squirrel = Experiment(c).WithSystem("squirrel").Run();
   // The paper's headline: lookup latency much lower (factor ~9), transfer
   // distance lower (factor ~2). Direction must hold at any scale.
   EXPECT_LT(flower.mean_lookup_ms * 2, squirrel.mean_lookup_ms);
@@ -51,8 +50,8 @@ TEST(RunnerIntegrationTest, FlowerBeatsSquirrelOnLookupAndTransfer) {
 
 TEST(RunnerIntegrationTest, BothRunTheSameWorkload) {
   SimConfig c = SmallRunConfig();
-  RunResult flower = RunExperiment(c, SystemKind::kFlower);
-  RunResult squirrel = RunExperiment(c, SystemKind::kSquirrelDirectory);
+  RunResult flower = Experiment(c).WithSystem("flower").Run();
+  RunResult squirrel = Experiment(c).WithSystem("squirrel").Run();
   // The deployment and trace derive from the same seed: identical events.
   EXPECT_EQ(flower.queries_submitted + 0, squirrel.queries_submitted)
       << "workloads diverged between the two systems";
@@ -60,16 +59,16 @@ TEST(RunnerIntegrationTest, BothRunTheSameWorkload) {
 
 TEST(RunnerIntegrationTest, OnlyFlowerPaysBackgroundTraffic) {
   SimConfig c = SmallRunConfig();
-  RunResult flower = RunExperiment(c, SystemKind::kFlower);
-  RunResult squirrel = RunExperiment(c, SystemKind::kSquirrelDirectory);
+  RunResult flower = Experiment(c).WithSystem("flower").Run();
+  RunResult squirrel = Experiment(c).WithSystem("squirrel").Run();
   EXPECT_GT(flower.background_bps, 1.0);
   EXPECT_DOUBLE_EQ(squirrel.background_bps, 0.0);
 }
 
 TEST(RunnerIntegrationTest, DeterministicAcrossRuns) {
   SimConfig c = SmallRunConfig();
-  RunResult a = RunExperiment(c, SystemKind::kFlower);
-  RunResult b = RunExperiment(c, SystemKind::kFlower);
+  RunResult a = Experiment(c).WithSystem("flower").Run();
+  RunResult b = Experiment(c).WithSystem("flower").Run();
   EXPECT_EQ(a.queries_submitted, b.queries_submitted);
   EXPECT_DOUBLE_EQ(a.final_hit_ratio, b.final_hit_ratio);
   EXPECT_DOUBLE_EQ(a.mean_lookup_ms, b.mean_lookup_ms);
@@ -78,9 +77,9 @@ TEST(RunnerIntegrationTest, DeterministicAcrossRuns) {
 
 TEST(RunnerIntegrationTest, SeedChangesResultsButNotShape) {
   SimConfig c = SmallRunConfig();
-  RunResult a = RunExperiment(c, SystemKind::kFlower);
+  RunResult a = Experiment(c).WithSystem("flower").Run();
   c.seed = 777;
-  RunResult b = RunExperiment(c, SystemKind::kFlower);
+  RunResult b = Experiment(c).WithSystem("flower").Run();
   EXPECT_NE(a.mean_lookup_ms, b.mean_lookup_ms);
   EXPECT_GT(b.final_hit_ratio, 0.8);  // the shape is seed-independent
 }
@@ -95,9 +94,9 @@ TEST(RunnerIntegrationTest, GossipBandwidthScalesWithGossipLength) {
   c.num_objects_per_website = 400;   // summary = 3200 bits
   c.max_content_overlay_size = 40;
   c.gossip_length = 5;
-  RunResult small = RunExperiment(c, SystemKind::kFlower);
+  RunResult small = Experiment(c).WithSystem("flower").Run();
   c.gossip_length = 20;
-  RunResult large = RunExperiment(c, SystemKind::kFlower);
+  RunResult large = Experiment(c).WithSystem("flower").Run();
   EXPECT_GT(large.background_bps, small.background_bps * 1.8);
 }
 
@@ -105,9 +104,9 @@ TEST(RunnerIntegrationTest, GossipBandwidthInverseInPeriod) {
   // Table 2(b)'s mechanism: halving the period doubles traffic.
   SimConfig c = SmallRunConfig();
   c.gossip_period = 5 * kMinute;
-  RunResult fast = RunExperiment(c, SystemKind::kFlower);
+  RunResult fast = Experiment(c).WithSystem("flower").Run();
   c.gossip_period = 20 * kMinute;
-  RunResult slow = RunExperiment(c, SystemKind::kFlower);
+  RunResult slow = Experiment(c).WithSystem("flower").Run();
   EXPECT_GT(fast.background_bps, slow.background_bps * 2.5);
 }
 
@@ -115,16 +114,15 @@ TEST(RunnerIntegrationTest, ViewSizeDoesNotAffectBandwidth) {
   // Table 2(c): V_gossip costs memory, not bandwidth.
   SimConfig c = SmallRunConfig();
   c.view_size = 20;
-  RunResult small = RunExperiment(c, SystemKind::kFlower);
+  RunResult small = Experiment(c).WithSystem("flower").Run();
   c.view_size = 70;
-  RunResult large = RunExperiment(c, SystemKind::kFlower);
+  RunResult large = Experiment(c).WithSystem("flower").Run();
   EXPECT_NEAR(large.background_bps / std::max(small.background_bps, 1e-9),
               1.0, 0.2);
 }
 
 TEST(RunnerIntegrationTest, HomeStoreVariantRuns) {
-  RunResult r = RunExperiment(SmallRunConfig(),
-                              SystemKind::kSquirrelHomeStore);
+  RunResult r = Experiment(SmallRunConfig()).WithSystem("squirrel-home").Run();
   EXPECT_GT(r.final_hit_ratio, 0.7);
   EXPECT_GT(r.queries_submitted, 1000u);
 }
