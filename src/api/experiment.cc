@@ -98,6 +98,12 @@ void CollectSeries(const Metrics& metrics, RunResult* result) {
   result->server_hits = metrics.server_hits();
   result->cache_evictions = metrics.cache_evictions();
   result->stale_redirects = metrics.stale_redirects();
+  result->stale_redirects_peer_summary =
+      metrics.StaleRedirectsBy(Metrics::StaleSource::kPeerSummary);
+  result->stale_redirects_dir_index =
+      metrics.StaleRedirectsBy(Metrics::StaleSource::kDirIndex);
+  result->dir_index_evictions = metrics.dir_index_evictions();
+  result->dir_summary_fallthroughs = metrics.dir_summary_fallthroughs();
   result->replica_declines = metrics.replica_declines();
   result->final_hit_ratio = metrics.FinalHitRatio();
   result->cumulative_hit_ratio = metrics.CumulativeHitRatio();

@@ -13,8 +13,9 @@
 // plain Experiment(config).Run() honors `system=squirrel
 // workload_trace=foo.trace` command-line overrides.
 //
-// This replaces the v1 free function RunExperiment(config, SystemKind)
-// (workload/runner.h), which survives as a deprecated shim for one PR.
+// This replaced the v1 free function RunExperiment(config, SystemKind);
+// the deprecated workload/runner.h shim is gone — this builder is the
+// only experiment entry point.
 #ifndef FLOWERCDN_API_EXPERIMENT_H_
 #define FLOWERCDN_API_EXPERIMENT_H_
 

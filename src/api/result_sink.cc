@@ -22,6 +22,9 @@ std::string FormatRunSummary(const RunResult& r) {
     os << " evictions=" << r.cache_evictions
        << " stale_redirects=" << r.stale_redirects;
   }
+  if (r.dir_index_evictions > 0) {
+    os << " dir_index_evictions=" << r.dir_index_evictions;
+  }
   if (r.replica_declines > 0) {
     os << " replica_declines=" << r.replica_declines;
   }
@@ -109,6 +112,10 @@ void JsonResultSink::Write(const SimConfig& config, const RunResult& r) {
      << ",\"served_by_remote_peer\":" << r.served_by_remote_peer
      << ",\"cache_evictions\":" << r.cache_evictions
      << ",\"stale_redirects\":" << r.stale_redirects
+     << ",\"stale_redirects_peer_summary\":" << r.stale_redirects_peer_summary
+     << ",\"stale_redirects_dir_index\":" << r.stale_redirects_dir_index
+     << ",\"dir_index_evictions\":" << r.dir_index_evictions
+     << ",\"dir_summary_fallthroughs\":" << r.dir_summary_fallthroughs
      << ",\"replica_declines\":" << r.replica_declines
      << ",\"churn_failures\":" << r.churn_failures
      << ",\"churn_leaves\":" << r.churn_leaves
@@ -149,6 +156,8 @@ constexpr const char* kCsvHeader =
     "system,label,seed,participants,queries_submitted,queries_served,"
     "server_hits,final_hit_ratio,cumulative_hit_ratio,mean_lookup_ms,"
     "mean_transfer_ms,background_bps,cache_evictions,stale_redirects,"
+    "stale_redirects_peer_summary,stale_redirects_dir_index,"
+    "dir_index_evictions,dir_summary_fallthroughs,"
     "replica_declines,churn_failures,churn_leaves,directory_promotions";
 
 /// CSV-quotes a field when it contains a comma or quote.
@@ -177,7 +186,9 @@ void CsvResultSink::Write(const SimConfig& config, const RunResult& r) {
      << "," << r.cumulative_hit_ratio << "," << r.mean_lookup_ms << ","
      << r.mean_transfer_ms << "," << r.background_bps << ","
      << r.cache_evictions << "," << r.stale_redirects << ","
-     << r.replica_declines << "," << r.churn_failures << ","
+     << r.stale_redirects_peer_summary << "," << r.stale_redirects_dir_index
+     << "," << r.dir_index_evictions << "," << r.dir_summary_fallthroughs
+     << "," << r.replica_declines << "," << r.churn_failures << ","
      << r.churn_leaves << "," << r.directory_promotions;
   rows_.push_back(os.str());
   dirty_ = true;

@@ -51,6 +51,19 @@ struct RunResult {
   // Cache-pressure statistics (zero with the default unbounded policy).
   uint64_t cache_evictions = 0;
   uint64_t stale_redirects = 0;
+  /// Split of `stale_redirects` by the channel that carried the stale
+  /// claim: a peer's gossiped cache summary (the cache-eviction channel)
+  /// vs. a directory index entry. Always sums to `stale_redirects`.
+  uint64_t stale_redirects_peer_summary = 0;
+  uint64_t stale_redirects_dir_index = 0;
+
+  // Directory-index pressure (zero with the default unbounded index).
+  /// Index entries evicted for `directory_index_capacity` (T_dead expiry
+  /// is not an eviction).
+  uint64_t dir_index_evictions = 0;
+  /// Dir-to-dir redirected queries that fell through to the origin server
+  /// because nothing backed the neighbor's summary claim anymore.
+  uint64_t dir_summary_fallthroughs = 0;
   /// Offered replicas declined by the admission hook because the peer's
   /// store was within `replication_admission_headroom` of its budget.
   uint64_t replica_declines = 0;

@@ -7,11 +7,6 @@
 
 namespace flower {
 
-ContentStore::ContentStore(CachePolicy policy, uint64_t capacity_bytes)
-    : policy_kind_(policy),
-      capacity_bytes_(capacity_bytes),
-      policy_(MakeEvictionPolicy(policy)) {}
-
 ContentStore ContentStore::FromConfig(const SimConfig& config) {
   Result<CachePolicy> policy = ParseCachePolicy(config.cache_policy);
   // SimConfig::Apply validates the key, but the field can also be set
@@ -24,81 +19,13 @@ ContentStore ContentStore::FromConfig(const SimConfig& config) {
   return ContentStore(policy.value(), config.cache_capacity_bytes);
 }
 
-void ContentStore::Touch(ObjectId id) {
-  if (entries_.count(id) == 0) return;
-  ++stats_.hits;
-  policy_->OnAccess(id);
+bool DistanceCostEnabled(const SimConfig& config) {
+  return config.cache_cost == "distance";
 }
 
-bool ContentStore::Insert(ObjectId id, uint64_t size_bytes,
-                          std::vector<ObjectId>* evicted) {
-  auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    Touch(id);
-    return true;
-  }
-  if (bounded()) {
-    if (size_bytes > capacity_bytes_) {
-      ++stats_.admission_rejects;
-      return false;
-    }
-    if (admission_hook_ && !admission_hook_(id, size_bytes)) {
-      ++stats_.admission_rejects;
-      return false;
-    }
-    while (bytes_used_ + size_bytes > capacity_bytes_) {
-      ObjectId victim;
-      if (!policy_->ChooseVictim(&victim)) {
-        // Unbounded on a full bounded store: nothing may leave, so the
-        // newcomer is turned away instead.
-        ++stats_.admission_rejects;
-        return false;
-      }
-      auto vit = entries_.find(victim);
-      bytes_used_ -= vit->second;
-      ++stats_.evictions;
-      stats_.bytes_evicted += vit->second;
-      policy_->OnRemove(victim);
-      entries_.erase(vit);
-      if (evicted != nullptr) evicted->push_back(victim);
-    }
-  }
-  entries_[id] = size_bytes;
-  bytes_used_ += size_bytes;
-  ++stats_.insertions;
-  policy_->OnInsert(id, size_bytes);
-  return true;
-}
-
-bool ContentStore::Erase(ObjectId id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  bytes_used_ -= it->second;
-  policy_->OnRemove(id);
-  entries_.erase(it);
-  return true;
-}
-
-std::vector<ObjectId> ContentStore::Objects() const {
-  std::vector<ObjectId> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, size] : entries_) out.push_back(id);
-  return out;
-}
-
-ContentStore::AdmissionHook ContentStore::HeadroomHook(
-    const ContentStore* store, double headroom,
-    std::function<void()> on_decline) {
-  return [store, headroom, on_decline = std::move(on_decline)](
-             ObjectId /*id*/, uint64_t size_bytes) {
-    const double budget =
-        static_cast<double>(store->capacity_bytes()) * (1.0 - headroom);
-    if (static_cast<double>(store->bytes_used() + size_bytes) > budget) {
-      if (on_decline) on_decline();
-      return false;
-    }
-    return true;
-  };
+double GdsfInsertCost(const SimConfig& config, SimTime distance) {
+  if (!DistanceCostEnabled(config)) return 1.0;
+  return distance > 1 ? static_cast<double>(distance) : 1.0;
 }
 
 }  // namespace flower

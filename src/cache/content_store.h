@@ -1,133 +1,55 @@
-// Bounded peer storage: a byte-accounted object store with a pluggable
-// replacement policy and an optional admission hook.
+// Bounded peer storage: the ObjectId instantiation of the keyed eviction
+// engine (src/cache/keyed_store.h) plus the config plumbing shared by
+// every peer cache.
 //
-// This replaces the raw `std::set<ObjectId>` content state of content and
-// directory peers. With the default Unbounded policy and capacity 0 it is
-// behaviorally identical to the set (iteration stays sorted by ObjectId,
-// no RNG is consumed), so existing experiments reproduce the seed's RNG
-// draws and metric values exactly (printed config/summary lines gain new
-// fields). With a finite `capacity_bytes`, inserts evict victims
-// chosen by the policy; callers receive the evicted ids so deletions can
-// propagate as deltas (PushMsg.removed, summary rebuilds) instead of
-// letting gossip summaries and directory indexes silently lie.
+// This replaces the raw `std::set<ObjectId>` content state of content,
+// directory and Squirrel peers. With the default Unbounded policy and
+// capacity 0 it is behaviorally identical to the set (iteration stays
+// sorted by ObjectId, no RNG is consumed), so existing experiments
+// reproduce the seed's RNG draws and metric values exactly (printed
+// config/summary lines gain new fields). With a finite `capacity_bytes`,
+// inserts evict victims chosen by the policy; callers receive the evicted
+// ids so deletions can propagate as deltas (PushMsg.removed, summary
+// rebuilds) instead of letting gossip summaries and directory indexes
+// silently lie. The engine itself — byte accounting, admission/headroom
+// hooks, LRU/LFU/GDSF victim choice — lives in KeyedStore and is shared
+// with the DirectoryStore (directory_store.h).
 #ifndef FLOWERCDN_CACHE_CONTENT_STORE_H_
 #define FLOWERCDN_CACHE_CONTENT_STORE_H_
 
-#include <cstdint>
-#include <functional>
-#include <map>
-#include <memory>
 #include <vector>
 
-#include "cache/eviction_policy.h"
+#include "cache/keyed_store.h"
 #include "common/types.h"
 
 namespace flower {
 
 struct SimConfig;
 
-/// Lifetime counters of one ContentStore.
-struct CacheStats {
-  uint64_t insertions = 0;        // objects that became resident
-  uint64_t hits = 0;              // Touch() calls on resident objects
-  uint64_t evictions = 0;         // victims removed for capacity
-  uint64_t bytes_evicted = 0;
-  uint64_t admission_rejects = 0; // inserts refused (hook, size, no victim)
-};
-
-class ContentStore {
+class ContentStore : public KeyedStore<ObjectId> {
  public:
-  /// Admission control: called before a non-resident object is inserted
-  /// into a *bounded* store; returning false rejects the insert. (The
-  /// capacity check still applies after admission.)
-  using AdmissionHook = std::function<bool(ObjectId id, uint64_t size_bytes)>;
-
-  /// capacity_bytes == 0 means unlimited storage.
-  explicit ContentStore(CachePolicy policy = CachePolicy::kUnbounded,
-                        uint64_t capacity_bytes = 0);
+  using KeyedStore<ObjectId>::KeyedStore;
 
   /// Builds a store from the `cache_policy` / `cache_capacity_bytes`
   /// config keys (falls back to Unbounded on an unknown policy name).
   static ContentStore FromConfig(const SimConfig& config);
 
-  ContentStore(ContentStore&&) = default;
-  ContentStore& operator=(ContentStore&&) = default;
-
-  // --- Residency --------------------------------------------------------------
-
-  bool Contains(ObjectId id) const { return entries_.count(id) > 0; }
-
-  /// std::set-compatible spelling (0 or 1), kept so call sites and tests
-  /// read the same as with the old `std::set<ObjectId>` state.
-  size_t count(ObjectId id) const { return entries_.count(id); }
-
-  /// Records an access to a resident object (policy recency/frequency
-  /// bookkeeping). No-op when the object is absent.
-  void Touch(ObjectId id);
-
-  /// Makes `id` resident with the given size. Returns true if the object
-  /// is resident afterwards. Victims evicted to make room are appended to
-  /// `*evicted` (never containing `id` itself). Re-inserting a resident
-  /// object counts as a Touch; a differing `size_bytes` is ignored (the
-  /// original accounting stands — object sizes are immutable in the
-  /// catalog). An insert is rejected — resident set unchanged — when the
-  /// admission hook refuses it, when the object alone exceeds capacity,
-  /// or when the policy cannot name a victim (Unbounded on a full
-  /// bounded store).
-  bool Insert(ObjectId id, uint64_t size_bytes,
-              std::vector<ObjectId>* evicted = nullptr);
-
-  /// Explicitly removes an object (not counted as an eviction).
-  bool Erase(ObjectId id);
-
-  // --- Introspection ----------------------------------------------------------
-
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
-  uint64_t bytes_used() const { return bytes_used_; }
-  uint64_t capacity_bytes() const { return capacity_bytes_; }
-  bool bounded() const { return capacity_bytes_ > 0; }
-  CachePolicy policy() const { return policy_kind_; }
-  const CacheStats& stats() const { return stats_; }
-
   /// Resident ids in ascending ObjectId order (matches the iteration
   /// order of the std::set this store replaced).
-  std::vector<ObjectId> Objects() const;
-
-  /// id -> size_bytes, ordered by id.
-  const std::map<ObjectId, uint64_t>& entries() const { return entries_; }
-
-  void set_admission_hook(AdmissionHook hook) {
-    admission_hook_ = std::move(hook);
-  }
-
-  /// Installs `hook` and returns the previously installed one, so scoped
-  /// hooks (replica admission) can restore instead of clobbering.
-  AdmissionHook swap_admission_hook(AdmissionHook hook) {
-    AdmissionHook prev = std::move(admission_hook_);
-    admission_hook_ = std::move(hook);
-    return prev;
-  }
-
-  /// An admission hook refusing any insert that would leave `store`
-  /// within `headroom` (a fraction of capacity) of its budget;
-  /// `on_decline` is invoked per refusal. Shared by the replica-admission
-  /// paths of content and directory peers so the budget rule cannot
-  /// diverge between them. Only meaningful on bounded stores (unbounded
-  /// stores never consult their hook).
-  static AdmissionHook HeadroomHook(const ContentStore* store,
-                                    double headroom,
-                                    std::function<void()> on_decline);
-
- private:
-  CachePolicy policy_kind_;
-  uint64_t capacity_bytes_;
-  std::unique_ptr<EvictionPolicy> policy_;
-  std::map<ObjectId, uint64_t> entries_;  // id -> size_bytes
-  uint64_t bytes_used_ = 0;
-  CacheStats stats_;
-  AdmissionHook admission_hook_;
+  std::vector<ObjectId> Objects() const { return Keys(); }
 };
+
+/// True when `cache_cost=distance`: GDSF weighs the measured
+/// provider->client transfer distance into its priority, so far-fetched
+/// (expensive to re-fetch) objects outlive equally popular local ones.
+bool DistanceCostEnabled(const SimConfig& config);
+
+/// The GDSF insert cost for an object fetched over `distance` (one-way
+/// provider->client latency): the measured distance (floored at 1) under
+/// `cache_cost=distance`, exactly 1 otherwise. Every insert path —
+/// serves and replica deposits, content and directory peers — must price
+/// through here so the cost model cannot diverge between them.
+double GdsfInsertCost(const SimConfig& config, SimTime distance);
 
 }  // namespace flower
 

@@ -1,0 +1,143 @@
+#include "cache/directory_store.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/config.h"
+
+namespace flower {
+
+DirectoryStore::DirectoryStore(CachePolicy policy, uint64_t capacity_bytes)
+    : engine_(policy, capacity_bytes) {}
+
+DirectoryStore DirectoryStore::FromConfig(const SimConfig& config) {
+  Result<CachePolicy> policy =
+      ParseCachePolicy(config.directory_index_policy);
+  // Same contract as ContentStore::FromConfig: a field set to garbage
+  // directly (bypassing SimConfig::Apply) must not silently run the
+  // wrong experiment.
+  if (!policy.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", policy.status().ToString().c_str());
+    std::abort();
+  }
+  return DirectoryStore(policy.value(),
+                        config.directory_index_capacity_bytes);
+}
+
+const DirectoryStore::Entry* DirectoryStore::Find(PeerAddress peer) const {
+  auto it = entries_.find(peer);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void DirectoryStore::Touch(PeerAddress peer) {
+  auto it = entries_.find(peer);
+  if (it == entries_.end()) return;
+  it->second.age = 0;
+  engine_.Touch(peer);
+}
+
+void DirectoryStore::Probe(PeerAddress peer) { engine_.Touch(peer); }
+
+void DirectoryStore::SetEntryState(PeerAddress peer, int age,
+                                   SimTime joined_at) {
+  auto it = entries_.find(peer);
+  if (it == entries_.end()) return;
+  it->second.age = age;
+  it->second.joined_at = joined_at;
+}
+
+bool DirectoryStore::Admit(PeerAddress peer, int age, SimTime joined_at,
+                           Delta* delta) {
+  if (entries_.count(peer) > 0) {
+    Touch(peer);
+    return true;
+  }
+  std::vector<PeerAddress> evicted;
+  if (!engine_.Insert(peer, FootprintBytes(0), &evicted)) {
+    AbsorbEvictions(evicted, delta);
+    return false;
+  }
+  AbsorbEvictions(evicted, delta);
+  Entry entry;
+  entry.age = age;
+  entry.joined_at = joined_at;
+  entries_.emplace(peer, std::move(entry));
+  return true;
+}
+
+void DirectoryStore::Update(PeerAddress peer,
+                            const std::vector<ObjectId>& add,
+                            const std::vector<ObjectId>& remove,
+                            Delta* delta) {
+  auto it = entries_.find(peer);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  for (ObjectId o : add) {
+    if (entry.objects.insert(o).second) {
+      if (++holder_counts_[o] == 1) delta->new_ids.push_back(o);
+    }
+  }
+  for (ObjectId o : remove) {
+    if (entry.objects.erase(o) > 0) {
+      auto hit = holder_counts_.find(o);
+      if (hit != holder_counts_.end() && --hit->second == 0) {
+        holder_counts_.erase(hit);
+        delta->orphaned_ids.push_back(o);
+      }
+    }
+  }
+  std::vector<PeerAddress> evicted;
+  engine_.Resize(peer, FootprintBytes(entry.objects.size()), &evicted);
+  AbsorbEvictions(evicted, delta);
+}
+
+void DirectoryStore::Erase(PeerAddress peer, Delta* delta) {
+  if (!engine_.Erase(peer)) return;
+  DropPayload(peer, delta);
+}
+
+void DirectoryStore::AgeAll(int dead_age_limit, Delta* delta) {
+  std::vector<PeerAddress> dead;
+  for (auto& [addr, entry] : entries_) {
+    if (++entry.age >= dead_age_limit) dead.push_back(addr);
+  }
+  for (PeerAddress addr : dead) Erase(addr, delta);
+}
+
+void DirectoryStore::PutSummary(Key dir_id, NeighborSummary summary) {
+  summaries_[dir_id] = std::move(summary);
+}
+
+void DirectoryStore::EraseSummariesFrom(PeerAddress addr) {
+  for (auto it = summaries_.begin(); it != summaries_.end();) {
+    if (it->second.addr == addr) {
+      it = summaries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DirectoryStore::DropPayload(PeerAddress peer, Delta* delta) {
+  auto it = entries_.find(peer);
+  assert(it != entries_.end() && "engine and payload map out of sync");
+  for (ObjectId o : it->second.objects) {
+    auto hit = holder_counts_.find(o);
+    if (hit != holder_counts_.end() && --hit->second == 0) {
+      holder_counts_.erase(hit);
+      delta->orphaned_ids.push_back(o);
+    }
+  }
+  entries_.erase(it);
+}
+
+void DirectoryStore::AbsorbEvictions(const std::vector<PeerAddress>& evicted,
+                                     Delta* delta) {
+  for (PeerAddress victim : evicted) {
+    DropPayload(victim, delta);
+    delta->evicted.push_back(victim);
+  }
+}
+
+}  // namespace flower

@@ -1,0 +1,185 @@
+// Bounded directory-side storage: the directory peer's index of its
+// content overlay, rebased on the keyed eviction engine
+// (src/cache/keyed_store.h) so directory state is a capacity-constrained
+// resource just like peer caches.
+//
+// The paper assumes a directory peer indexes *every* content peer of its
+// (website, locality). The ROADMAP's scale-up north star (Sec 5.3) needs
+// small directory nodes whose peer -> content index is itself bounded:
+// each entry is keyed by the content peer's address and sized by its
+// footprint (base record + bytes per claimed object id). Under a finite
+// `directory_index_capacity`, admitting or growing an entry can evict
+// policy-chosen victims (LRU on last probe, LFU on probe frequency, GDSF
+// on footprint); the store keeps `holder_counts_` — the object-id
+// reference counts the directory summary is built from — consistent
+// through every admission, update, expiry and eviction, and reports what
+// changed (Delta) so the peer can refresh summaries and count metrics.
+//
+// The store also owns the neighbor directory summaries, so the whole of
+// a directory peer's soft state lives behind one facade.
+//
+// With capacity 0 (the default) nothing is ever evicted and behavior is
+// bit-identical to the pre-refactor unbounded std::maps.
+#ifndef FLOWERCDN_CACHE_DIRECTORY_STORE_H_
+#define FLOWERCDN_CACHE_DIRECTORY_STORE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cache/keyed_store.h"
+#include "common/types.h"
+
+namespace flower {
+
+struct SimConfig;
+class ContentSummary;
+
+class DirectoryStore {
+ public:
+  /// One directory-index entry: the directory's view of one content peer
+  /// (paper Sec 3.3 — age, join time, object list).
+  struct Entry {
+    int age = 0;
+    SimTime joined_at = 0;
+    std::set<ObjectId> objects;
+  };
+
+  /// A Bloom summary received from a same-website neighbor directory.
+  struct NeighborSummary {
+    PeerAddress addr = kInvalidAddress;
+    LocalityId locality = 0;
+    std::shared_ptr<const ContentSummary> summary;
+  };
+
+  /// What a mutation changed, for summary-refresh bookkeeping and
+  /// metrics. `new_ids` are object ids whose holder count went 0 -> 1,
+  /// `orphaned_ids` ids whose count dropped to 0 (removal, expiry or
+  /// eviction), `evicted` the index entries removed for capacity (expiry
+  /// and explicit erases are NOT evictions).
+  struct Delta {
+    std::vector<ObjectId> new_ids;
+    std::vector<ObjectId> orphaned_ids;
+    std::vector<PeerAddress> evicted;
+  };
+
+  /// Accounted footprint of an entry claiming `num_objects` ids.
+  static constexpr uint64_t kEntryBaseBytes = 64;
+  static constexpr uint64_t kBytesPerObjectId = 8;
+  static uint64_t FootprintBytes(size_t num_objects) {
+    return kEntryBaseBytes + kBytesPerObjectId * num_objects;
+  }
+
+  /// capacity_bytes == 0 means an unbounded index (the paper's model).
+  explicit DirectoryStore(CachePolicy policy = CachePolicy::kUnbounded,
+                          uint64_t capacity_bytes = 0);
+
+  /// Builds a store from the `directory_index_policy` /
+  /// `directory_index_capacity` config keys.
+  static DirectoryStore FromConfig(const SimConfig& config);
+
+  DirectoryStore(DirectoryStore&&) = default;
+  DirectoryStore& operator=(DirectoryStore&&) = default;
+
+  // --- Index entries ----------------------------------------------------------
+
+  bool Contains(PeerAddress peer) const { return entries_.count(peer) > 0; }
+  const Entry* Find(PeerAddress peer) const;
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries in ascending PeerAddress order (the iteration order of the
+  /// std::map this store replaced).
+  const std::map<PeerAddress, Entry>& entries() const { return entries_; }
+
+  /// Records a liveness contact with a resident entry (query, push or
+  /// keepalive): resets its age and feeds the policy's recency/frequency
+  /// state ("last probe"). No-op when the peer is absent.
+  void Touch(PeerAddress peer);
+
+  /// Records a usefulness signal only (the entry answered a redirect):
+  /// feeds the policy without resetting the age — being *useful* is not
+  /// evidence the peer is *alive*, and T_dead expiry must not drift.
+  /// No-op when the peer is absent.
+  void Probe(PeerAddress peer);
+
+  /// Overwrites a resident entry's lifecycle fields (a handed-over
+  /// directory knows the peer's true age and join time better than the
+  /// heir's provisional admission does). No-op when the peer is absent.
+  void SetEntryState(PeerAddress peer, int age, SimTime joined_at);
+
+  /// Admits a new empty entry with the given age/join time. Returns
+  /// false when the engine rejects it (bounded store whose policy names
+  /// no victim). Capacity evictions performed to make room land in
+  /// `*delta`.
+  bool Admit(PeerAddress peer, int age, SimTime joined_at, Delta* delta);
+
+  /// Applies a content delta to a resident entry: `add` then `remove`,
+  /// resizing the entry's footprint. Growth past capacity evicts
+  /// policy-chosen victims — possibly the updated entry itself, when
+  /// nothing else can make it fit. Ages are untouched (callers Touch()
+  /// where a contact is implied). No-op when the peer is absent.
+  void Update(PeerAddress peer, const std::vector<ObjectId>& add,
+              const std::vector<ObjectId>& remove, Delta* delta);
+
+  /// Explicit removal (T_dead expiry, LeaveMsg, undeliverable client):
+  /// not counted as an eviction. Orphaned ids land in `*delta`.
+  void Erase(PeerAddress peer, Delta* delta);
+
+  /// Algorithm 6 active behavior: ages every entry, then erases those
+  /// reaching `dead_age_limit` (expiry, not eviction — the expired
+  /// entries' orphaned ids land in `*delta`).
+  void AgeAll(int dead_age_limit, Delta* delta);
+
+  // --- Holder counts (summary source) ----------------------------------------
+
+  /// True when at least one index entry claims `object`.
+  bool AnyHolder(ObjectId object) const {
+    return holder_counts_.count(object) > 0;
+  }
+
+  /// Object id -> number of index entries claiming it, ordered by id.
+  /// Directory summaries are built from exactly this map, so eviction
+  /// consistency here is what keeps rebuilt summaries honest.
+  const std::map<ObjectId, int>& holder_counts() const {
+    return holder_counts_;
+  }
+
+  // --- Neighbor summaries -----------------------------------------------------
+
+  const std::map<Key, NeighborSummary>& summaries() const {
+    return summaries_;
+  }
+  bool HasSummaryFrom(Key dir_id) const {
+    return summaries_.count(dir_id) > 0;
+  }
+  void PutSummary(Key dir_id, NeighborSummary summary);
+  /// Drops every neighbor summary held for `addr` (dead neighbor).
+  void EraseSummariesFrom(PeerAddress addr);
+
+  // --- Engine introspection ---------------------------------------------------
+
+  bool bounded() const { return engine_.bounded(); }
+  uint64_t bytes_used() const { return engine_.bytes_used(); }
+  uint64_t capacity_bytes() const { return engine_.capacity_bytes(); }
+  CachePolicy policy() const { return engine_.policy(); }
+  const CacheStats& stats() const { return engine_.stats(); }
+
+ private:
+  /// Detaches an entry's payload after the engine dropped it: releases
+  /// its holder counts into `delta->orphaned_ids` and erases the Entry.
+  void DropPayload(PeerAddress peer, Delta* delta);
+
+  /// Folds engine-reported evictions into `delta`, dropping payloads.
+  void AbsorbEvictions(const std::vector<PeerAddress>& evicted, Delta* delta);
+
+  KeyedStore<PeerAddress> engine_;       // footprint accounting + policy
+  std::map<PeerAddress, Entry> entries_; // payloads, keyed like the engine
+  std::map<ObjectId, int> holder_counts_;
+  std::map<Key, NeighborSummary> summaries_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_CACHE_DIRECTORY_STORE_H_

@@ -1,164 +1,6 @@
 #include "cache/eviction_policy.h"
 
-#include <cassert>
-#include <map>
-#include <set>
-#include <unordered_map>
-
 namespace flower {
-
-namespace {
-
-/// Keep-everything: never names a victim. The ContentStore treats an
-/// unanswered ChooseVictim on a full store as an admission rejection, so
-/// pairing this with a finite capacity yields a "first come, stay forever"
-/// store; with capacity 0 (unlimited) it reproduces the paper exactly.
-class UnboundedPolicy : public EvictionPolicy {
- public:
-  void OnInsert(ObjectId, uint64_t) override {}
-  void OnAccess(ObjectId) override {}
-  void OnRemove(ObjectId) override {}
-  bool ChooseVictim(ObjectId*) const override { return false; }
-  CachePolicy kind() const override { return CachePolicy::kUnbounded; }
-};
-
-/// Least-recently-used, tracked with a logical access clock.
-class LruPolicy : public EvictionPolicy {
- public:
-  void OnInsert(ObjectId id, uint64_t) override { Stamp(id); }
-  void OnAccess(ObjectId id) override { Stamp(id); }
-
-  void OnRemove(ObjectId id) override {
-    auto it = stamp_of_.find(id);
-    if (it == stamp_of_.end()) return;
-    by_stamp_.erase(it->second);
-    stamp_of_.erase(it);
-  }
-
-  bool ChooseVictim(ObjectId* out) const override {
-    if (by_stamp_.empty()) return false;
-    *out = by_stamp_.begin()->second;
-    return true;
-  }
-
-  CachePolicy kind() const override { return CachePolicy::kLru; }
-
- private:
-  void Stamp(ObjectId id) {
-    auto it = stamp_of_.find(id);
-    if (it != stamp_of_.end()) by_stamp_.erase(it->second);
-    uint64_t stamp = ++clock_;
-    stamp_of_[id] = stamp;
-    by_stamp_[stamp] = id;
-  }
-
-  uint64_t clock_ = 0;
-  std::unordered_map<ObjectId, uint64_t> stamp_of_;
-  std::map<uint64_t, ObjectId> by_stamp_;  // oldest stamp first
-};
-
-/// Least-frequently-used; ties broken towards the least recently used.
-class LfuPolicy : public EvictionPolicy {
- public:
-  void OnInsert(ObjectId id, uint64_t) override { Bump(id); }
-  void OnAccess(ObjectId id) override { Bump(id); }
-
-  void OnRemove(ObjectId id) override {
-    auto it = state_of_.find(id);
-    if (it == state_of_.end()) return;
-    ranked_.erase({it->second.freq, it->second.stamp, id});
-    state_of_.erase(it);
-  }
-
-  bool ChooseVictim(ObjectId* out) const override {
-    if (ranked_.empty()) return false;
-    *out = std::get<2>(*ranked_.begin());
-    return true;
-  }
-
-  CachePolicy kind() const override { return CachePolicy::kLfu; }
-
- private:
-  struct State {
-    uint64_t freq = 0;
-    uint64_t stamp = 0;
-  };
-
-  void Bump(ObjectId id) {
-    State& s = state_of_[id];
-    if (s.freq > 0) ranked_.erase({s.freq, s.stamp, id});
-    ++s.freq;
-    s.stamp = ++clock_;
-    ranked_.insert({s.freq, s.stamp, id});
-  }
-
-  uint64_t clock_ = 0;
-  std::unordered_map<ObjectId, State> state_of_;
-  std::set<std::tuple<uint64_t, uint64_t, ObjectId>> ranked_;
-};
-
-/// Greedy-Dual-Size-Frequency (Cherkasova 1998): priority
-///   Pr(f) = L + freq(f) / size(f)
-/// where L is an inflation clock set to the priority of the last victim.
-/// Evicts low-frequency, large objects first; aging via L keeps formerly
-/// popular objects from squatting forever.
-class GdsfPolicy : public EvictionPolicy {
- public:
-  void OnInsert(ObjectId id, uint64_t size_bytes) override {
-    State& s = state_of_[id];
-    s.freq = 1;
-    s.size = size_bytes > 0 ? size_bytes : 1;
-    Rank(id, s);
-  }
-
-  void OnAccess(ObjectId id) override {
-    auto it = state_of_.find(id);
-    if (it == state_of_.end()) return;
-    ranked_.erase({it->second.priority, id});
-    ++it->second.freq;
-    Rank(id, it->second);
-  }
-
-  void OnRemove(ObjectId id) override {
-    auto it = state_of_.find(id);
-    if (it == state_of_.end()) return;
-    // The inflation update belongs to *eviction*; explicit erases of a
-    // mid-priority object must not raise L above surviving entries, so L
-    // only advances when the removed object is the current minimum.
-    if (!ranked_.empty() && ranked_.begin()->second == id) {
-      inflation_ = it->second.priority;
-    }
-    ranked_.erase({it->second.priority, id});
-    state_of_.erase(it);
-  }
-
-  bool ChooseVictim(ObjectId* out) const override {
-    if (ranked_.empty()) return false;
-    *out = ranked_.begin()->second;
-    return true;
-  }
-
-  CachePolicy kind() const override { return CachePolicy::kGdsf; }
-
- private:
-  struct State {
-    uint64_t freq = 0;
-    uint64_t size = 1;
-    double priority = 0;
-  };
-
-  void Rank(ObjectId id, State& s) {
-    s.priority =
-        inflation_ + static_cast<double>(s.freq) / static_cast<double>(s.size);
-    ranked_.insert({s.priority, id});
-  }
-
-  double inflation_ = 0;
-  std::unordered_map<ObjectId, State> state_of_;
-  std::set<std::pair<double, ObjectId>> ranked_;  // lowest priority first
-};
-
-}  // namespace
 
 const char* CachePolicyName(CachePolicy policy) {
   switch (policy) {
@@ -176,17 +18,6 @@ Result<CachePolicy> ParseCachePolicy(const std::string& name) {
   if (name == "lfu") return CachePolicy::kLfu;
   if (name == "gdsf") return CachePolicy::kGdsf;
   return Status::InvalidArgument("unknown cache policy: " + name);
-}
-
-std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(CachePolicy policy) {
-  switch (policy) {
-    case CachePolicy::kUnbounded: return std::make_unique<UnboundedPolicy>();
-    case CachePolicy::kLru: return std::make_unique<LruPolicy>();
-    case CachePolicy::kLfu: return std::make_unique<LfuPolicy>();
-    case CachePolicy::kGdsf: return std::make_unique<GdsfPolicy>();
-  }
-  assert(false && "unhandled cache policy");
-  return std::make_unique<UnboundedPolicy>();
 }
 
 }  // namespace flower

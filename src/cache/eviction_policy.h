@@ -1,18 +1,20 @@
-// Replacement policies for the bounded peer storage (src/cache/).
+// Replacement-policy selection for the keyed eviction engine
+// (src/cache/keyed_store.h).
 //
-// The paper's content peers "keep every object they retrieve" (Sec 4);
-// real CDN edges operate under storage pressure. A ContentStore delegates
-// its victim choice to an EvictionPolicy so experiments can ablate
-// replacement strategies (hit-rate vs. capacity, eviction-induced summary
-// staleness) without touching the protocol code.
+// The paper's content peers "keep every object they retrieve" (Sec 4) and
+// its directory peers index their whole overlay; real CDN edges operate
+// under storage pressure on both. Every bounded store in the system —
+// ContentStore (peer caches) and DirectoryStore (directory index entries)
+// — delegates its victim choice to a KeyedEvictionPolicy selected by this
+// enum, so experiments can ablate replacement strategies without touching
+// the protocol code.
 //
 // All policies are fully deterministic: victim choice never draws from an
-// Rng, so enabling a bounded cache perturbs no RNG stream anywhere in the
+// Rng, so enabling a bounded store perturbs no RNG stream anywhere in the
 // simulation (runs stay reproducible under `seed`).
 #ifndef FLOWERCDN_CACHE_EVICTION_POLICY_H_
 #define FLOWERCDN_CACHE_EVICTION_POLICY_H_
 
-#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -22,40 +24,16 @@ namespace flower {
 
 enum class CachePolicy : uint8_t {
   kUnbounded = 0,  // keep everything (the paper's behavior; the default)
-  kLru,            // evict the least recently used object
-  kLfu,            // evict the least frequently used object (LRU tie-break)
+  kLru,            // evict the least recently used entry
+  kLfu,            // evict the least frequently used entry (LRU tie-break)
   kGdsf,           // Greedy-Dual-Size-Frequency (size-aware, Cherkasova 98)
 };
 
 const char* CachePolicyName(CachePolicy policy);
 
 /// Parses "unbounded" | "lru" | "lfu" | "gdsf" (as used by the
-/// `cache_policy` config key).
+/// `cache_policy` and `directory_index_policy` config keys).
 Result<CachePolicy> ParseCachePolicy(const std::string& name);
-
-/// Victim-selection strategy plugged into a ContentStore. The store owns
-/// residency and byte accounting; the policy only ranks residents.
-class EvictionPolicy {
- public:
-  virtual ~EvictionPolicy() = default;
-
-  /// `id` became resident with the given size.
-  virtual void OnInsert(ObjectId id, uint64_t size_bytes) = 0;
-
-  /// `id` was accessed (local hit or serve to another peer).
-  virtual void OnAccess(ObjectId id) = 0;
-
-  /// `id` left the store (evicted or erased).
-  virtual void OnRemove(ObjectId id) = 0;
-
-  /// Selects the next object to evict. Returns false when the policy
-  /// refuses to name a victim (Unbounded) or tracks nothing.
-  virtual bool ChooseVictim(ObjectId* out) const = 0;
-
-  virtual CachePolicy kind() const = 0;
-};
-
-std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(CachePolicy policy);
 
 }  // namespace flower
 

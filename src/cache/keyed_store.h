@@ -1,0 +1,457 @@
+// The generic eviction engine behind every capacity-bounded map in the
+// system: a byte-accounted store of Key -> size with a pluggable
+// replacement policy and an optional admission hook.
+//
+// Two stores run on this engine today:
+//  - ContentStore (content_store.h): ObjectId-keyed peer storage, the
+//    bounded cache of content/directory/Squirrel peers;
+//  - DirectoryStore (directory_store.h): PeerAddress-keyed directory
+//    index entries, sized by entry footprint.
+//
+// Everything here is fully deterministic: victim choice never draws from
+// an Rng, and with capacity 0 (unlimited) the engine is behaviorally a
+// plain std::map (sorted iteration, no evictions), so unbounded runs
+// reproduce the seed's RNG draws and metric values bit-identically.
+#ifndef FLOWERCDN_CACHE_KEYED_STORE_H_
+#define FLOWERCDN_CACHE_KEYED_STORE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/eviction_policy.h"
+
+namespace flower {
+
+/// Victim-selection strategy plugged into a KeyedStore. The store owns
+/// residency and byte accounting; the policy only ranks residents.
+template <typename K>
+class KeyedEvictionPolicy {
+ public:
+  virtual ~KeyedEvictionPolicy() = default;
+
+  /// `key` became resident with the given size. `cost` is the retrieval
+  /// cost GDSF weighs into its priority (1.0 everywhere except
+  /// latency-aware caching, see `cache_cost=distance`).
+  virtual void OnInsert(const K& key, uint64_t size_bytes, double cost) = 0;
+
+  /// `key` was accessed (local hit, serve to another peer, liveness
+  /// contact).
+  virtual void OnAccess(const K& key) = 0;
+
+  /// The accounted size of a resident `key` changed (directory index
+  /// entries grow and shrink with their object lists). Only size-aware
+  /// policies care.
+  virtual void OnResize(const K& key, uint64_t size_bytes) {
+    (void)key;
+    (void)size_bytes;
+  }
+
+  /// `key` left the store (evicted or erased).
+  virtual void OnRemove(const K& key) = 0;
+
+  /// Selects the next key to evict. Returns false when the policy
+  /// refuses to name a victim (Unbounded) or tracks nothing.
+  virtual bool ChooseVictim(K* out) const = 0;
+
+  virtual CachePolicy kind() const = 0;
+};
+
+namespace cache_detail {
+
+/// Keep-everything: never names a victim. The store treats an unanswered
+/// ChooseVictim on a full store as an admission rejection, so pairing
+/// this with a finite capacity yields a "first come, stay forever"
+/// store; with capacity 0 (unlimited) it reproduces the paper exactly.
+template <typename K>
+class UnboundedPolicy : public KeyedEvictionPolicy<K> {
+ public:
+  void OnInsert(const K&, uint64_t, double) override {}
+  void OnAccess(const K&) override {}
+  void OnRemove(const K&) override {}
+  bool ChooseVictim(K*) const override { return false; }
+  CachePolicy kind() const override { return CachePolicy::kUnbounded; }
+};
+
+/// Least-recently-used, tracked with a logical access clock.
+template <typename K>
+class LruPolicy : public KeyedEvictionPolicy<K> {
+ public:
+  void OnInsert(const K& key, uint64_t, double) override { Stamp(key); }
+  void OnAccess(const K& key) override { Stamp(key); }
+
+  void OnRemove(const K& key) override {
+    auto it = stamp_of_.find(key);
+    if (it == stamp_of_.end()) return;
+    by_stamp_.erase(it->second);
+    stamp_of_.erase(it);
+  }
+
+  bool ChooseVictim(K* out) const override {
+    if (by_stamp_.empty()) return false;
+    *out = by_stamp_.begin()->second;
+    return true;
+  }
+
+  CachePolicy kind() const override { return CachePolicy::kLru; }
+
+ private:
+  void Stamp(const K& key) {
+    auto it = stamp_of_.find(key);
+    if (it != stamp_of_.end()) by_stamp_.erase(it->second);
+    uint64_t stamp = ++clock_;
+    stamp_of_[key] = stamp;
+    by_stamp_[stamp] = key;
+  }
+
+  uint64_t clock_ = 0;
+  std::unordered_map<K, uint64_t> stamp_of_;
+  std::map<uint64_t, K> by_stamp_;  // oldest stamp first
+};
+
+/// Least-frequently-used; ties broken towards the least recently used.
+template <typename K>
+class LfuPolicy : public KeyedEvictionPolicy<K> {
+ public:
+  void OnInsert(const K& key, uint64_t, double) override { Bump(key); }
+  void OnAccess(const K& key) override { Bump(key); }
+
+  void OnRemove(const K& key) override {
+    auto it = state_of_.find(key);
+    if (it == state_of_.end()) return;
+    ranked_.erase({it->second.freq, it->second.stamp, key});
+    state_of_.erase(it);
+  }
+
+  bool ChooseVictim(K* out) const override {
+    if (ranked_.empty()) return false;
+    *out = std::get<2>(*ranked_.begin());
+    return true;
+  }
+
+  CachePolicy kind() const override { return CachePolicy::kLfu; }
+
+ private:
+  struct State {
+    uint64_t freq = 0;
+    uint64_t stamp = 0;
+  };
+
+  void Bump(const K& key) {
+    State& s = state_of_[key];
+    if (s.freq > 0) ranked_.erase({s.freq, s.stamp, key});
+    ++s.freq;
+    s.stamp = ++clock_;
+    ranked_.insert({s.freq, s.stamp, key});
+  }
+
+  uint64_t clock_ = 0;
+  std::unordered_map<K, State> state_of_;
+  std::set<std::tuple<uint64_t, uint64_t, K>> ranked_;
+};
+
+/// Greedy-Dual-Size-Frequency (Cherkasova 1998): priority
+///   Pr(f) = L + cost(f) * freq(f) / size(f)
+/// where L is an inflation clock set to the priority of the last victim.
+/// Evicts low-frequency, large, cheaply-refetched objects first; aging
+/// via L keeps formerly popular objects from squatting forever. The cost
+/// term is 1 under `cache_cost=uniform` (plain GDSF) and the measured
+/// provider->client latency under `cache_cost=distance`.
+template <typename K>
+class GdsfPolicy : public KeyedEvictionPolicy<K> {
+ public:
+  void OnInsert(const K& key, uint64_t size_bytes, double cost) override {
+    State& s = state_of_[key];
+    s.freq = 1;
+    s.size = size_bytes > 0 ? size_bytes : 1;
+    s.cost = cost > 0 ? cost : 1.0;
+    Rank(key, s);
+  }
+
+  void OnAccess(const K& key) override {
+    auto it = state_of_.find(key);
+    if (it == state_of_.end()) return;
+    ranked_.erase({it->second.priority, key});
+    ++it->second.freq;
+    Rank(key, it->second);
+  }
+
+  void OnResize(const K& key, uint64_t size_bytes) override {
+    auto it = state_of_.find(key);
+    if (it == state_of_.end()) return;
+    ranked_.erase({it->second.priority, key});
+    it->second.size = size_bytes > 0 ? size_bytes : 1;
+    Rank(key, it->second);
+  }
+
+  void OnRemove(const K& key) override {
+    auto it = state_of_.find(key);
+    if (it == state_of_.end()) return;
+    // The inflation update belongs to *eviction*; explicit erases of a
+    // mid-priority object must not raise L above surviving entries, so L
+    // only advances when the removed object is the current minimum.
+    if (!ranked_.empty() && ranked_.begin()->second == key) {
+      inflation_ = it->second.priority;
+    }
+    ranked_.erase({it->second.priority, key});
+    state_of_.erase(it);
+  }
+
+  bool ChooseVictim(K* out) const override {
+    if (ranked_.empty()) return false;
+    *out = ranked_.begin()->second;
+    return true;
+  }
+
+  CachePolicy kind() const override { return CachePolicy::kGdsf; }
+
+ private:
+  struct State {
+    uint64_t freq = 0;
+    uint64_t size = 1;
+    double cost = 1.0;
+    double priority = 0;
+  };
+
+  void Rank(const K& key, State& s) {
+    s.priority = inflation_ + s.cost * static_cast<double>(s.freq) /
+                                  static_cast<double>(s.size);
+    ranked_.insert({s.priority, key});
+  }
+
+  double inflation_ = 0;
+  std::unordered_map<K, State> state_of_;
+  std::set<std::pair<double, K>> ranked_;  // lowest priority first
+};
+
+}  // namespace cache_detail
+
+template <typename K>
+std::unique_ptr<KeyedEvictionPolicy<K>> MakeKeyedEvictionPolicy(
+    CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kUnbounded:
+      return std::make_unique<cache_detail::UnboundedPolicy<K>>();
+    case CachePolicy::kLru:
+      return std::make_unique<cache_detail::LruPolicy<K>>();
+    case CachePolicy::kLfu:
+      return std::make_unique<cache_detail::LfuPolicy<K>>();
+    case CachePolicy::kGdsf:
+      return std::make_unique<cache_detail::GdsfPolicy<K>>();
+  }
+  assert(false && "unhandled cache policy");
+  return std::make_unique<cache_detail::UnboundedPolicy<K>>();
+}
+
+/// Lifetime counters of one KeyedStore.
+struct CacheStats {
+  uint64_t insertions = 0;        // keys that became resident
+  uint64_t hits = 0;              // Touch() calls on resident keys
+  uint64_t evictions = 0;         // victims removed for capacity
+  uint64_t bytes_evicted = 0;
+  uint64_t admission_rejects = 0; // inserts refused (hook, size, no victim)
+};
+
+/// The keyed eviction engine: residency, byte accounting, admission
+/// control and capacity enforcement around a pluggable policy.
+template <typename K>
+class KeyedStore {
+ public:
+  /// Admission control: called before a non-resident key is inserted
+  /// into a *bounded* store; returning false rejects the insert. (The
+  /// capacity check still applies after admission.)
+  using AdmissionHook = std::function<bool(const K& key, uint64_t size_bytes)>;
+
+  /// capacity_bytes == 0 means unlimited storage.
+  explicit KeyedStore(CachePolicy policy = CachePolicy::kUnbounded,
+                      uint64_t capacity_bytes = 0)
+      : policy_kind_(policy),
+        capacity_bytes_(capacity_bytes),
+        policy_(MakeKeyedEvictionPolicy<K>(policy)) {}
+
+  KeyedStore(KeyedStore&&) = default;
+  KeyedStore& operator=(KeyedStore&&) = default;
+
+  // --- Residency --------------------------------------------------------------
+
+  bool Contains(const K& key) const { return entries_.count(key) > 0; }
+
+  /// std::set-compatible spelling (0 or 1), kept so call sites and tests
+  /// read the same as with the old `std::set` state.
+  size_t count(const K& key) const { return entries_.count(key); }
+
+  /// Records an access to a resident key (policy recency/frequency
+  /// bookkeeping). No-op when the key is absent.
+  void Touch(const K& key) {
+    if (entries_.count(key) == 0) return;
+    ++stats_.hits;
+    policy_->OnAccess(key);
+  }
+
+  /// Makes `key` resident with the given size. Returns true if the key
+  /// is resident afterwards. Victims evicted to make room are appended to
+  /// `*evicted` (never containing `key` itself). Re-inserting a resident
+  /// key counts as a Touch; a differing `size_bytes` is ignored (the
+  /// original accounting stands — use Resize for mutable footprints). An
+  /// insert is rejected — resident set unchanged — when the admission
+  /// hook refuses it, when the key alone exceeds capacity, or when the
+  /// policy cannot name a victim (Unbounded on a full bounded store).
+  /// `cost` feeds the GDSF priority (1 = plain GDSF).
+  bool Insert(const K& key, uint64_t size_bytes,
+              std::vector<K>* evicted = nullptr, double cost = 1.0) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      Touch(key);
+      return true;
+    }
+    if (bounded()) {
+      if (size_bytes > capacity_bytes_) {
+        ++stats_.admission_rejects;
+        return false;
+      }
+      if (admission_hook_ && !admission_hook_(key, size_bytes)) {
+        ++stats_.admission_rejects;
+        return false;
+      }
+      while (bytes_used_ + size_bytes > capacity_bytes_) {
+        K victim;
+        if (!policy_->ChooseVictim(&victim)) {
+          // Unbounded on a full bounded store: nothing may leave, so the
+          // newcomer is turned away instead.
+          ++stats_.admission_rejects;
+          return false;
+        }
+        Evict(victim, evicted);
+      }
+    }
+    entries_[key] = size_bytes;
+    bytes_used_ += size_bytes;
+    ++stats_.insertions;
+    policy_->OnInsert(key, size_bytes, cost);
+    return true;
+  }
+
+  /// Adjusts the accounted size of a resident key (directory index
+  /// entries grow and shrink with their object lists). On growth past
+  /// capacity, policy-chosen victims are evicted until the store fits;
+  /// when the policy refuses to name one (Unbounded) or the resized key
+  /// alone no longer fits, the resized key itself is evicted (and
+  /// appended to `*evicted`). Returns true when `key` is still resident
+  /// afterwards; false when it is absent or was evicted by the resize.
+  bool Resize(const K& key, uint64_t new_size, std::vector<K>* evicted) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    bytes_used_ = bytes_used_ - it->second + new_size;
+    it->second = new_size;
+    policy_->OnResize(key, new_size);
+    if (!bounded()) return true;
+    if (new_size > capacity_bytes_) {
+      // Hopeless alone (mirrors Insert's oversized-object rejection):
+      // only the grown key leaves — draining every other resident first
+      // would wipe the store for an entry that can never fit.
+      Evict(key, evicted);
+      return false;
+    }
+    while (bytes_used_ > capacity_bytes_) {
+      K victim;
+      if (!policy_->ChooseVictim(&victim)) victim = key;
+      Evict(victim, evicted);
+      if (victim == key) return false;
+    }
+    return true;
+  }
+
+  /// Explicitly removes a key (not counted as an eviction).
+  bool Erase(const K& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    bytes_used_ -= it->second;
+    policy_->OnRemove(key);
+    entries_.erase(it);
+    return true;
+  }
+
+  // --- Introspection ----------------------------------------------------------
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  uint64_t bytes_used() const { return bytes_used_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  bool bounded() const { return capacity_bytes_ > 0; }
+  CachePolicy policy() const { return policy_kind_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// Resident keys in ascending order (matches the iteration order of
+  /// the std::set / std::map state this engine replaced).
+  std::vector<K> Keys() const {
+    std::vector<K> out;
+    out.reserve(entries_.size());
+    for (const auto& [key, size] : entries_) out.push_back(key);
+    return out;
+  }
+
+  /// key -> size_bytes, ordered by key.
+  const std::map<K, uint64_t>& entries() const { return entries_; }
+
+  void set_admission_hook(AdmissionHook hook) {
+    admission_hook_ = std::move(hook);
+  }
+
+  /// Installs `hook` and returns the previously installed one, so scoped
+  /// hooks (replica admission) can restore instead of clobbering.
+  AdmissionHook swap_admission_hook(AdmissionHook hook) {
+    AdmissionHook prev = std::move(admission_hook_);
+    admission_hook_ = std::move(hook);
+    return prev;
+  }
+
+  /// An admission hook refusing any insert that would leave `store`
+  /// within `headroom` (a fraction of capacity) of its budget;
+  /// `on_decline` is invoked per refusal. Shared by the replica-admission
+  /// paths of content and directory peers so the budget rule cannot
+  /// diverge between them. Only meaningful on bounded stores (unbounded
+  /// stores never consult their hook).
+  static AdmissionHook HeadroomHook(const KeyedStore* store, double headroom,
+                                    std::function<void()> on_decline) {
+    return [store, headroom, on_decline = std::move(on_decline)](
+               const K& /*key*/, uint64_t size_bytes) {
+      const double budget =
+          static_cast<double>(store->capacity_bytes()) * (1.0 - headroom);
+      if (static_cast<double>(store->bytes_used() + size_bytes) > budget) {
+        if (on_decline) on_decline();
+        return false;
+      }
+      return true;
+    };
+  }
+
+ private:
+  void Evict(const K& victim, std::vector<K>* evicted) {
+    auto vit = entries_.find(victim);
+    bytes_used_ -= vit->second;
+    ++stats_.evictions;
+    stats_.bytes_evicted += vit->second;
+    policy_->OnRemove(victim);
+    entries_.erase(vit);
+    if (evicted != nullptr) evicted->push_back(victim);
+  }
+
+  CachePolicy policy_kind_;
+  uint64_t capacity_bytes_;
+  std::unique_ptr<KeyedEvictionPolicy<K>> policy_;
+  std::map<K, uint64_t> entries_;  // key -> size_bytes
+  uint64_t bytes_used_ = 0;
+  CacheStats stats_;
+  AdmissionHook admission_hook_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_CACHE_KEYED_STORE_H_

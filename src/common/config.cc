@@ -141,6 +141,31 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
     return Status::Ok();
   }
   INT_KEY("cache_capacity_bytes", cache_capacity_bytes)
+  if (key == "cache_cost") {
+    if (value != "uniform" && value != "distance") {
+      return Status::InvalidArgument("unknown cache cost model: " + value);
+    }
+    cache_cost = value;
+    return Status::Ok();
+  }
+  if (key == "directory_index_policy") {
+    Result<CachePolicy> parsed = ParseCachePolicy(value);
+    if (!parsed.ok()) return parsed.status();
+    directory_index_policy = value;
+    return Status::Ok();
+  }
+  if (key == "directory_index_capacity") {
+    if (value == "unbounded") {
+      directory_index_capacity_bytes = 0;
+      return Status::Ok();
+    }
+    if (!ParseInt(value, &i) || i < 0) {
+      return Status::InvalidArgument(
+          "directory_index_capacity wants a byte count or \"unbounded\"");
+    }
+    directory_index_capacity_bytes = static_cast<uint64_t>(i);
+    return Status::Ok();
+  }
   INT_KEY("max_content_overlay_size", max_content_overlay_size)
   DOUBLE_KEY("new_client_probability", new_client_probability)
   DOUBLE_KEY("queries_per_second", queries_per_second)
@@ -217,6 +242,16 @@ std::string SimConfig::ToString() const {
      << " cache=" << cache_policy;
   if (cache_capacity_bytes > 0) {
     os << "/" << cache_capacity_bytes << "B";
+  }
+  // Non-default knobs only: the default line must stay byte-identical
+  // across PRs so trajectory diffs catch real drift.
+  if (cache_cost != "uniform") os << " cache_cost=" << cache_cost;
+  if (directory_index_policy != "unbounded" ||
+      directory_index_capacity_bytes > 0) {
+    os << " dir_index=" << directory_index_policy;
+    if (directory_index_capacity_bytes > 0) {
+      os << "/" << directory_index_capacity_bytes << "B";
+    }
   }
   if (system != "flower") os << " system=" << system;
   if (!workload_trace.empty()) os << " workload=trace:" << workload_trace;

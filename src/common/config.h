@@ -61,6 +61,22 @@ struct SimConfig {
   std::string cache_policy = "unbounded";
   /// Per-peer storage budget in bytes; 0 = unlimited (seed behavior).
   uint64_t cache_capacity_bytes = 0;
+  /// GDSF cost term: "uniform" (cost 1, plain GDSF) or "distance" (the
+  /// measured provider->client transfer latency — far-fetched objects are
+  /// expensive to re-fetch and outlive equally popular local ones).
+  /// Ignored by every policy except gdsf.
+  std::string cache_cost = "uniform";
+
+  // --- Directory index (src/cache/; bounded directory-side storage) ----------
+  /// Replacement policy of every directory peer's index of its overlay:
+  /// "unbounded" (index every content peer, the paper's Sec 3.3 model) |
+  /// "lru" (evict the entry with the oldest probe) | "lfu" (fewest
+  /// probes) | "gdsf" (footprint-aware).
+  std::string directory_index_policy = "unbounded";
+  /// Per-directory index budget in bytes of accounted entry footprint
+  /// (DirectoryStore::FootprintBytes); 0 = unbounded. The config key
+  /// `directory_index_capacity` also accepts the value "unbounded".
+  uint64_t directory_index_capacity_bytes = 0;
 
   // --- Overlay / membership -------------------------------------------------
   int max_content_overlay_size = 100;  // S_co

@@ -153,7 +153,13 @@ void ContentPeer::HandleIncomingQuery(std::unique_ptr<FlowerQueryMsg> query) {
   // We do not hold it: stale entry (possibly evicted since the claim was
   // gossiped/pushed) or Bloom false positive. Count the wasted hop, then
   // bounce the query back so the pipeline falls back instead of losing it.
-  ctx_->metrics->OnStaleRedirect();
+  // Attribution by claim channel: a redirect backed by a directory index
+  // entry lands in the dir-index bucket; everything else (peer-direct
+  // hops, and directory redirects issued from an inherited view summary)
+  // is peer-summary staleness — the cache-eviction channel.
+  ctx_->metrics->OnStaleRedirect(query->claim_from_index
+                                     ? Metrics::StaleSource::kDirIndex
+                                     : Metrics::StaleSource::kPeerSummary);
   PeerAddress asker = query->sender;
   auto nf = std::make_unique<NotFoundMsg>(query->object, query->website_hash,
                                           query->stage);
@@ -174,7 +180,7 @@ void ContentPeer::HandleServe(std::unique_ptr<ServeMsg> serve) {
           : Metrics::ProviderKind::kRemotePeer;
   ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
   pending_.erase(serve->object);
-  AddObject(serve->object);
+  AddObject(serve->object, GdsfInsertCost(*ctx_->config, distance));
   if (!serve->view_subset.empty()) {
     view_.Merge(serve->view_subset, std::nullopt, address());
   }
@@ -287,14 +293,14 @@ void ContentPeer::MergeDirPointer(const DirectoryPointer& incoming) {
 
 // --- Push & keepalive (Algorithm 5 / Sec 5.1) ------------------------------------
 
-void ContentPeer::AddObject(ObjectId object) {
+void ContentPeer::AddObject(ObjectId object, double cost) {
   if (content_.Contains(object)) {
     content_.Touch(object);
     return;
   }
   std::vector<ObjectId> evicted;
-  bool inserted =
-      content_.Insert(object, site_->ObjectSizeBits(object) / 8, &evicted);
+  bool inserted = content_.Insert(object, site_->ObjectSizeBits(object) / 8,
+                                  &evicted, cost);
   if (!evicted.empty()) {
     // Evictions invalidate our gossiped summary and the directory's index
     // entry for us; both go stale gracefully — the summary rebuilds before
@@ -420,7 +426,7 @@ void ContentPeer::HandleReplicaTransfer(
       content_.swap_admission_hook(ContentStore::HeadroomHook(
           &content_, ctx_->config->replication_admission_headroom,
           [this]() { ctx_->metrics->OnReplicaDeclined(); }));
-  AddObject(msg->object);
+  AddObject(msg->object, ReplicaInsertCost(*ctx_, msg->sender, address()));
   content_.swap_admission_hook(std::move(prev));
 }
 

@@ -97,7 +97,9 @@ class ContentPeer : public Peer {
   std::shared_ptr<const ContentSummary> CurrentSummary();
 
   // Push & keepalive (Algorithm 5 / Sec 5.1).
-  void AddObject(ObjectId object);
+  /// `cost` is the GDSF retrieval-cost term (the measured transfer
+  /// distance under `cache_cost=distance`, 1 otherwise).
+  void AddObject(ObjectId object, double cost = 1.0);
   static void DropDelta(std::vector<ObjectId>* delta, ObjectId object);
   void MaybePush();
   void SendKeepalive();

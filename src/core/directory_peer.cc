@@ -17,6 +17,7 @@ DirectoryPeer::DirectoryPeer(FlowerContext* ctx, const Website* site,
       locality_(locality),
       instance_(instance),
       rng_(rng_seed),
+      dir_store_(DirectoryStore::FromConfig(*ctx->config)),
       content_(ContentStore::FromConfig(*ctx->config)),
       view_(ctx->config->view_size, ctx->config->view_age_limit) {
   set_app(this);
@@ -59,38 +60,42 @@ void DirectoryPeer::SeedFromPromotion(ContentStore content, View view,
 void DirectoryPeer::InstallHandoff(const DirectoryHandoffMsg& handoff) {
   for (const auto& e : handoff.entries) {
     if (e.addr == address()) continue;  // our own old membership entry
-    IndexEntry& entry = index_[e.addr];
-    entry.age = e.age;
-    entry.joined_at = e.joined_at;
-    for (ObjectId o : e.objects) {
-      if (entry.objects.insert(o).second) {
-        ++holder_counts_[o];
-      }
+    DirectoryStore::Delta delta;
+    if (dir_store_.Contains(e.addr)) {
+      // Already admitted provisionally (keepalive/push raced the
+      // handoff): the predecessor's age and join time are authoritative.
+      dir_store_.SetEntryState(e.addr, e.age, e.joined_at);
+    } else if (!dir_store_.Admit(e.addr, e.age, e.joined_at, &delta)) {
+      ApplyDelta(delta);  // a bounded index may refuse part of a handoff
+      continue;
     }
+    dir_store_.Update(e.addr, e.objects, {}, &delta);
+    ApplyDelta(delta);
   }
   for (const auto& s : handoff.summaries) {
     if (s.dir_id == id()) continue;
-    summaries_[s.dir_id] = NeighborSummary{
-        s.addr, ctx_->scheme->LocalityOf(s.dir_id), s.summary};
+    dir_store_.PutSummary(
+        s.dir_id, DirectoryStore::NeighborSummary{
+                      s.addr, ctx_->scheme->LocalityOf(s.dir_id), s.summary});
   }
   // Neighbors already have a recent summary of this index (sent by our
   // predecessor); start counting changes from here.
   std::set<ObjectId> distinct;
-  for (const auto& [o, c] : holder_counts_) distinct.insert(o);
+  for (const auto& [o, c] : dir_store_.holder_counts()) distinct.insert(o);
   for (const auto& [o, size] : content_.entries()) distinct.insert(o);
   ids_in_last_sent_summary_ = distinct.size();
   new_ids_since_summary_ = 0;
 }
 
 bool DirectoryPeer::OverlayFull() const {
-  return static_cast<int>(index_.size()) >=
+  return static_cast<int>(dir_store_.size()) >=
          ctx_->config->max_content_overlay_size;
 }
 
 const std::set<ObjectId>* DirectoryPeer::IndexObjectsOf(
     PeerAddress addr) const {
-  auto it = index_.find(addr);
-  return it == index_.end() ? nullptr : &it->second.objects;
+  const DirectoryStore::Entry* entry = dir_store_.Find(addr);
+  return entry == nullptr ? nullptr : &entry->objects;
 }
 
 // --- Query processing (Algorithm 3) ------------------------------------------------
@@ -121,7 +126,7 @@ void DirectoryPeer::Deliver(Key key, MessagePtr payload,
     // to the next directory instance, whose overlay absorbs them.
     if (ctx_->scheme->extra_bits() > 0 && OverlayFull() &&
         !owned->client_is_member && owned->client_loc == locality_ &&
-        index_.count(owned->client) == 0) {
+        !dir_store_.Contains(owned->client)) {
       NodeRef next = successor();
       if (next.valid() && next.addr != address() &&
           ctx_->scheme->SameWebsite(next.id, id()) &&
@@ -144,26 +149,27 @@ void DirectoryPeer::Deliver(Key key, MessagePtr payload,
 void DirectoryPeer::MaybeAdmitClient(const FlowerQueryMsg& query) {
   if (query.client == address()) return;
   if (query.client_loc != locality_) return;
-  auto it = index_.find(query.client);
-  if (it != index_.end()) {
-    it->second.age = 0;  // query contact doubles as a liveness signal
+  if (dir_store_.Contains(query.client)) {
+    dir_store_.Touch(query.client);  // query contact doubles as liveness
     return;
   }
   if (OverlayFull()) return;  // Sec 6.1: no new clients past S_co
   // Optimistic admission (Sec 3.4): entry with the requested object, age 0.
-  IndexEntry entry;
-  entry.age = 0;
-  entry.joined_at = ctx_->sim->Now();
-  entry.objects.insert(query.object);
-  index_[query.client] = std::move(entry);
-  if (++holder_counts_[query.object] == 1) NoteNewObjectId(query.object);
+  DirectoryStore::Delta delta;
+  if (!dir_store_.Admit(query.client, 0, ctx_->sim->Now(), &delta)) {
+    ApplyDelta(delta);
+    return;  // bounded index refused the entry: treat like a full overlay
+  }
+  dir_store_.Update(query.client, {query.object}, {}, &delta);
+  ApplyDelta(delta);
+  if (!dir_store_.Contains(query.client)) return;  // evicted by its own grow
   MaybeRefreshNeighborSummaries();
 
   // Welcome the client with initial contacts from the directory index.
   auto welcome = std::make_unique<WelcomeMsg>(site_->dring_hash, locality_);
   std::vector<PeerAddress> members;
-  members.reserve(index_.size());
-  for (const auto& [addr, e] : index_) {
+  members.reserve(dir_store_.size());
+  for (const auto& [addr, e] : dir_store_.entries()) {
     if (addr != query.client) members.push_back(addr);
   }
   size_t want = std::min<size_t>(members.size(),
@@ -194,6 +200,12 @@ void DirectoryPeer::ProcessQuery(std::unique_ptr<FlowerQueryMsg> query) {
   if (RedirectToIndexHolder(query)) return;
   if (RedirectViaViewSummaries(query)) return;
   if (RedirectViaDirSummaries(query)) return;
+  if (query->stage == QueryStage::kDirToDir) {
+    // A neighbor redirected here on the strength of our summary, but
+    // nothing in the index or own content backs the claim anymore —
+    // under a bounded index typically because the holders were evicted.
+    ctx_->metrics->OnDirSummaryFallthrough();
+  }
   RedirectToServer(std::move(query));
 }
 
@@ -216,13 +228,15 @@ void DirectoryPeer::ServeFromOwnContent(const FlowerQueryMsg& query) {
 bool DirectoryPeer::RedirectToIndexHolder(
     std::unique_ptr<FlowerQueryMsg>& query) {
   std::vector<PeerAddress> holders;
-  for (const auto& [addr, entry] : index_) {
+  for (const auto& [addr, entry] : dir_store_.entries()) {
     if (addr == query->client) continue;
     if (entry.objects.count(query->object) > 0) holders.push_back(addr);
   }
   if (holders.empty()) return false;
   PeerAddress target = holders[rng_.Index(holders.size())];
+  dir_store_.Probe(target);  // answering a redirect is a usefulness signal
   query->stage = QueryStage::kDirRedirect;
+  query->claim_from_index = true;
   ctx_->network->Send(this, target, std::move(query));
   return true;
 }
@@ -234,12 +248,13 @@ bool DirectoryPeer::RedirectViaViewSummaries(
   std::vector<PeerAddress> candidates;
   for (const ViewEntry& e : view_.entries()) {
     if (!e.summary || e.addr == query->client || e.addr == address()) continue;
-    if (index_.count(e.addr) > 0) continue;  // already tried via the index
+    if (dir_store_.Contains(e.addr)) continue;  // already tried via the index
     if (e.summary->MaybeContains(query->object)) candidates.push_back(e.addr);
   }
   if (candidates.empty()) return false;
   PeerAddress target = candidates[rng_.Index(candidates.size())];
   query->stage = QueryStage::kDirRedirect;
+  query->claim_from_index = false;  // the claim lives in a peer's summary
   ctx_->network->Send(this, target, std::move(query));
   return true;
 }
@@ -247,13 +262,14 @@ bool DirectoryPeer::RedirectViaViewSummaries(
 bool DirectoryPeer::RedirectViaDirSummaries(
     std::unique_ptr<FlowerQueryMsg>& query) {
   if (query->dir_redirects >= 2) return false;  // bound dir-to-dir forwarding
-  std::vector<const NeighborSummary*> candidates;
-  for (const auto& [dir_id, ns] : summaries_) {
+  std::vector<const DirectoryStore::NeighborSummary*> candidates;
+  for (const auto& [dir_id, ns] : dir_store_.summaries()) {
     if (ns.addr == address() || !ns.summary) continue;
     if (ns.summary->MaybeContains(query->object)) candidates.push_back(&ns);
   }
   if (candidates.empty()) return false;
-  const NeighborSummary* target = candidates[rng_.Index(candidates.size())];
+  const DirectoryStore::NeighborSummary* target =
+      candidates[rng_.Index(candidates.size())];
   ++query->dir_redirects;
   query->stage = QueryStage::kDirToDir;
   ctx_->network->Send(this, target->addr, std::move(query));
@@ -267,58 +283,44 @@ void DirectoryPeer::RedirectToServer(std::unique_ptr<FlowerQueryMsg> query) {
 
 // --- Index maintenance ----------------------------------------------------------------
 
+void DirectoryPeer::ApplyDelta(const DirectoryStore::Delta& delta) {
+  for (ObjectId o : delta.new_ids) NoteNewObjectId(o);
+  for (ObjectId o : delta.orphaned_ids) NoteRemovedObjectId(o);
+  if (!delta.evicted.empty()) {
+    ctx_->metrics->OnDirIndexEvictions(delta.evicted.size());
+  }
+}
+
 void DirectoryPeer::AddObjectsToEntry(PeerAddress peer,
                                       const std::vector<ObjectId>& add,
                                       const std::vector<ObjectId>& remove) {
-  auto it = index_.find(peer);
-  if (it == index_.end()) {
+  if (!dir_store_.Contains(peer)) {
     // Unknown pusher: admit it if there is room (this happens while a
     // promoted directory rebuilds its index from pushes, Sec 5.2).
     if (OverlayFull()) return;
-    IndexEntry entry;
-    entry.age = 0;
-    entry.joined_at = ctx_->sim->Now();
-    it = index_.emplace(peer, std::move(entry)).first;
+    DirectoryStore::Delta delta;
+    bool admitted = dir_store_.Admit(peer, 0, ctx_->sim->Now(), &delta);
+    ApplyDelta(delta);
+    if (!admitted) return;
   }
-  IndexEntry& entry = it->second;
-  entry.age = 0;
-  for (ObjectId o : add) {
-    if (entry.objects.insert(o).second) {
-      if (++holder_counts_[o] == 1) NoteNewObjectId(o);
-    }
-  }
-  for (ObjectId o : remove) {
-    if (entry.objects.erase(o) > 0) {
-      auto hit = holder_counts_.find(o);
-      if (hit != holder_counts_.end() && --hit->second == 0) {
-        holder_counts_.erase(hit);
-        NoteRemovedObjectId(o);
-      }
-    }
-  }
+  dir_store_.Touch(peer);  // a push is a liveness signal (age resets)
+  DirectoryStore::Delta delta;
+  dir_store_.Update(peer, add, remove, &delta);
+  ApplyDelta(delta);
   MaybeRefreshNeighborSummaries();
 }
 
 void DirectoryPeer::RemoveEntry(PeerAddress peer) {
-  auto it = index_.find(peer);
-  if (it == index_.end()) return;
-  for (ObjectId o : it->second.objects) {
-    auto hit = holder_counts_.find(o);
-    if (hit != holder_counts_.end() && --hit->second == 0) {
-      holder_counts_.erase(hit);
-      NoteRemovedObjectId(o);
-    }
-  }
-  index_.erase(it);
+  DirectoryStore::Delta delta;
+  dir_store_.Erase(peer, &delta);
+  ApplyDelta(delta);
 }
 
 void DirectoryPeer::AgeTick() {
   if (!alive_) return;
-  std::vector<PeerAddress> dead;
-  for (auto& [addr, entry] : index_) {
-    if (++entry.age >= ctx_->config->dead_age_limit) dead.push_back(addr);
-  }
-  for (PeerAddress addr : dead) RemoveEntry(addr);
+  DirectoryStore::Delta delta;
+  dir_store_.AgeAll(ctx_->config->dead_age_limit, &delta);
+  ApplyDelta(delta);
 }
 
 // --- Directory summaries ---------------------------------------------------------------
@@ -361,7 +363,7 @@ std::shared_ptr<const ContentSummary> DirectoryPeer::BuildIndexSummary() {
       ctx_->config->num_objects_per_website,
       ctx_->config->summary_bits_per_object,
       ctx_->config->summary_num_hashes);
-  for (const auto& [o, c] : holder_counts_) s->Add(o);
+  for (const auto& [o, c] : dir_store_.holder_counts()) s->Add(o);
   for (const auto& [o, size] : content_.entries()) s->Add(o);
   return s;
 }
@@ -405,14 +407,14 @@ void DirectoryPeer::RequestObject(ObjectId object) {
   ProcessQuery(std::move(q));  // local lookup, no network hop
 }
 
-void DirectoryPeer::AddOwnObject(ObjectId object) {
+void DirectoryPeer::AddOwnObject(ObjectId object, double cost) {
   if (content_.Contains(object)) {
     content_.Touch(object);
     return;
   }
   std::vector<ObjectId> evicted;
-  bool inserted =
-      content_.Insert(object, site_->ObjectSizeBits(object) / 8, &evicted);
+  bool inserted = content_.Insert(object, site_->ObjectSizeBits(object) / 8,
+                                  &evicted, cost);
   if (!evicted.empty()) {
     // Own-content evictions leave the next rebuilt index summary; per
     // Sec 4.2.1 removals do not trigger an eager refresh (neighbors
@@ -420,7 +422,7 @@ void DirectoryPeer::AddOwnObject(ObjectId object) {
     ctx_->metrics->OnCacheEvictions(evicted.size());
   }
   if (!inserted) return;
-  if (holder_counts_.count(object) == 0) {
+  if (!dir_store_.AnyHolder(object)) {
     NoteNewObjectId(object);
     MaybeRefreshNeighborSummaries();
   }
@@ -439,7 +441,7 @@ void DirectoryPeer::HandleServe(std::unique_ptr<ServeMsg> serve) {
     ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
     pending_own_.erase(it);
   }
-  AddOwnObject(serve->object);
+  AddOwnObject(serve->object, GdsfInsertCost(*ctx_->config, distance));
 }
 
 // --- Replacement adjudication (Sec 5.2) -----------------------------------------------------
@@ -461,7 +463,7 @@ void DirectoryPeer::LeaveGracefully() {
   // Choose the most stable content peer (earliest join) as the successor.
   PeerAddress chosen = kInvalidAddress;
   SimTime best = 0;
-  for (const auto& [addr, entry] : index_) {
+  for (const auto& [addr, entry] : dir_store_.entries()) {
     if (chosen == kInvalidAddress || entry.joined_at < best) {
       chosen = addr;
       best = entry.joined_at;
@@ -470,7 +472,7 @@ void DirectoryPeer::LeaveGracefully() {
   if (chosen != kInvalidAddress) {
     auto handoff = std::make_unique<DirectoryHandoffMsg>();
     handoff->dir_key = id();
-    for (const auto& [addr, entry] : index_) {
+    for (const auto& [addr, entry] : dir_store_.entries()) {
       if (addr == chosen) continue;
       DirectoryHandoffMsg::IndexEntryWire wire;
       wire.addr = addr;
@@ -479,7 +481,7 @@ void DirectoryPeer::LeaveGracefully() {
       wire.objects.assign(entry.objects.begin(), entry.objects.end());
       handoff->entries.push_back(std::move(wire));
     }
-    for (const auto& [dir_id, ns] : summaries_) {
+    for (const auto& [dir_id, ns] : dir_store_.summaries()) {
       handoff->summaries.push_back(
           DirectoryHandoffMsg::SummaryWire{dir_id, ns.addr, ns.summary});
     }
@@ -504,7 +506,7 @@ void DirectoryPeer::ReplicationTick() {
   ranked.reserve(request_counts_.size());
   for (const auto& [obj, count] : request_counts_) {
     // Offer only objects actually present in this overlay.
-    if (holder_counts_.count(obj) == 0 && !content_.Contains(obj)) continue;
+    if (!dir_store_.AnyHolder(obj) && !content_.Contains(obj)) continue;
     ranked.emplace_back(count, obj);
   }
   if (ranked.empty()) return;
@@ -526,14 +528,14 @@ void DirectoryPeer::HandleReplicationOffer(const ReplicationOfferMsg& offer,
                                            PeerAddress from) {
   auto req = std::make_unique<ReplicationRequestMsg>();
   for (ObjectId o : offer.objects) {
-    if (holder_counts_.count(o) == 0 && !content_.Contains(o)) {
+    if (!dir_store_.AnyHolder(o) && !content_.Contains(o)) {
       req->wanted.push_back(o);
     }
   }
   if (req->wanted.empty()) return;
-  if (!index_.empty()) {
-    size_t pick = rng_.Index(index_.size());
-    auto it = index_.begin();
+  if (!dir_store_.empty()) {
+    size_t pick = rng_.Index(dir_store_.size());
+    auto it = dir_store_.entries().begin();
     std::advance(it, static_cast<long>(pick));
     req->deposit_target = it->first;
   } else {
@@ -547,7 +549,7 @@ void DirectoryPeer::HandleReplicationRequest(
   for (ObjectId o : req.wanted) {
     // Prefer a content peer holding the object; fall back to own content.
     std::vector<PeerAddress> holders;
-    for (const auto& [addr, entry] : index_) {
+    for (const auto& [addr, entry] : dir_store_.entries()) {
       if (entry.objects.count(o) > 0) holders.push_back(addr);
     }
     if (!holders.empty()) {
@@ -581,15 +583,13 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
     return;
   }
   if (dynamic_cast<KeepaliveMsg*>(raw) != nullptr) {
-    auto it = index_.find(raw->sender);
-    if (it != index_.end()) {
-      it->second.age = 0;
+    if (dir_store_.Contains(raw->sender)) {
+      dir_store_.Touch(raw->sender);
     } else if (!OverlayFull()) {
       // A member we do not know (index rebuild after promotion).
-      IndexEntry entry;
-      entry.age = 0;
-      entry.joined_at = ctx_->sim->Now();
-      index_[raw->sender] = std::move(entry);
+      DirectoryStore::Delta delta;
+      dir_store_.Admit(raw->sender, 0, ctx_->sim->Now(), &delta);
+      ApplyDelta(delta);
     }
     return;
   }
@@ -608,13 +608,19 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
       AddObjectsToEntry(raw->sender, {}, {nf->object});
       view_.Remove(raw->sender);
       ++redirect_failures_;
+      // Back under local processing: a kDirToDir stage left on the
+      // bounced query would count a spurious dir_summary_fallthrough
+      // when the retry ends at the server (same hazard as the
+      // undeliverable path below).
+      nf->query->stage = QueryStage::kToDirectory;
       ProcessQuery(std::move(nf->query));
     }
     return;
   }
   if (auto* ds = dynamic_cast<DirectorySummaryMsg*>(raw)) {
-    summaries_[ds->from_dir_id] =
-        NeighborSummary{ds->sender, ds->from_loc, ds->summary};
+    dir_store_.PutSummary(ds->from_dir_id,
+                          DirectoryStore::NeighborSummary{
+                              ds->sender, ds->from_loc, ds->summary});
     return;
   }
   if (auto* serve = dynamic_cast<ServeMsg*>(raw)) {
@@ -661,7 +667,8 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
         content_.swap_admission_hook(ContentStore::HeadroomHook(
             &content_, ctx_->config->replication_admission_headroom,
             [this]() { ctx_->metrics->OnReplicaDeclined(); }));
-    AddOwnObject(rt->object);
+    AddOwnObject(rt->object,
+                 ReplicaInsertCost(*ctx_, rt->sender, address()));
     content_.swap_admission_hook(std::move(prev));
     return;
   }
@@ -684,13 +691,11 @@ void DirectoryPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
         return;
       case QueryStage::kDirToDir: {
         ++redirect_failures_;
-        for (auto it = summaries_.begin(); it != summaries_.end();) {
-          if (it->second.addr == dest) {
-            it = summaries_.erase(it);
-          } else {
-            ++it;
-          }
-        }
+        dir_store_.EraseSummariesFrom(dest);
+        // Back under local processing: the stage must not keep claiming
+        // a neighbor redirected *to us*, or the retry would count a
+        // spurious dir_summary_fallthrough when it ends at the server.
+        owned->stage = QueryStage::kToDirectory;
         ProcessQuery(std::move(owned));
         return;
       }
@@ -710,13 +715,7 @@ void DirectoryPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
   if (dynamic_cast<DirectorySummaryMsg*>(raw) != nullptr ||
       dynamic_cast<ReplicationOfferMsg*>(raw) != nullptr ||
       dynamic_cast<ReplicationRequestMsg*>(raw) != nullptr) {
-    for (auto it = summaries_.begin(); it != summaries_.end();) {
-      if (it->second.addr == dest) {
-        it = summaries_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    dir_store_.EraseSummariesFrom(dest);
     return;
   }
   ChordNode::HandleUndeliverable(dest, std::move(msg));

@@ -1,9 +1,15 @@
 // Directory peer d(ws,loc) (paper Sec 3.3-3.4, 4.2.1, 5).
 //
 // A directory peer sits on the D-ring (it is a DRingNode) and anchors one
-// content overlay. It maintains:
+// content overlay. Its soft state lives in a DirectoryStore
+// (src/cache/directory_store.h), the PeerAddress instantiation of the
+// same keyed eviction engine that backs peer caches (ContentStore):
 //  - directory-index(ws,loc): one entry per content peer with age, join
-//    time and the peer's object list (a complete view of its overlay);
+//    time and the peer's object list. Unbounded by default (the paper's
+//    complete view); under `directory_index_capacity` entries are
+//    footprint-accounted and evicted by `directory_index_policy`, and
+//    the store keeps the holder counts the summaries are built from
+//    consistent through every eviction.
 //  - directory-summaries(ws,loc_j): Bloom summaries of the directory
 //    indexes of same-website directory peers it knows from its routing
 //    table (its D-ring neighbors).
@@ -24,6 +30,7 @@
 #include <vector>
 
 #include "cache/content_store.h"
+#include "cache/directory_store.h"
 #include "common/rng.h"
 #include "core/dring_node.h"
 #include "core/flower_messages.h"
@@ -64,13 +71,14 @@ class DirectoryPeer : public DRingNode, public KbrApp {
   const Website* site() const { return site_; }
   LocalityId locality() const { return locality_; }
   uint32_t instance() const { return instance_; }
-  size_t IndexSize() const { return index_.size(); }
-  bool IndexHas(PeerAddress addr) const { return index_.count(addr) > 0; }
+  size_t IndexSize() const { return dir_store_.size(); }
+  bool IndexHas(PeerAddress addr) const { return dir_store_.Contains(addr); }
   const std::set<ObjectId>* IndexObjectsOf(PeerAddress addr) const;
-  size_t NumSummaries() const { return summaries_.size(); }
+  size_t NumSummaries() const { return dir_store_.summaries().size(); }
   bool HasSummaryFrom(Key dir_id) const {
-    return summaries_.count(dir_id) > 0;
+    return dir_store_.HasSummaryFrom(dir_id);
   }
+  const DirectoryStore& dir_store() const { return dir_store_; }
   const ContentStore& own_content() const { return content_; }
   uint64_t queries_processed() const { return queries_processed_; }
   uint64_t redirect_failures() const { return redirect_failures_; }
@@ -88,12 +96,6 @@ class DirectoryPeer : public DRingNode, public KbrApp {
   void HandleUndeliverable(PeerAddress dest, MessagePtr msg) override;
 
  private:
-  struct IndexEntry {
-    int age = 0;
-    SimTime joined_at = 0;
-    std::set<ObjectId> objects;
-  };
-
   // Algorithm 3.
   void ProcessQuery(std::unique_ptr<FlowerQueryMsg> query);
   void ServeFromOwnContent(const FlowerQueryMsg& query);
@@ -110,6 +112,9 @@ class DirectoryPeer : public DRingNode, public KbrApp {
                          const std::vector<ObjectId>& remove);
   void RemoveEntry(PeerAddress peer);
   void AgeTick();  // Algorithm 6 active behavior + T_dead expiry
+  /// Folds a DirectoryStore::Delta into summary bookkeeping and metrics
+  /// (new ids, orphaned ids, index evictions).
+  void ApplyDelta(const DirectoryStore::Delta& delta);
 
   // Directory summaries.
   void NoteNewObjectId(ObjectId id);
@@ -119,7 +124,7 @@ class DirectoryPeer : public DRingNode, public KbrApp {
   std::shared_ptr<const ContentSummary> BuildIndexSummary();
 
   // Own-content handling (directories are clients too).
-  void AddOwnObject(ObjectId object);
+  void AddOwnObject(ObjectId object, double cost = 1.0);
   void HandleServe(std::unique_ptr<ServeMsg> serve);
 
   // Replacement adjudication (Sec 5.2).
@@ -137,17 +142,9 @@ class DirectoryPeer : public DRingNode, public KbrApp {
   Rng rng_;
   bool alive_ = false;
 
-  std::map<PeerAddress, IndexEntry> index_;
-  /// Reference counts of object ids across index entries (for summary
-  /// refresh bookkeeping and fast "who has new ids" checks).
-  std::map<ObjectId, int> holder_counts_;
-
-  struct NeighborSummary {
-    PeerAddress addr = kInvalidAddress;
-    LocalityId locality = 0;
-    std::shared_ptr<const ContentSummary> summary;
-  };
-  std::map<Key, NeighborSummary> summaries_;
+  /// Index entries + holder counts + neighbor summaries, capacity-bounded
+  /// under `directory_index_capacity` (unbounded by default).
+  DirectoryStore dir_store_;
 
   // Summary refresh state (Sec 4.2.1: refresh when the fraction of object
   // ids not reflected in the last sent summary passes a threshold).

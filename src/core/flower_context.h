@@ -2,6 +2,7 @@
 #ifndef FLOWERCDN_CORE_FLOWER_CONTEXT_H_
 #define FLOWERCDN_CORE_FLOWER_CONTEXT_H_
 
+#include "cache/content_store.h"
 #include "common/config.h"
 #include "core/flower_ids.h"
 #include "core/website.h"
@@ -24,6 +25,17 @@ struct FlowerContext {
   Metrics* metrics = nullptr;
   FlowerSystem* system = nullptr;
 };
+
+/// GDSF cost of a replica deposited by `sender` into the peer at `self`:
+/// the measured sender->self latency under cache_cost=distance, 1
+/// otherwise. Locally injected transfers (no sender to measure to) price
+/// as local. Shared by the replica paths of content and directory peers
+/// so the cost rule cannot diverge between them.
+inline double ReplicaInsertCost(const FlowerContext& ctx, PeerAddress sender,
+                                PeerAddress self) {
+  if (sender == kInvalidAddress) return 1.0;
+  return GdsfInsertCost(*ctx.config, ctx.network->Latency(sender, self));
+}
 
 }  // namespace flower
 

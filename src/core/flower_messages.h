@@ -62,6 +62,12 @@ class FlowerQueryMsg : public Message {
   /// whatever combination of stale entries, reborn nodes and races occurs,
   /// a query past this budget goes straight to the origin server).
   int total_hops = 0;
+  /// True when the latest directory redirect was backed by a directory
+  /// *index entry*; false when it came from a summary (a promoted
+  /// directory's inherited view, Sec 5.2). Drives the stale-redirect
+  /// attribution split (Metrics::StaleSource) — part of the 16 flag bits
+  /// already counted in SizeBits.
+  bool claim_from_index = false;
 
   std::unique_ptr<FlowerQueryMsg> Clone() const {
     auto c = std::make_unique<FlowerQueryMsg>(website, website_hash, object,
@@ -70,6 +76,7 @@ class FlowerQueryMsg : public Message {
     c->client_is_member = client_is_member;
     c->dir_redirects = dir_redirects;
     c->total_hops = total_hops;
+    c->claim_from_index = claim_from_index;
     return c;
   }
 };

@@ -72,7 +72,8 @@ void SquirrelNode::Deliver(Key key, MessagePtr payload,
   FLOWER_LOG(Warn) << "squirrel home got unknown routed payload";
 }
 
-void SquirrelNode::CacheObject(WebsiteId website, ObjectId object) {
+void SquirrelNode::CacheObject(WebsiteId website, ObjectId object,
+                               double cost) {
   if (cache_.Contains(object)) {
     cache_.Touch(object);
     return;
@@ -81,7 +82,7 @@ void SquirrelNode::CacheObject(WebsiteId website, ObjectId object) {
   bool inserted =
       cache_.Insert(object,
                     ctx_->catalog->site(website).ObjectSizeBits(object) / 8,
-                    &evicted);
+                    &evicted, cost);
   if (inserted) evicted_ids_.erase(object);
   // Evictions leave stale downloader pointers at the objects' home nodes;
   // those heal through the existing NotFound retry path when followed.
@@ -164,9 +165,9 @@ void SquirrelNode::ProcessAsHome(std::unique_ptr<FlowerQueryMsg> query) {
 void SquirrelNode::HandleServe(std::unique_ptr<ServeMsg> serve) {
   SimTime now = ctx_->sim->Now();
   const ObjectId object = serve->object;
+  SimTime distance = ctx_->network->Latency(serve->provider, address());
 
   if (pending_own_.erase(object) > 0) {
-    SimTime distance = ctx_->network->Latency(serve->provider, address());
     const Topology& topo = ctx_->network->topology();
     Metrics::ProviderKind kind =
         topo.LocalityOf(serve->provider) == topo.LocalityOf(node())
@@ -174,7 +175,10 @@ void SquirrelNode::HandleServe(std::unique_ptr<ServeMsg> serve) {
             : Metrics::ProviderKind::kRemotePeer;
     ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
   }
-  CacheObject(serve->website, object);
+  // Same cost model as Flower peers, so cross-system cache ablations
+  // under cache_cost=distance stay fair.
+  CacheObject(serve->website, object,
+              GdsfInsertCost(*ctx_->config, distance));
 
   // Home-store: the object just arrived from the server; serve the queue.
   auto wit = awaiting_fetch_.find(object);

@@ -74,7 +74,9 @@ class SquirrelNode : public ChordNode, public KbrApp {
   /// server, or (home-store) serve/fetch the object itself.
   void ProcessAsHome(std::unique_ptr<FlowerQueryMsg> query);
   /// Caches an object under the store's policy/budget, counting evictions.
-  void CacheObject(WebsiteId website, ObjectId object);
+  /// `cost` is the GDSF retrieval-cost term (GdsfInsertCost; 1 under the
+  /// default uniform model).
+  void CacheObject(WebsiteId website, ObjectId object, double cost = 1.0);
   void RememberDownloader(ObjectId object, PeerAddress peer);
   void ServeClient(const FlowerQueryMsg& query);
   void HandleServe(std::unique_ptr<ServeMsg> serve);

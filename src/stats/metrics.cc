@@ -64,6 +64,9 @@ std::string Metrics::Summary(SimTime elapsed) const {
     os << " evictions=" << cache_evictions_
        << " stale_redirects=" << stale_redirects_;
   }
+  if (dir_index_evictions_ > 0) {
+    os << " dir_index_evictions=" << dir_index_evictions_;
+  }
   os << " elapsed=" << elapsed / kHour << "h";
   return os.str();
 }

@@ -50,11 +50,37 @@ class Metrics {
   /// A peer's bounded content store evicted `n` objects to make room.
   void OnCacheEvictions(uint64_t n) { cache_evictions_ += n; }
 
+  /// Which channel carried the stale claim behind a misdirected hop, so
+  /// directory-side staleness (index entries) is attributed distinctly
+  /// from peer-side staleness (gossiped cache summaries, the
+  /// cache-eviction channel).
+  enum class StaleSource : int {
+    kPeerSummary = 0,  // a peer's gossiped bloom summary (or its FP)
+    kDirIndex,         // a directory index entry / directory redirect
+    kNumSources,
+  };
+
   /// A query was redirected to a peer that no longer (or never) held the
   /// object — a stale bloom summary / directory entry or a Bloom false
   /// positive. The query falls back through the pipeline; this counts the
-  /// wasted hop so eviction-induced staleness is measurable.
-  void OnStaleRedirect() { ++stale_redirects_; }
+  /// wasted hop so eviction-induced staleness is measurable. The total is
+  /// always the sum over both sources.
+  void OnStaleRedirect(StaleSource source = StaleSource::kPeerSummary) {
+    ++stale_redirects_;
+    ++stale_redirects_by_source_[static_cast<size_t>(source)];
+  }
+
+  /// A bounded DirectoryStore evicted `n` index entries for capacity
+  /// (expiry via T_dead is not an eviction).
+  void OnDirIndexEvictions(uint64_t n) { dir_index_evictions_ += n; }
+
+  /// A dir-to-dir redirected query (sent here because a neighbor held a
+  /// summary of this directory claiming the object) fell through to the
+  /// origin server: the neighbor's summary of us was stale — under a
+  /// bounded index typically because the holding entries were evicted.
+  /// Kept out of `stale_redirects` (a new observation channel, not a
+  /// re-attribution of the existing one).
+  void OnDirSummaryFallthrough() { ++dir_summary_fallthroughs_; }
 
   /// A peer declined an offered replica because its bounded store was
   /// within the configured admission headroom of its capacity.
@@ -72,6 +98,13 @@ class Metrics {
   uint64_t server_hits() const { return server_hits_; }
   uint64_t cache_evictions() const { return cache_evictions_; }
   uint64_t stale_redirects() const { return stale_redirects_; }
+  uint64_t StaleRedirectsBy(StaleSource source) const {
+    return stale_redirects_by_source_[static_cast<size_t>(source)];
+  }
+  uint64_t dir_index_evictions() const { return dir_index_evictions_; }
+  uint64_t dir_summary_fallthroughs() const {
+    return dir_summary_fallthroughs_;
+  }
   uint64_t replica_declines() const { return replica_declines_; }
 
   const RatioSeries& hit_series() const { return hit_series_; }
@@ -108,6 +141,10 @@ class Metrics {
   uint64_t server_hits_ = 0;
   uint64_t cache_evictions_ = 0;
   uint64_t stale_redirects_ = 0;
+  std::array<uint64_t, static_cast<size_t>(StaleSource::kNumSources)>
+      stale_redirects_by_source_{};
+  uint64_t dir_index_evictions_ = 0;
+  uint64_t dir_summary_fallthroughs_ = 0;
   uint64_t replica_declines_ = 0;
   std::array<uint64_t, static_cast<size_t>(ProviderKind::kNumKinds)>
       serves_by_kind_{};

@@ -45,6 +45,14 @@ TEST(CachePolicyTest, ConfigRejectsBadValues) {
   EXPECT_EQ(c.object_size_distribution, "fixed");
 }
 
+TEST(CachePolicyTest, GdsfInsertCostFollowsConfig) {
+  SimConfig c;
+  EXPECT_DOUBLE_EQ(GdsfInsertCost(c, 400), 1.0) << "uniform: always 1";
+  ASSERT_TRUE(c.Apply("cache_cost", "distance").ok());
+  EXPECT_DOUBLE_EQ(GdsfInsertCost(c, 400), 400.0);
+  EXPECT_DOUBLE_EQ(GdsfInsertCost(c, 0), 1.0) << "floored at 1";
+}
+
 TEST(ContentStoreTest, CapacityAccounting) {
   ContentStore store(CachePolicy::kLru, 100);
   EXPECT_TRUE(store.bounded());
@@ -207,6 +215,62 @@ TEST(ContentStoreTest, StatsCountHitsAndInsertions) {
   store.Touch(99);  // absent: not a hit
   EXPECT_EQ(store.stats().insertions, 1u);
   EXPECT_EQ(store.stats().hits, 2u);
+}
+
+TEST(ContentStoreTest, GdsfDistanceCostProtectsFarFetchedObjects) {
+  // Same size, same frequency: under plain GDSF the insertion order
+  // decides; with a distance cost the cheap-to-refetch (nearby) object
+  // must go first even though it was inserted later.
+  ContentStore store(CachePolicy::kGdsf, 100);
+  std::vector<ObjectId> evicted;
+  EXPECT_TRUE(store.Insert(1, 50, &evicted, /*cost=*/400.0));  // far
+  EXPECT_TRUE(store.Insert(2, 50, &evicted, /*cost=*/10.0));   // near
+  EXPECT_TRUE(store.Insert(3, 40, &evicted, /*cost=*/10.0));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u) << "the near object is the cheaper loss";
+  EXPECT_TRUE(store.Contains(1));
+}
+
+TEST(ContentStoreTest, UniformCostMatchesPlainGdsf) {
+  // cost 1.0 multiplies the priority by exactly 1 (IEEE-exact), so the
+  // default cost model cannot perturb plain-GDSF victim choice.
+  ContentStore plain(CachePolicy::kGdsf, 100);
+  ContentStore costed(CachePolicy::kGdsf, 100);
+  for (ObjectId id = 1; id <= 3; ++id) {
+    EXPECT_TRUE(plain.Insert(id, 30 + id));
+    EXPECT_TRUE(costed.Insert(id, 30 + id, nullptr, 1.0));
+  }
+  plain.Touch(2);
+  costed.Touch(2);
+  std::vector<ObjectId> evicted_plain;
+  std::vector<ObjectId> evicted_costed;
+  EXPECT_TRUE(plain.Insert(9, 60, &evicted_plain));
+  EXPECT_TRUE(costed.Insert(9, 60, &evicted_costed));
+  EXPECT_EQ(evicted_plain, evicted_costed);
+}
+
+TEST(ContentStoreTest, ResizeAdjustsAccountingAndEvictsOnGrowth) {
+  ContentStore store(CachePolicy::kLru, 100);
+  EXPECT_TRUE(store.Insert(1, 40));
+  EXPECT_TRUE(store.Insert(2, 40));
+  std::vector<ObjectId> evicted;
+  // Shrink: no evictions, accounting follows.
+  EXPECT_TRUE(store.Resize(2, 20, &evicted));
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(store.bytes_used(), 60u);
+  // Growth past capacity: the LRU victim (1) must go.
+  EXPECT_TRUE(store.Resize(2, 70, &evicted));
+  EXPECT_EQ(evicted, (std::vector<ObjectId>{1}));
+  EXPECT_EQ(store.bytes_used(), 70u);
+  EXPECT_EQ(store.stats().evictions, 1u);
+  // Growth past the whole budget: the resized key itself is evicted.
+  evicted.clear();
+  EXPECT_FALSE(store.Resize(2, 101, &evicted));
+  EXPECT_EQ(evicted, (std::vector<ObjectId>{2}));
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.bytes_used(), 0u);
+  // Resizing an absent key reports failure without side effects.
+  EXPECT_FALSE(store.Resize(7, 10, &evicted));
 }
 
 TEST(ContentStoreTest, MultiEvictionToFitOneLargeObject) {

@@ -83,6 +83,46 @@ TEST(ConfigTest, ApplyArgsRejectsNonKeyValue) {
   EXPECT_FALSE(c.ApplyArgs(2, const_cast<char**>(argv)).ok());
 }
 
+TEST(ConfigTest, DirectoryIndexKeys) {
+  SimConfig c;
+  EXPECT_EQ(c.directory_index_policy, "unbounded");
+  EXPECT_EQ(c.directory_index_capacity_bytes, 0u);
+  EXPECT_TRUE(c.Apply("directory_index_policy", "gdsf").ok());
+  EXPECT_TRUE(c.Apply("directory_index_capacity", "8192").ok());
+  EXPECT_EQ(c.directory_index_policy, "gdsf");
+  EXPECT_EQ(c.directory_index_capacity_bytes, 8192u);
+  // The capacity key also accepts the spelled-out default.
+  EXPECT_TRUE(c.Apply("directory_index_capacity", "unbounded").ok());
+  EXPECT_EQ(c.directory_index_capacity_bytes, 0u);
+  EXPECT_FALSE(c.Apply("directory_index_policy", "mru").ok());
+  EXPECT_FALSE(c.Apply("directory_index_capacity", "-5").ok());
+  EXPECT_FALSE(c.Apply("directory_index_capacity", "lots").ok());
+  EXPECT_EQ(c.directory_index_policy, "gdsf") << "bad values must not stick";
+}
+
+TEST(ConfigTest, CacheCostKey) {
+  SimConfig c;
+  EXPECT_EQ(c.cache_cost, "uniform");
+  EXPECT_TRUE(c.Apply("cache_cost", "distance").ok());
+  EXPECT_EQ(c.cache_cost, "distance");
+  EXPECT_FALSE(c.Apply("cache_cost", "hops").ok());
+  EXPECT_EQ(c.cache_cost, "distance");
+}
+
+TEST(ConfigTest, ToStringGuardsNonDefaultStorageKnobs) {
+  SimConfig c;
+  std::string defaults = c.ToString();
+  EXPECT_EQ(defaults.find("dir_index"), std::string::npos)
+      << "the default config line must stay byte-identical across PRs";
+  EXPECT_EQ(defaults.find("cache_cost"), std::string::npos);
+  ASSERT_TRUE(c.Apply("directory_index_policy", "lru").ok());
+  ASSERT_TRUE(c.Apply("directory_index_capacity", "4096").ok());
+  ASSERT_TRUE(c.Apply("cache_cost", "distance").ok());
+  std::string overridden = c.ToString();
+  EXPECT_NE(overridden.find("dir_index=lru/4096B"), std::string::npos);
+  EXPECT_NE(overridden.find("cache_cost=distance"), std::string::npos);
+}
+
 TEST(ConfigTest, ToStringMentionsKeyParameters) {
   SimConfig c;
   std::string s = c.ToString();

@@ -1,0 +1,243 @@
+// Unit tests for the bounded directory-side storage
+// (src/cache/directory_store.h): footprint accounting, holder-count
+// consistency through admissions/updates/expiry/evictions, per-policy
+// victim choice, and the eviction/expiry attribution split.
+#include "cache/directory_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace flower {
+namespace {
+
+/// Walks the store and asserts holder_counts_ is exactly the reference
+/// counts of the entries' object sets — the invariant directory
+/// summaries are built on.
+void ExpectHolderCountsConsistent(const DirectoryStore& store) {
+  std::map<ObjectId, int> expected;
+  for (const auto& [addr, entry] : store.entries()) {
+    for (ObjectId o : entry.objects) ++expected[o];
+  }
+  EXPECT_EQ(store.holder_counts(), expected);
+}
+
+TEST(DirectoryStoreTest, FootprintAccounting) {
+  DirectoryStore store(CachePolicy::kLru,
+                       10 * DirectoryStore::FootprintBytes(0));
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  EXPECT_EQ(store.bytes_used(), DirectoryStore::FootprintBytes(0));
+  store.Update(1, {100, 101, 102}, {}, &d);
+  EXPECT_EQ(store.bytes_used(), DirectoryStore::FootprintBytes(3));
+  store.Update(1, {}, {101}, &d);
+  EXPECT_EQ(store.bytes_used(), DirectoryStore::FootprintBytes(2));
+  store.Erase(1, &d);
+  EXPECT_EQ(store.bytes_used(), 0u);
+  EXPECT_EQ(store.stats().evictions, 0u) << "erase is not an eviction";
+}
+
+TEST(DirectoryStoreTest, DeltaReportsNewAndOrphanedIds) {
+  DirectoryStore store;  // unbounded
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  ASSERT_TRUE(store.Admit(2, 0, 0, &d));
+  store.Update(1, {100, 101}, {}, &d);
+  EXPECT_EQ(d.new_ids, (std::vector<ObjectId>{100, 101}));
+
+  d = {};
+  store.Update(2, {100}, {}, &d);
+  EXPECT_TRUE(d.new_ids.empty()) << "100 already had a holder";
+
+  d = {};
+  store.Update(1, {}, {100}, &d);
+  EXPECT_TRUE(d.orphaned_ids.empty()) << "peer 2 still claims 100";
+  store.Update(2, {}, {100}, &d);
+  EXPECT_EQ(d.orphaned_ids, (std::vector<ObjectId>{100}));
+  ExpectHolderCountsConsistent(store);
+}
+
+TEST(DirectoryStoreTest, CapacityEvictsLruEntryAndOrphansItsObjects) {
+  // Room for exactly two empty entries.
+  DirectoryStore store(CachePolicy::kLru,
+                       2 * DirectoryStore::FootprintBytes(0));
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  ASSERT_TRUE(store.Admit(2, 0, 0, &d));
+  store.Touch(1);  // 2 is now the least recently used
+
+  d = {};
+  ASSERT_TRUE(store.Admit(3, 0, 0, &d));
+  EXPECT_EQ(d.evicted, (std::vector<PeerAddress>{2}));
+  EXPECT_FALSE(store.Contains(2));
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_TRUE(store.Contains(3));
+  EXPECT_EQ(store.stats().evictions, 1u);
+  ExpectHolderCountsConsistent(store);
+}
+
+TEST(DirectoryStoreTest, EvictionReleasesHolderCounts) {
+  DirectoryStore store(CachePolicy::kLru,
+                       2 * DirectoryStore::FootprintBytes(2));
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  store.Update(1, {100, 101}, {}, &d);
+  ASSERT_TRUE(store.Admit(2, 0, 0, &d));
+  store.Update(2, {100}, {}, &d);
+
+  // Admitting 3 must evict 1 (oldest probe): 101 orphans, 100 survives
+  // via peer 2 — exactly what a rebuilt summary must reflect.
+  d = {};
+  ASSERT_TRUE(store.Admit(3, 0, 0, &d));
+  EXPECT_EQ(d.evicted, (std::vector<PeerAddress>{1}));
+  EXPECT_EQ(d.orphaned_ids, (std::vector<ObjectId>{101}));
+  EXPECT_TRUE(store.AnyHolder(100));
+  EXPECT_FALSE(store.AnyHolder(101));
+  ExpectHolderCountsConsistent(store);
+}
+
+TEST(DirectoryStoreTest, EntryGrowthCanEvictOtherEntries) {
+  DirectoryStore store(CachePolicy::kLru,
+                       DirectoryStore::FootprintBytes(0) +
+                           DirectoryStore::FootprintBytes(3));
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  ASSERT_TRUE(store.Admit(2, 0, 0, &d));
+  // Growing 2 past the remaining budget must push 1 out.
+  d = {};
+  store.Update(2, {100, 101, 102, 103}, {}, &d);
+  EXPECT_EQ(d.evicted, (std::vector<PeerAddress>{1}));
+  EXPECT_TRUE(store.Contains(2));
+  ExpectHolderCountsConsistent(store);
+}
+
+TEST(DirectoryStoreTest, OversizedGrowthEvictsOnlyTheEntryItself) {
+  DirectoryStore store(CachePolicy::kLru,
+                       DirectoryStore::FootprintBytes(1) +
+                           DirectoryStore::FootprintBytes(0));
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  ASSERT_TRUE(store.Admit(2, 0, 0, &d));
+  store.Update(2, {200}, {}, &d);
+  // Ten objects exceed the whole budget: the grown entry can never fit,
+  // so it alone is evicted — innocent residents must not be drained
+  // first in a doomed attempt to make room.
+  d = {};
+  store.Update(1, {100, 101, 102, 103, 104, 105, 106, 107, 108, 109}, {},
+               &d);
+  EXPECT_EQ(d.evicted, (std::vector<PeerAddress>{1}));
+  EXPECT_FALSE(store.Contains(1));
+  EXPECT_TRUE(store.Contains(2)) << "bystanders survive a hopeless grow";
+  EXPECT_TRUE(store.AnyHolder(200));
+  EXPECT_FALSE(store.AnyHolder(100));
+  EXPECT_EQ(store.bytes_used(), DirectoryStore::FootprintBytes(1));
+}
+
+TEST(DirectoryStoreTest, UnboundedPolicyOnFullStoreRejectsAdmission) {
+  DirectoryStore store(CachePolicy::kUnbounded,
+                       DirectoryStore::FootprintBytes(0));
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  EXPECT_FALSE(store.Admit(2, 0, 0, &d));
+  EXPECT_TRUE(d.evicted.empty());
+  EXPECT_EQ(store.stats().admission_rejects, 1u);
+}
+
+TEST(DirectoryStoreTest, ExpiryIsNotAnEviction) {
+  DirectoryStore store(CachePolicy::kLru,
+                       8 * DirectoryStore::FootprintBytes(1));
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  store.Update(1, {100}, {}, &d);
+  ASSERT_TRUE(store.Admit(2, 3, 0, &d));  // one tick from T_dead = 4
+
+  d = {};
+  store.AgeAll(4, &d);
+  EXPECT_FALSE(store.Contains(2)) << "entry 2 reached T_dead";
+  EXPECT_TRUE(d.evicted.empty()) << "T_dead expiry is not an eviction";
+  EXPECT_EQ(store.stats().evictions, 0u);
+  EXPECT_EQ(store.Find(1)->age, 1) << "survivors aged by one tick";
+  ExpectHolderCountsConsistent(store);
+}
+
+TEST(DirectoryStoreTest, SetEntryStateOverwritesLifecycleFields) {
+  DirectoryStore store;
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 900, &d));
+  store.SetEntryState(1, 2, 100);  // a handoff knows the true history
+  EXPECT_EQ(store.Find(1)->age, 2);
+  EXPECT_EQ(store.Find(1)->joined_at, 100);
+  store.SetEntryState(9, 1, 1);  // absent: no-op
+  EXPECT_FALSE(store.Contains(9));
+}
+
+TEST(DirectoryStoreTest, TouchResetsAgeButProbeDoesNot) {
+  DirectoryStore store;
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 2, 0, &d));
+  store.Probe(1);
+  EXPECT_EQ(store.Find(1)->age, 2) << "a probe is not a liveness signal";
+  store.Touch(1);
+  EXPECT_EQ(store.Find(1)->age, 0);
+}
+
+TEST(DirectoryStoreTest, LfuKeepsFrequentlyProbedEntries) {
+  DirectoryStore store(CachePolicy::kLfu,
+                       2 * DirectoryStore::FootprintBytes(0));
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  ASSERT_TRUE(store.Admit(2, 0, 0, &d));
+  store.Probe(1);
+  store.Probe(1);  // 2 is now the least frequently probed
+  d = {};
+  ASSERT_TRUE(store.Admit(3, 0, 0, &d));
+  EXPECT_EQ(d.evicted, (std::vector<PeerAddress>{2}));
+}
+
+TEST(DirectoryStoreTest, GdsfPrefersLargeFootprintVictims) {
+  DirectoryStore store(CachePolicy::kGdsf,
+                       DirectoryStore::FootprintBytes(10) +
+                           DirectoryStore::FootprintBytes(1));
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  store.Update(1, {100, 101, 102, 103, 104, 105, 106, 107, 108, 109}, {},
+               &d);
+  ASSERT_TRUE(store.Admit(2, 0, 0, &d));
+  store.Update(2, {200}, {}, &d);
+  // Equal probe frequency: the bulkiest entry (1) has the lowest
+  // priority and goes first.
+  d = {};
+  ASSERT_TRUE(store.Admit(3, 0, 0, &d));
+  EXPECT_EQ(d.evicted, (std::vector<PeerAddress>{1}));
+  ExpectHolderCountsConsistent(store);
+}
+
+TEST(DirectoryStoreTest, NeighborSummariesOwnedByStore) {
+  DirectoryStore store;
+  store.PutSummary(7, DirectoryStore::NeighborSummary{42, 1, nullptr});
+  store.PutSummary(9, DirectoryStore::NeighborSummary{42, 2, nullptr});
+  store.PutSummary(11, DirectoryStore::NeighborSummary{43, 1, nullptr});
+  EXPECT_TRUE(store.HasSummaryFrom(7));
+  EXPECT_EQ(store.summaries().size(), 3u);
+  store.EraseSummariesFrom(42);
+  EXPECT_FALSE(store.HasSummaryFrom(7));
+  EXPECT_FALSE(store.HasSummaryFrom(9));
+  EXPECT_TRUE(store.HasSummaryFrom(11));
+}
+
+TEST(DirectoryStoreTest, FromConfigReadsDirectoryIndexKeys) {
+  SimConfig c;
+  ASSERT_TRUE(c.Apply("directory_index_policy", "lru").ok());
+  ASSERT_TRUE(c.Apply("directory_index_capacity", "4096").ok());
+  DirectoryStore store = DirectoryStore::FromConfig(c);
+  EXPECT_EQ(store.policy(), CachePolicy::kLru);
+  EXPECT_EQ(store.capacity_bytes(), 4096u);
+  EXPECT_TRUE(store.bounded());
+
+  ASSERT_TRUE(c.Apply("directory_index_capacity", "unbounded").ok());
+  DirectoryStore unbounded = DirectoryStore::FromConfig(c);
+  EXPECT_FALSE(unbounded.bounded());
+}
+
+}  // namespace
+}  // namespace flower

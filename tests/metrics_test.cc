@@ -76,6 +76,30 @@ TEST(MetricsTest, BackgroundBpsComputation) {
   EXPECT_DOUBLE_EQ(bps, 1000.0);
 }
 
+TEST(MetricsTest, StaleRedirectAttributionSumsToTotal) {
+  SimConfig c = TinyConfig();
+  Metrics m(c);
+  m.OnStaleRedirect();  // defaults to the peer-summary channel
+  m.OnStaleRedirect(Metrics::StaleSource::kPeerSummary);
+  m.OnStaleRedirect(Metrics::StaleSource::kDirIndex);
+  EXPECT_EQ(m.stale_redirects(), 3u);
+  EXPECT_EQ(m.StaleRedirectsBy(Metrics::StaleSource::kPeerSummary), 2u);
+  EXPECT_EQ(m.StaleRedirectsBy(Metrics::StaleSource::kDirIndex), 1u);
+}
+
+TEST(MetricsTest, DirectoryIndexCounters) {
+  SimConfig c = TinyConfig();
+  Metrics m(c);
+  EXPECT_EQ(m.dir_index_evictions(), 0u);
+  m.OnDirIndexEvictions(3);
+  m.OnDirIndexEvictions(2);
+  EXPECT_EQ(m.dir_index_evictions(), 5u);
+  m.OnDirSummaryFallthrough();
+  EXPECT_EQ(m.dir_summary_fallthroughs(), 1u);
+  EXPECT_NE(m.Summary(kHour).find("dir_index_evictions=5"),
+            std::string::npos);
+}
+
 TEST(MetricsTest, SummaryMentionsKeyNumbers) {
   SimConfig c = TinyConfig();
   Metrics m(c);
