@@ -27,15 +27,38 @@ int main(int argc, char** argv) {
       256 * object_bytes};
   const std::vector<std::string> policies = {"lru", "lfu", "gdsf"};
 
+  // Queue every sweep point up front (the unbounded reference, the
+  // policy x capacity grid, the GDSF cost-model pair), then run them all
+  // at once — in parallel under jobs=N, with results back in this order.
+  SimConfig unbounded = base;
+  unbounded.cache_policy = "unbounded";
+  unbounded.cache_capacity_bytes = 0;
+  driver.Enqueue(unbounded, "flower", "unbounded");
+  for (const std::string& policy : policies) {
+    for (uint64_t capacity : capacities) {
+      SimConfig c = base;
+      c.cache_policy = policy;
+      c.cache_capacity_bytes = capacity;
+      driver.Enqueue(c, "flower", policy + "/" + std::to_string(capacity));
+    }
+  }
+  for (const std::string& cost : {std::string("uniform"),
+                                  std::string("distance")}) {
+    SimConfig c = base;
+    c.cache_policy = "gdsf";
+    c.cache_capacity_bytes = 4 * object_bytes;
+    c.cache_cost = cost;
+    driver.Enqueue(c, "flower", "gdsf/" + cost);
+  }
+  std::vector<RunResult> runs = driver.RunQueued();
+  size_t next = 0;
+
   std::printf("  %-10s %-14s %-10s %-10s %-12s %-14s\n", "policy",
               "capacity", "hit_ratio", "hit_cum", "evictions",
               "stale_redirects");
 
   // Unbounded reference: the paper's keep-everything peers.
-  SimConfig unbounded = base;
-  unbounded.cache_policy = "unbounded";
-  unbounded.cache_capacity_bytes = 0;
-  RunResult reference = driver.Run(unbounded, "flower", "unbounded");
+  const RunResult reference = runs[next++];
   std::printf("  %-10s %-14s %-10s %-10s %-12llu %-14llu\n", "unbounded",
               "inf", bench::Fmt(reference.final_hit_ratio).c_str(),
               bench::Fmt(reference.cumulative_hit_ratio).c_str(),
@@ -46,11 +69,7 @@ int main(int argc, char** argv) {
   for (const std::string& policy : policies) {
     double prev = -1.0;
     for (uint64_t capacity : capacities) {
-      SimConfig c = base;
-      c.cache_policy = policy;
-      c.cache_capacity_bytes = capacity;
-      RunResult r = driver.Run(c, "flower",
-                               policy + "/" + std::to_string(capacity));
+      const RunResult& r = runs[next++];
       std::printf("  %-10s %-14llu %-10s %-10s %-12llu %-14llu\n",
                   policy.c_str(), static_cast<unsigned long long>(capacity),
                   bench::Fmt(r.final_hit_ratio).c_str(),
@@ -84,11 +103,7 @@ int main(int argc, char** argv) {
   RunResult distance;
   for (const std::string& cost : {std::string("uniform"),
                                   std::string("distance")}) {
-    SimConfig c = base;
-    c.cache_policy = "gdsf";
-    c.cache_capacity_bytes = 4 * object_bytes;
-    c.cache_cost = cost;
-    RunResult r = driver.Run(c, "flower", "gdsf/" + cost);
+    const RunResult& r = runs[next++];
     (cost == "uniform" ? uniform : distance) = r;
     std::printf("  %-10s %-10s %-10s %-14s %-12llu\n", cost.c_str(),
                 bench::Fmt(r.final_hit_ratio).c_str(),

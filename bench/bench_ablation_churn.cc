@@ -35,7 +35,12 @@ int main(int argc, char** argv) {
     } else {
       c.churn_mean_session = row.session;
     }
-    RunResult r = driver.Run(c, "flower", row.label);
+    driver.Enqueue(c, "flower", row.label);
+  }
+  std::vector<RunResult> runs = driver.RunQueued();
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const Row& row = rows[i];
+    const RunResult& r = runs[i];
     double served_frac =
         r.queries_submitted == 0
             ? 0

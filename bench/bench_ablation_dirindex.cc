@@ -35,6 +35,31 @@ int main(int argc, char** argv) {
   const std::vector<int> overlay_sizes = {base.max_content_overlay_size / 2,
                                           base.max_content_overlay_size};
 
+  // Queue the whole (S_co x policy x capacity) grid plus per-S_co
+  // unbounded references, then run once — parallel under jobs=N, results
+  // and sink output in submission order.
+  for (int s_co : overlay_sizes) {
+    SimConfig ref = base;
+    ref.max_content_overlay_size = s_co;
+    ref.directory_index_policy = "unbounded";
+    ref.directory_index_capacity_bytes = 0;
+    driver.Enqueue(ref, "flower",
+                   "S_co=" + std::to_string(s_co) + "/unbounded");
+    for (const std::string& policy : policies) {
+      for (uint64_t capacity : capacities) {
+        SimConfig c = base;
+        c.max_content_overlay_size = s_co;
+        c.directory_index_policy = policy;
+        c.directory_index_capacity_bytes = capacity;
+        driver.Enqueue(c, "flower",
+                       "S_co=" + std::to_string(s_co) + "/" + policy + "/" +
+                           std::to_string(capacity));
+      }
+    }
+  }
+  std::vector<RunResult> runs = driver.RunQueued();
+  size_t next = 0;
+
   std::printf("  %-6s %-10s %-14s %-10s %-10s %-14s %-12s\n", "S_co",
               "policy", "capacity", "hit_ratio", "hit_cum", "dir_evictions",
               "server_hits");
@@ -43,13 +68,7 @@ int main(int argc, char** argv) {
   double reference_cum = 0;
   for (int s_co : overlay_sizes) {
     // Unbounded reference: the paper's complete index at this scale.
-    SimConfig ref = base;
-    ref.max_content_overlay_size = s_co;
-    ref.directory_index_policy = "unbounded";
-    ref.directory_index_capacity_bytes = 0;
-    RunResult reference =
-        driver.Run(ref, "flower", "S_co=" + std::to_string(s_co) +
-                                      "/unbounded");
+    const RunResult& reference = runs[next++];
     reference_cum = reference.cumulative_hit_ratio;
     std::printf("  %-6d %-10s %-14s %-10s %-10s %-14llu %-12llu\n", s_co,
                 "unbounded", "inf",
@@ -61,13 +80,7 @@ int main(int argc, char** argv) {
     for (const std::string& policy : policies) {
       double prev = -1.0;
       for (uint64_t capacity : capacities) {
-        SimConfig c = base;
-        c.max_content_overlay_size = s_co;
-        c.directory_index_policy = policy;
-        c.directory_index_capacity_bytes = capacity;
-        RunResult r = driver.Run(
-            c, "flower", "S_co=" + std::to_string(s_co) + "/" + policy +
-                             "/" + std::to_string(capacity));
+        const RunResult& r = runs[next++];
         std::printf("  %-6d %-10s %-14llu %-10s %-10s %-14llu %-12llu\n",
                     s_co, policy.c_str(),
                     static_cast<unsigned long long>(capacity),

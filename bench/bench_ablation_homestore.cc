@@ -13,10 +13,14 @@ int main(int argc, char** argv) {
   bench::Driver driver("ablation_homestore", argc, argv);
   driver.PrintHeader("Ablation: Squirrel home-store vs directory");
 
+  for (const char* system : {"squirrel", "squirrel-home", "flower"}) {
+    driver.Enqueue(driver.config(), system, system);
+  }
+  std::vector<RunResult> runs = driver.RunQueued();
+
   std::printf("  %-22s %-12s %-12s %-14s\n", "variant", "hit_ratio",
               "lookup_ms", "transfer_ms");
-  for (const char* system : {"squirrel", "squirrel-home", "flower"}) {
-    RunResult r = driver.Run(system, system);
+  for (const RunResult& r : runs) {
     std::printf("  %-22s %-12s %-12s %-14s\n", r.system_name.c_str(),
                 bench::Fmt(r.final_hit_ratio).c_str(),
                 bench::Fmt(r.mean_lookup_ms, 1).c_str(),

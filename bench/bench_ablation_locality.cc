@@ -27,19 +27,24 @@ int main(int argc, char** argv) {
                 bench::Fmt(r.mean_transfer_ms, 1).c_str());
   };
 
-  RunResult with = driver.Run(base, "flower", "locality-aware");
-  report("locality-aware", with);
+  driver.Enqueue(base, "flower", "locality-aware");
 
   SimConfig flat = base;
   flat.min_intra_latency = flat.min_inter_latency;
   flat.max_intra_latency = flat.max_inter_latency;
-  RunResult no_topology = driver.Run(flat, "flower", "flat-topology");
-  report("flat topology", no_topology);
+  driver.Enqueue(flat, "flower", "flat-topology");
 
   SimConfig single = base;
   single.num_localities = 1;
   single.locality_weights = {1.0};
-  RunResult k1 = driver.Run(single, "flower", "single-locality");
+  driver.Enqueue(single, "flower", "single-locality");
+
+  std::vector<RunResult> runs = driver.RunQueued();
+  const RunResult& with = runs[0];
+  const RunResult& no_topology = runs[1];
+  const RunResult& k1 = runs[2];
+  report("locality-aware", with);
+  report("flat topology", no_topology);
   report("single locality", k1);
 
   bench::PrintComparison(

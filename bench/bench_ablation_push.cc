@@ -14,13 +14,20 @@ int main(int argc, char** argv) {
   driver.PrintHeader("Ablation: push threshold {0.1, 0.5, 0.7}");
   const SimConfig& base = driver.config();
 
+  const double thresholds[] = {0.1, 0.5, 0.7};
+  for (double thr : thresholds) {
+    SimConfig c = base;
+    c.push_threshold = thr;
+    driver.Enqueue(c, "flower", "thr=" + bench::Fmt(thr, 1));
+  }
+  std::vector<RunResult> runs = driver.RunQueued();
+
   std::printf("  %-10s %-12s %-14s %-12s\n", "threshold", "hit_ratio",
               "background_bps", "lookup_ms");
   double hr_min = 1.0, hr_max = 0.0;
-  for (double thr : {0.1, 0.5, 0.7}) {
-    SimConfig c = base;
-    c.push_threshold = thr;
-    RunResult r = driver.Run(c, "flower", "thr=" + bench::Fmt(thr, 1));
+  for (size_t i = 0; i < runs.size(); ++i) {
+    double thr = thresholds[i];
+    const RunResult& r = runs[i];
     hr_min = std::min(hr_min, r.final_hit_ratio);
     hr_max = std::max(hr_max, r.final_hit_ratio);
     std::printf("  %-10s %-12s %-14s %-12s\n", bench::Fmt(thr, 1).c_str(),

@@ -15,16 +15,37 @@ int main(int argc, char** argv) {
   driver.PrintHeader("Ablation: active replication (Sec 8 extension)");
   const SimConfig& base = driver.config();
 
-  std::printf("  %-14s %-12s %-12s %-14s\n", "replication", "hit_ratio",
-              "hit_ratio_cum", "server_hits");
-  RunResult off;
-  RunResult on;
+  // Queue both sections' points, then run once (parallel under jobs=N).
   for (bool enabled : {false, true}) {
     SimConfig c = base;
     c.active_replication = enabled;
     c.replication_period = 1 * kHour;
     c.replication_top_objects = 10;
-    RunResult r = driver.Run(c, "flower", enabled ? "on" : "off");
+    driver.Enqueue(c, "flower", enabled ? "on" : "off");
+  }
+  const uint64_t object_bytes = base.object_size_bits / 8;
+  for (uint64_t capacity : {16 * object_bytes, 64 * object_bytes}) {
+    for (double headroom : {0.0, 0.1, 0.3}) {
+      SimConfig c = base;
+      c.active_replication = true;
+      c.replication_period = 1 * kHour;
+      c.replication_top_objects = 10;
+      c.cache_policy = "lru";
+      c.cache_capacity_bytes = capacity;
+      c.replication_admission_headroom = headroom;
+      driver.Enqueue(c, "flower", "cap=" + std::to_string(capacity) +
+                                      "/headroom=" + bench::Fmt(headroom, 1));
+    }
+  }
+  std::vector<RunResult> runs = driver.RunQueued();
+  size_t next = 0;
+
+  std::printf("  %-14s %-12s %-12s %-14s\n", "replication", "hit_ratio",
+              "hit_ratio_cum", "server_hits");
+  RunResult off;
+  RunResult on;
+  for (bool enabled : {false, true}) {
+    const RunResult& r = runs[next++];
     if (enabled) {
       on = r;
     } else {
@@ -46,7 +67,6 @@ int main(int argc, char** argv) {
   // Expected: at a fixed capacity, raising the headroom trades replica
   // placements (more declines) against replication-induced evictions,
   // so the hit ratio should not fall as headroom grows.
-  const uint64_t object_bytes = base.object_size_bits / 8;
   std::printf("\n  replication x capacity x admission headroom\n");
   std::printf("  %-14s %-10s %-10s %-10s %-12s %-14s\n", "capacity",
               "headroom", "hit_ratio", "hit_cum", "evictions",
@@ -55,16 +75,7 @@ int main(int argc, char** argv) {
   for (uint64_t capacity : {16 * object_bytes, 64 * object_bytes}) {
     double prev = -1.0;
     for (double headroom : {0.0, 0.1, 0.3}) {
-      SimConfig c = base;
-      c.active_replication = true;
-      c.replication_period = 1 * kHour;
-      c.replication_top_objects = 10;
-      c.cache_policy = "lru";
-      c.cache_capacity_bytes = capacity;
-      c.replication_admission_headroom = headroom;
-      RunResult r = driver.Run(
-          c, "flower", "cap=" + std::to_string(capacity) +
-                           "/headroom=" + bench::Fmt(headroom, 1));
+      const RunResult& r = runs[next++];
       std::printf("  %-14llu %-10s %-10s %-10s %-12llu %-14llu\n",
                   static_cast<unsigned long long>(capacity),
                   bench::Fmt(headroom, 1).c_str(),

@@ -15,15 +15,20 @@ int main(int argc, char** argv) {
   driver.PrintHeader("Ablation: scale-up instances (Sec 5.3), S_co=25");
   const SimConfig& base = driver.config();
 
-  std::printf("  %-12s %-14s %-12s %-12s\n", "instances", "participants",
-              "hit_ratio", "server_hits");
-  size_t participants_1 = 0, participants_2 = 0;
   for (int instances : {1, 2}) {
     SimConfig c = base;
     c.scaleup_instances = instances;
     c.scaleup_extra_bits = instances > 1 ? 1 : 0;
-    RunResult r = driver.Run(c, "flower",
-                             "instances=" + std::to_string(instances));
+    driver.Enqueue(c, "flower", "instances=" + std::to_string(instances));
+  }
+  std::vector<RunResult> runs = driver.RunQueued();
+  size_t next = 0;
+
+  std::printf("  %-12s %-14s %-12s %-12s\n", "instances", "participants",
+              "hit_ratio", "server_hits");
+  size_t participants_1 = 0, participants_2 = 0;
+  for (int instances : {1, 2}) {
+    const RunResult& r = runs[next++];
     if (instances == 1) participants_1 = r.participants;
     if (instances == 2) participants_2 = r.participants;
     std::printf("  %-12d %-14zu %-12s %-12llu\n", instances, r.participants,

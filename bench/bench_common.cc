@@ -35,6 +35,15 @@ Driver::Driver(std::string name, int argc, char** argv)
     std::string tok = argv[a];
     size_t eq = tok.find('=');
     std::string key = eq == std::string::npos ? tok : tok.substr(0, eq);
+    if (key == "jobs") {
+      int jobs = eq == std::string::npos ? 0 : std::atoi(tok.c_str() + eq + 1);
+      if (jobs < 1) {
+        std::fprintf(stderr, "jobs=N requires N >= 1, got %s\n", tok.c_str());
+        std::exit(1);
+      }
+      sweep_ = SweepRunner(jobs);
+      continue;
+    }
     if (key == "json" || key == "csv") {
       std::string path = eq == std::string::npos ? "" : tok.substr(eq + 1);
       if (path.empty()) path = "BENCH_" + name_ + "." + key;
@@ -68,14 +77,32 @@ void Driver::PrintHeader(const std::string& title) const {
   std::printf("==============================================================\n");
 }
 
+size_t Driver::Enqueue(const SimConfig& config, const std::string& system,
+                       const std::string& label) {
+  return sweep_.Add(config, system, label);
+}
+
+std::vector<RunResult> Driver::RunQueued() {
+  std::vector<ResultSink*> sinks;
+  sinks.reserve(sinks_.size());
+  for (std::unique_ptr<ResultSink>& sink : sinks_) sinks.push_back(sink.get());
+  Result<std::vector<RunResult>> results = sweep_.Run(sinks);
+  if (!results.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 results.status().ToString().c_str());
+    // Flush the sinks so results committed before the failing point are
+    // not lost (same contract as Experiment::Run).
+    for (std::unique_ptr<ResultSink>& sink : sinks_) sink->Flush();
+    std::exit(1);
+  }
+  return std::move(results).value();
+}
+
 RunResult Driver::Run(const SimConfig& config, const std::string& system,
                       const std::string& label) {
-  Experiment experiment(config);
-  experiment.WithSystem(system).WithLabel(label);
-  for (std::unique_ptr<ResultSink>& sink : sinks_) {
-    experiment.AddSink(sink.get());
-  }
-  return experiment.Run();
+  size_t index = Enqueue(config, system, label);
+  std::vector<RunResult> results = RunQueued();
+  return std::move(results[index]);
 }
 
 RunResult Driver::Run(const std::string& system, const std::string& label) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "api/experiment.h"
+#include "api/sweep.h"
 #include "common/config.h"
 
 namespace flower {
@@ -26,9 +27,15 @@ SimConfig PaperConfig();
 SimConfig QuickConfig();
 
 /// Per-driver harness. Parses the CLI — optional leading "quick", then
-/// any mix of key=value config overrides and the sink tokens
-/// `json[=PATH]` / `csv[=PATH]` (defaults BENCH_<name>.json|csv) — and
-/// runs experiments through the builder with the parsed sinks attached.
+/// any mix of key=value config overrides, the sink tokens `json[=PATH]`
+/// / `csv[=PATH]` (defaults BENCH_<name>.json|csv) and `jobs=N`
+/// (parallel sweep workers, default 1) — and runs experiments through
+/// the SweepRunner with the parsed sinks attached.
+///
+/// Sweeps are two-phase: Enqueue every point first, then RunQueued once.
+/// Points run on a thread pool when jobs > 1, but results and sink
+/// output always come back in submission order, so a jobs=N run is
+/// byte-identical to the serial one.
 class Driver {
  public:
   /// Exits with a message on bad input.
@@ -37,11 +44,22 @@ class Driver {
 
   const SimConfig& config() const { return config_; }
   SimConfig& config() { return config_; }
+  int jobs() const { return sweep_.jobs(); }
 
   /// Prints a header naming the experiment and the base config.
   void PrintHeader(const std::string& title) const;
 
-  /// Runs one experiment over `config` with the shared sinks attached.
+  /// Queues one sweep point for RunQueued(); returns its result index.
+  size_t Enqueue(const SimConfig& config, const std::string& system,
+                 const std::string& label = std::string());
+
+  /// Runs every queued point (in parallel when jobs=N was given),
+  /// commits results to the shared sinks in submission order, and
+  /// returns them in that order. Exits with a message on a failed run.
+  std::vector<RunResult> RunQueued();
+
+  /// Runs one experiment over `config` immediately (a one-point sweep),
+  /// with the shared sinks attached.
   RunResult Run(const SimConfig& config, const std::string& system,
                 const std::string& label = std::string());
 
@@ -52,6 +70,7 @@ class Driver {
  private:
   std::string name_;
   SimConfig config_;
+  SweepRunner sweep_{1};
   std::vector<std::unique_ptr<ResultSink>> sinks_;
 };
 

@@ -13,8 +13,11 @@ int main(int argc, char** argv) {
   driver.PrintHeader("Figure 6: hit ratio vs time, Flower-CDN vs Squirrel");
   const SimConfig& c = driver.config();
 
-  RunResult flower = driver.Run("flower", "flower");
-  RunResult squirrel = driver.Run("squirrel", "squirrel");
+  driver.Enqueue(c, "flower", "flower");
+  driver.Enqueue(c, "squirrel", "squirrel");
+  std::vector<RunResult> runs = driver.RunQueued();
+  const RunResult& flower = runs[0];
+  const RunResult& squirrel = runs[1];
 
   std::printf("  %-10s %-14s %-14s\n", "hour", "flower", "squirrel");
   size_t windows = std::max(flower.hit_ratio_by_window.size(),

@@ -13,8 +13,11 @@ int main(int argc, char** argv) {
   driver.PrintHeader("Figure 7: lookup latency");
   const SimConfig& c = driver.config();
 
-  RunResult flower = driver.Run("flower", "flower");
-  RunResult squirrel = driver.Run("squirrel", "squirrel");
+  driver.Enqueue(c, "flower", "flower");
+  driver.Enqueue(c, "squirrel", "squirrel");
+  std::vector<RunResult> runs = driver.RunQueued();
+  const RunResult& flower = runs[0];
+  const RunResult& squirrel = runs[1];
 
   std::printf("  (a) average lookup latency per window [ms]\n");
   std::printf("  %-10s %-12s\n", "hour", "flower");

@@ -1,16 +1,31 @@
 // Microbenchmarks for the hot data structures of the simulator and the
 // protocols (google-benchmark: event queue, Bloom filters, view merges,
-// Zipf sampling, Chord routing steps, topology latency lookups), plus a
-// `sweep` subcommand that runs a short end-to-end experiment per system
-// through the Experiment builder — the machine-readable smoke run CI
-// uploads as BENCH_micro.json:
+// Zipf sampling, Chord routing steps, topology latency lookups), plus
+// two subcommands that need no google-benchmark:
 //
-//   ./bench_micro sweep quick json          # -> BENCH_micro.json
-//   ./bench_micro                           # google-benchmark suite
+//   ./bench_micro sweep quick json   # end-to-end smoke run per system
+//                                    #   -> BENCH_micro.json
+//   ./bench_micro engine json        # simulation-engine suite: pooled
+//                                    #   EventQueue vs the legacy
+//                                    #   shared_ptr/std::function queue
+//                                    #   -> BENCH_engine.json
+//   ./bench_micro                    # google-benchmark suite
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "common/rng.h"
+#include "legacy_event_queue.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
 
 #ifdef FLOWER_HAVE_GOOGLE_BENCHMARK
 #include <benchmark/benchmark.h>
@@ -187,6 +202,336 @@ BENCHMARK(BM_RngNext);
 namespace flower {
 namespace {
 
+// --- Engine microbenchmark suite (no google-benchmark needed) -----------------
+//
+// Measures the simulation engine's raw event throughput — push/pop,
+// push/cancel/pop, and a steady-state pop-one-push-one loop — for the
+// pooled EventQueue and the legacy shared_ptr/std::function queue it
+// replaced, plus end-to-end Simulator dispatch. `json[=PATH]` writes
+// BENCH_engine.json, the perf-trajectory file CI uploads.
+
+/// The size class of the hot scheduling closures (message delivery
+/// captures this+addresses+sizes+the message pointer, ~40 bytes): big
+/// enough that std::function heap-allocates it, small enough for
+/// EventFn's inline storage — exactly the gap the pool closes.
+struct HotCapture {
+  uint64_t a = 1, b = 2, c = 3, d = 4;
+  uint64_t* sink = nullptr;
+};
+
+double MsBetween(std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Event times, generated outside the timed region so both engines
+/// measure queue work, not RNG draws.
+std::vector<SimTime> MakeTimes(int64_t n, SimTime range) {
+  Rng rng(7);
+  std::vector<SimTime> times(static_cast<size_t>(n));
+  for (SimTime& t : times) {
+    t = static_cast<SimTime>(rng.Next() % static_cast<uint64_t>(range));
+  }
+  return times;
+}
+
+/// Dispatches one pending event the way each engine's production run
+/// loop does: the pooled queue invokes the callback in its slot
+/// (RunNextIfBefore), the legacy queue moves the std::function out.
+inline bool DispatchOne(EventQueue& q, SimTime* t) {
+  return q.RunNextIfBefore(kMaxSimTime, [t](SimTime when) { *t = when; });
+}
+inline bool DispatchOne(bench::LegacyEventQueue& q, SimTime* t) {
+  if (q.empty()) return false;
+  auto fn = q.Pop(t);
+  fn();
+  return true;
+}
+
+/// Pushes `n` events at pseudorandom times, then drains through the
+/// dispatch path.
+template <typename Queue>
+double SuitePushPop(int64_t n, uint64_t* sink) {
+  const std::vector<SimTime> times = MakeTimes(n, 1000000);
+  HotCapture cap;
+  cap.sink = sink;
+  const auto start = std::chrono::steady_clock::now();
+  Queue q;
+  for (int64_t i = 0; i < n; ++i) {
+    q.Push(times[static_cast<size_t>(i)],
+           [cap]() { *cap.sink += cap.a + cap.c; });
+  }
+  SimTime t;
+  while (DispatchOne(q, &t)) {
+  }
+  return MsBetween(start, std::chrono::steady_clock::now());
+}
+
+template <typename Queue>
+struct HandleOf;
+template <>
+struct HandleOf<EventQueue> {
+  using type = EventHandle;
+};
+template <>
+struct HandleOf<bench::LegacyEventQueue> {
+  using type = bench::LegacyEventHandle;
+};
+
+/// Pushes `n`, cancels every other event through its handle, drains.
+template <typename Queue>
+double SuitePushCancelPop(int64_t n, uint64_t* sink) {
+  const std::vector<SimTime> times = MakeTimes(n, 1000000);
+  HotCapture cap;
+  cap.sink = sink;
+  const auto start = std::chrono::steady_clock::now();
+  Queue q;
+  std::vector<typename HandleOf<Queue>::type> handles;
+  handles.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    handles.push_back(q.Push(times[static_cast<size_t>(i)],
+                             [cap]() { *cap.sink += cap.b; }));
+  }
+  for (int64_t i = 0; i < n; i += 2) {
+    handles[static_cast<size_t>(i)].Cancel();
+  }
+  SimTime t;
+  while (DispatchOne(q, &t)) {
+  }
+  return MsBetween(start, std::chrono::steady_clock::now());
+}
+
+/// Steady state: a warm queue of 16384 events (a paper-scale pending set); each op dispatches the
+/// earliest and pushes a replacement — the pool's slot-reuse sweet spot,
+/// and the shape of a simulation in its main phase.
+template <typename Queue>
+double SuiteSteadyState(int64_t n, uint64_t* sink) {
+  constexpr int64_t kDepth = 16384;
+  const std::vector<SimTime> times = MakeTimes(n + kDepth, 10000);
+  HotCapture cap;
+  cap.sink = sink;
+  const auto start = std::chrono::steady_clock::now();
+  Queue q;
+  for (int64_t i = 0; i < kDepth; ++i) {
+    q.Push(times[static_cast<size_t>(i)], [cap]() { *cap.sink += cap.d; });
+  }
+  SimTime t = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    DispatchOne(q, &t);
+    q.Push(t + 1 + times[static_cast<size_t>(kDepth + i)],
+           [cap]() { *cap.sink += cap.d; });
+  }
+  return MsBetween(start, std::chrono::steady_clock::now());
+}
+
+/// The production message-delivery shape (Network::Send): every event
+/// owns a heap message. The legacy engine needed a shared_ptr holder
+/// around the unique_ptr (std::function requires copyable callables)
+/// plus the std::function allocation — three allocations per delivery;
+/// the pooled engine moves the unique_ptr straight into the slot-stored
+/// closure — one (the message itself).
+struct FakeMsg {
+  uint64_t payload[12] = {1};  // ~100 B, a small protocol message
+};
+
+double SuiteDeliveryLegacy(int64_t n, uint64_t* sink) {
+  constexpr int64_t kDepth = 16384;
+  const std::vector<SimTime> times = MakeTimes(n + kDepth, 10000);
+  const auto start = std::chrono::steady_clock::now();
+  bench::LegacyEventQueue q;
+  auto send = [&q, sink](SimTime at) {
+    auto msg = std::make_unique<FakeMsg>();
+    auto holder = std::make_shared<std::unique_ptr<FakeMsg>>(std::move(msg));
+    q.Push(at, [holder, sink]() { *sink += (*holder)->payload[0]; });
+  };
+  for (int64_t i = 0; i < kDepth; ++i) {
+    send(times[static_cast<size_t>(i)]);
+  }
+  SimTime t = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    DispatchOne(q, &t);
+    send(t + 1 + times[static_cast<size_t>(kDepth + i)]);
+  }
+  return MsBetween(start, std::chrono::steady_clock::now());
+}
+
+double SuiteDeliveryPooled(int64_t n, uint64_t* sink) {
+  constexpr int64_t kDepth = 16384;
+  const std::vector<SimTime> times = MakeTimes(n + kDepth, 10000);
+  const auto start = std::chrono::steady_clock::now();
+  EventQueue q;
+  auto send = [&q, sink](SimTime at) {
+    auto msg = std::make_unique<FakeMsg>();
+    q.Push(at, [m = std::move(msg), sink]() { *sink += m->payload[0]; });
+  };
+  for (int64_t i = 0; i < kDepth; ++i) {
+    send(times[static_cast<size_t>(i)]);
+  }
+  SimTime t = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    DispatchOne(q, &t);
+    send(t + 1 + times[static_cast<size_t>(kDepth + i)]);
+  }
+  return MsBetween(start, std::chrono::steady_clock::now());
+}
+
+/// End-to-end Simulator dispatch (pooled engine only: the Simulator is
+/// the production wiring around the queue).
+double SuiteSimDispatch(int64_t n, uint64_t* sink) {
+  HotCapture cap;
+  cap.sink = sink;
+  const auto start = std::chrono::steady_clock::now();
+  Simulator sim(1);
+  for (int64_t i = 0; i < n; ++i) {
+    sim.Schedule(i % 100000, [cap]() { *cap.sink += cap.a; });
+  }
+  sim.Run();
+  return MsBetween(start, std::chrono::steady_clock::now());
+}
+
+struct EngineRecord {
+  std::string suite;
+  std::string engine;  // "pooled" | "legacy"
+  int64_t events = 0;
+  double wall_ms = 0;
+  double events_per_sec = 0;
+  double speedup_vs_legacy = 0;  // pooled records only; 0 = n/a
+};
+
+/// Best-of-`reps` wall time for one suite body.
+template <typename SuiteFn>
+EngineRecord MeasureSuite(const std::string& suite,
+                          const std::string& engine, int64_t events,
+                          int reps, uint64_t* sink, SuiteFn body) {
+  double best_ms = 0;
+  for (int r = 0; r < reps; ++r) {
+    double ms = body(events, sink);
+    if (r == 0 || ms < best_ms) best_ms = ms;
+  }
+  EngineRecord rec;
+  rec.suite = suite;
+  rec.engine = engine;
+  rec.events = events;
+  rec.wall_ms = best_ms;
+  rec.events_per_sec =
+      best_ms > 0 ? static_cast<double>(events) / (best_ms / 1000.0) : 0;
+  return rec;
+}
+
+void WriteEngineJson(const std::string& path,
+                     const std::vector<EngineRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const EngineRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"suite\":\"%s\",\"engine\":\"%s\",\"events\":%lld,"
+                 "\"wall_ms\":%.3f,\"events_per_sec\":%.0f",
+                 r.suite.c_str(), r.engine.c_str(),
+                 static_cast<long long>(r.events), r.wall_ms,
+                 r.events_per_sec);
+    if (r.speedup_vs_legacy > 0) {
+      std::fprintf(f, ",\"speedup_vs_legacy\":%.2f", r.speedup_vs_legacy);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+int RunEngineBench(int argc, char** argv) {
+  int64_t events = 400000;
+  int reps = 5;
+  std::string json_path;
+  for (int a = 1; a < argc; ++a) {
+    std::string tok = argv[a];
+    size_t eq = tok.find('=');
+    std::string key = eq == std::string::npos ? tok : tok.substr(0, eq);
+    std::string value = eq == std::string::npos ? "" : tok.substr(eq + 1);
+    if (key == "json") {
+      json_path = value.empty() ? "BENCH_engine.json" : value;
+    } else if (key == "events") {
+      events = std::atoll(value.c_str());
+    } else if (key == "reps") {
+      reps = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_micro engine [json[=PATH]] [events=N] "
+                   "[reps=N]\n");
+      return 1;
+    }
+  }
+  if (events < 1 || reps < 1) {
+    std::fprintf(stderr, "events/reps must be >= 1\n");
+    return 1;
+  }
+
+  std::printf("Engine microbenchmark: pooled EventQueue vs legacy "
+              "(events=%lld, best of %d)\n",
+              static_cast<long long>(events), reps);
+  std::printf("  %-16s %-8s %-12s %-14s %-10s\n", "suite", "engine",
+              "wall_ms", "events/sec", "speedup");
+
+  uint64_t sink = 0;
+  std::vector<EngineRecord> records;
+  struct Suite {
+    const char* name;
+    double (*legacy)(int64_t, uint64_t*);
+    double (*pooled)(int64_t, uint64_t*);
+  };
+  const Suite suites[] = {
+      {"push_pop", &SuitePushPop<bench::LegacyEventQueue>,
+       &SuitePushPop<EventQueue>},
+      {"push_cancel_pop", &SuitePushCancelPop<bench::LegacyEventQueue>,
+       &SuitePushCancelPop<EventQueue>},
+      {"steady_state", &SuiteSteadyState<bench::LegacyEventQueue>,
+       &SuiteSteadyState<EventQueue>},
+      {"message_delivery", &SuiteDeliveryLegacy, &SuiteDeliveryPooled},
+  };
+
+  double speedup_product = 1.0;
+  for (const Suite& suite : suites) {
+    EngineRecord legacy =
+        MeasureSuite(suite.name, "legacy", events, reps, &sink, suite.legacy);
+    EngineRecord pooled =
+        MeasureSuite(suite.name, "pooled", events, reps, &sink, suite.pooled);
+    pooled.speedup_vs_legacy =
+        legacy.wall_ms > 0 ? legacy.wall_ms / pooled.wall_ms : 0;
+    speedup_product *= pooled.speedup_vs_legacy;
+    std::printf("  %-16s %-8s %-12s %-14s %-10s\n", legacy.suite.c_str(),
+                "legacy", bench::Fmt(legacy.wall_ms, 2).c_str(),
+                bench::Fmt(legacy.events_per_sec, 0).c_str(), "-");
+    std::printf("  %-16s %-8s %-12s %-14s %-10s\n", pooled.suite.c_str(),
+                "pooled", bench::Fmt(pooled.wall_ms, 2).c_str(),
+                bench::Fmt(pooled.events_per_sec, 0).c_str(),
+                (bench::Fmt(pooled.speedup_vs_legacy, 2) + "x").c_str());
+    records.push_back(legacy);
+    records.push_back(pooled);
+  }
+  EngineRecord dispatch = MeasureSuite("sim_dispatch", "pooled", events,
+                                       reps, &sink, &SuiteSimDispatch);
+  std::printf("  %-16s %-8s %-12s %-14s %-10s\n", "sim_dispatch", "pooled",
+              bench::Fmt(dispatch.wall_ms, 2).c_str(),
+              bench::Fmt(dispatch.events_per_sec, 0).c_str(), "-");
+  records.push_back(dispatch);
+
+  const double geomean_speedup = std::pow(
+      speedup_product, 1.0 / static_cast<double>(std::size(suites)));
+  std::printf("\n  geomean speedup pooled vs legacy: %sx\n",
+              bench::Fmt(geomean_speedup, 2).c_str());
+  if (!json_path.empty()) {
+    WriteEngineJson(json_path, records);
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+  // Keep the compiler from eliding the callbacks entirely.
+  if (sink == 0) std::printf("  (sink=0)\n");
+  return 0;
+}
+
 /// A fast macro sweep: one short run per registered system, emitting the
 /// full per-window trajectories through the driver's sinks.
 int RunMicroSweep(int argc, char** argv) {
@@ -202,10 +547,14 @@ int RunMicroSweep(int argc, char** argv) {
   base.queries_per_second = std::min(base.queries_per_second, 2.0);
   driver.PrintHeader("Micro sweep: one short run per system");
 
+  for (const std::string& system : SystemRegistry::Instance().Keys()) {
+    driver.Enqueue(base, system, system);
+  }
+  std::vector<RunResult> runs = driver.RunQueued();
+
   std::printf("  %-22s %-12s %-12s %-14s\n", "system", "hit_ratio",
               "lookup_ms", "queries");
-  for (const std::string& system : SystemRegistry::Instance().Keys()) {
-    RunResult r = driver.Run(base, system, system);
+  for (const RunResult& r : runs) {
     std::printf("  %-22s %-12s %-12s %-14llu\n", r.system_name.c_str(),
                 bench::Fmt(r.final_hit_ratio).c_str(),
                 bench::Fmt(r.mean_lookup_ms, 1).c_str(),
@@ -220,6 +569,9 @@ int RunMicroSweep(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
     return flower::RunMicroSweep(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "engine") == 0) {
+    return flower::RunEngineBench(argc - 1, argv + 1);
   }
 #ifdef FLOWER_HAVE_GOOGLE_BENCHMARK
   benchmark::Initialize(&argc, argv);

@@ -22,13 +22,19 @@ int main(int argc, char** argv) {
   };
   const Row rows[] = {{5, 0.823, 37}, {10, 0.86, 74}, {20, 0.89, 147}};
 
-  std::printf("  %-8s %-22s %-22s\n", "L", "hit ratio (paper)",
-              "background bps (paper)");
-  double bps_l5 = 0, bps_l20 = 0;
   for (const Row& row : rows) {
     SimConfig c = base;
     c.gossip_length = row.lgossip;
-    RunResult r = driver.Run(c, "flower", "L=" + std::to_string(row.lgossip));
+    driver.Enqueue(c, "flower", "L=" + std::to_string(row.lgossip));
+  }
+  std::vector<RunResult> runs = driver.RunQueued();
+
+  std::printf("  %-8s %-22s %-22s\n", "L", "hit ratio (paper)",
+              "background bps (paper)");
+  double bps_l5 = 0, bps_l20 = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const Row& row = rows[i];
+    const RunResult& r = runs[i];
     if (row.lgossip == 5) bps_l5 = r.background_bps;
     if (row.lgossip == 20) bps_l20 = r.background_bps;
     std::printf("  %-8d %-7s (%0.3f)        %-8s (%0.0f)\n", row.lgossip,

@@ -1,0 +1,127 @@
+// The pre-pool EventQueue, preserved verbatim as the baseline for the
+// engine microbenchmark suite (bench_micro engine): every Push costs a
+// shared_ptr<State> control block plus (usually) a std::function heap
+// allocation. BENCH_engine.json tracks the pooled engine's speedup over
+// this implementation from the rewrite onward.
+//
+// Benchmark-only code: nothing in src/ may include this.
+#ifndef FLOWERCDN_BENCH_LEGACY_EVENT_QUEUE_H_
+#define FLOWERCDN_BENCH_LEGACY_EVENT_QUEUE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flower {
+namespace bench {
+
+class LegacyEventQueue;
+
+class LegacyEventHandle {
+ public:
+  LegacyEventHandle() = default;
+
+  void Cancel() {
+    if (state_ == nullptr || state_->fired) return;
+    state_->cancelled = true;
+    state_->fn = nullptr;
+  }
+
+  bool pending() const {
+    return state_ && !state_->fired && !state_->cancelled;
+  }
+
+ private:
+  friend class LegacyEventQueue;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit LegacyEventHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class LegacyEventQueue {
+ public:
+  LegacyEventQueue() = default;
+  ~LegacyEventQueue() {
+    while (!heap_.empty()) {
+      heap_.top().state->fn = nullptr;
+      heap_.pop();
+    }
+  }
+  LegacyEventQueue(const LegacyEventQueue&) = delete;
+  LegacyEventQueue& operator=(const LegacyEventQueue&) = delete;
+
+  LegacyEventHandle Push(SimTime t, std::function<void()> fn) {
+    assert(t >= 0);
+    auto state = std::make_shared<LegacyEventHandle::State>();
+    state->fn = std::move(fn);
+    heap_.push(Item{t, next_seq_++, state});
+    ++live_;
+    return LegacyEventHandle(state);
+  }
+
+  bool empty() const {
+    SkimCancelledConst();
+    return heap_.empty();
+  }
+
+  SimTime NextTime() const {
+    SkimCancelledConst();
+    assert(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  std::function<void()> Pop(SimTime* t) {
+    SkimCancelled();
+    assert(!heap_.empty());
+    Item item = heap_.top();
+    heap_.pop();
+    --live_;
+    item.state->fired = true;
+    *t = item.time;
+    return std::move(item.state->fn);
+  }
+
+  size_t live_size() const { return live_; }
+
+ private:
+  struct Item {
+    SimTime time;
+    uint64_t seq;
+    std::shared_ptr<LegacyEventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void SkimCancelled() {
+    while (!heap_.empty() && heap_.top().state->cancelled) {
+      heap_.pop();
+      --live_;
+    }
+  }
+  void SkimCancelledConst() const {
+    const_cast<LegacyEventQueue*>(this)->SkimCancelled();
+  }
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  uint64_t next_seq_ = 0;
+  size_t live_ = 0;
+};
+
+}  // namespace bench
+}  // namespace flower
+
+#endif  // FLOWERCDN_BENCH_LEGACY_EVENT_QUEUE_H_

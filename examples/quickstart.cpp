@@ -44,6 +44,9 @@ int main(int argc, char** argv) {
                 100 * r.LookupFractionBelow(150));
     std::printf("  transfer< 100 ms : %.0f%%\n",
                 100 * r.TransferFractionBelow(100));
+    std::printf("  engine           : %llu events in %.0f ms (%.0f ev/s)\n",
+                static_cast<unsigned long long>(r.events_processed),
+                r.wall_ms, r.EventsPerSec());
     return 0;
   }
   flower::RunResult flower_run = flower::Experiment(config)
@@ -62,5 +65,9 @@ int main(int argc, char** argv) {
   std::printf("  transfer< 100 ms : flower %.0f%%  squirrel %.0f%%\n",
               100 * flower_run.TransferFractionBelow(100),
               100 * squirrel_run.TransferFractionBelow(100));
+  // Engine throughput (RunResult carries it; sinks deliberately omit
+  // the wall-clock numbers to keep output reproducible).
+  std::printf("  engine           : flower %.0f ev/s  squirrel %.0f ev/s\n",
+              flower_run.EventsPerSec(), squirrel_run.EventsPerSec());
   return 0;
 }

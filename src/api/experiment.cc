@@ -1,5 +1,6 @@
 #include "api/experiment.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -231,10 +232,17 @@ Result<RunResult> Experiment::TryRun() {
         }));
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   sim.RunUntil(config_.duration);
+  const auto wall_end = std::chrono::steady_clock::now();
   for (Simulator::PeriodicHandle& timer : observer_timers) timer.Cancel();
 
   RunResult result;
+  result.events_processed = sim.events_processed();
+  result.events_cancelled = sim.events_cancelled();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
   result.system = system->key();
   result.system_name = system->name();
   result.label = label_;

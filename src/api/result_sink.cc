@@ -17,7 +17,8 @@ std::string FormatRunSummary(const RunResult& r) {
      << " transfer=" << r.mean_transfer_ms << "ms"
      << " background=" << r.background_bps << "bps"
      << " peers=" << r.participants << " queries=" << r.queries_submitted
-     << " server_hits=" << r.server_hits;
+     << " server_hits=" << r.server_hits
+     << " events=" << r.events_processed;
   if (r.cache_evictions > 0 || r.stale_redirects > 0) {
     os << " evictions=" << r.cache_evictions
        << " stale_redirects=" << r.stale_redirects;
@@ -119,7 +120,12 @@ void JsonResultSink::Write(const SimConfig& config, const RunResult& r) {
      << ",\"replica_declines\":" << r.replica_declines
      << ",\"churn_failures\":" << r.churn_failures
      << ",\"churn_leaves\":" << r.churn_leaves
-     << ",\"directory_promotions\":" << r.directory_promotions << ",";
+     << ",\"directory_promotions\":" << r.directory_promotions
+     // Deterministic engine counters only: wall_ms/events-per-second are
+     // host-dependent and would break byte-identical trajectory diffs
+     // (they live in RunResult and BENCH_engine.json instead).
+     << ",\"events_processed\":" << r.events_processed
+     << ",\"events_cancelled\":" << r.events_cancelled << ",";
   AppendSeries(&os, "hit_ratio_by_window", r.hit_ratio_by_window);
   os << ",";
   AppendSeries(&os, "lookup_ms_by_window", r.lookup_ms_by_window);
@@ -158,7 +164,8 @@ constexpr const char* kCsvHeader =
     "mean_transfer_ms,background_bps,cache_evictions,stale_redirects,"
     "stale_redirects_peer_summary,stale_redirects_dir_index,"
     "dir_index_evictions,dir_summary_fallthroughs,"
-    "replica_declines,churn_failures,churn_leaves,directory_promotions";
+    "replica_declines,churn_failures,churn_leaves,directory_promotions,"
+    "events_processed,events_cancelled";
 
 /// CSV-quotes a field when it contains a comma or quote.
 std::string CsvField(const std::string& s) {
@@ -189,7 +196,8 @@ void CsvResultSink::Write(const SimConfig& config, const RunResult& r) {
      << r.stale_redirects_peer_summary << "," << r.stale_redirects_dir_index
      << "," << r.dir_index_evictions << "," << r.dir_summary_fallthroughs
      << "," << r.replica_declines << "," << r.churn_failures << ","
-     << r.churn_leaves << "," << r.directory_promotions;
+     << r.churn_leaves << "," << r.directory_promotions << ","
+     << r.events_processed << "," << r.events_cancelled;
   rows_.push_back(os.str());
   dirty_ = true;
 }

@@ -73,6 +73,28 @@ struct RunResult {
   uint64_t churn_leaves = 0;
   uint64_t directory_promotions = 0;
 
+  // Engine counters (simulation-kernel performance, src/sim/).
+  /// Events dispatched by the Simulator run loop. Deterministic: a
+  /// function of config + seed, so sinks write it.
+  uint64_t events_processed = 0;
+  /// Events cancelled before firing (timer rearms, churn teardowns).
+  /// Deterministic; written by sinks.
+  uint64_t events_cancelled = 0;
+  /// Host wall-clock of the run loop, in milliseconds. Nondeterministic
+  /// by nature, so sinks deliberately do NOT write it — BENCH_*.json
+  /// trajectories and sweep outputs must stay byte-identical between
+  /// runs (and between serial and jobs=N sweeps). Read it from the
+  /// returned RunResult; the engine microbenchmark (bench_micro engine)
+  /// owns the wall-clock trajectory in BENCH_engine.json.
+  double wall_ms = 0;
+
+  /// Simulation-engine throughput of this run (0 when too fast to time).
+  double EventsPerSec() const {
+    return wall_ms > 0 ? static_cast<double>(events_processed) /
+                             (wall_ms / 1000.0)
+                       : 0.0;
+  }
+
   /// Fraction of lookups resolved faster than `ms`.
   double LookupFractionBelow(double ms) const {
     return lookup_hist.FractionBelow(ms);

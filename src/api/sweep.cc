@@ -1,0 +1,70 @@
+#include "api/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "api/experiment.h"
+
+namespace flower {
+
+SweepRunner::SweepRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+size_t SweepRunner::Add(SimConfig config, std::string system,
+                        std::string label) {
+  points_.push_back(
+      Point{std::move(config), std::move(system), std::move(label)});
+  return points_.size() - 1;
+}
+
+Result<std::vector<RunResult>> SweepRunner::Run(
+    const std::vector<ResultSink*>& sinks) {
+  std::vector<Point> points = std::move(points_);
+  points_.clear();
+
+  const size_t n = points.size();
+  std::vector<RunResult> results(n);
+  std::vector<Status> statuses(n);
+
+  // Workers pull point indices from a shared counter. No sink, stdout or
+  // other shared state is touched here — a point's Experiment builds its
+  // whole world (Simulator, Topology, Network, Metrics, system) locally.
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      Experiment experiment(points[i].config);
+      experiment.WithSystem(points[i].system).WithLabel(points[i].label);
+      Result<RunResult> result = experiment.TryRun();
+      if (result.ok()) {
+        results[i] = std::move(result).value();
+      } else {
+        statuses[i] = result.status();
+      }
+    }
+  };
+
+  const size_t pool =
+      std::min<size_t>(static_cast<size_t>(jobs_), n == 0 ? 1 : n);
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (size_t i = 0; i < pool; ++i) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Commit in submission order, stopping at the first failure: sink
+  // output is byte-for-byte what a serial sweep that died at the same
+  // point would have produced.
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+    for (ResultSink* sink : sinks) {
+      sink->Write(points[i].config, results[i]);
+    }
+  }
+  return results;
+}
+
+}  // namespace flower

@@ -23,9 +23,37 @@ bool DistanceCostEnabled(const SimConfig& config) {
   return config.cache_cost == "distance";
 }
 
+namespace {
+/// The one place the raw distance-to-cost rule lives: the measured
+/// latency floored at 1 (an object is never cheaper than local).
+double DistanceSample(SimTime distance) {
+  return distance > 1 ? static_cast<double>(distance) : 1.0;
+}
+}  // namespace
+
 double GdsfInsertCost(const SimConfig& config, SimTime distance) {
   if (!DistanceCostEnabled(config)) return 1.0;
-  return distance > 1 ? static_cast<double>(distance) : 1.0;
+  return DistanceSample(distance);
+}
+
+RefetchCostModel::RefetchCostModel(const SimConfig& config)
+    : distance_enabled_(DistanceCostEnabled(config)),
+      alpha_(config.cache_cost_ewma_alpha) {}
+
+double RefetchCostModel::OnFetch(ObjectId object, SimTime distance) {
+  if (!distance_enabled_) return 1.0;
+  const double sample = DistanceSample(distance);
+  auto [it, inserted] = ewma_.emplace(object, sample);
+  if (!inserted) {
+    it->second = alpha_ * sample + (1.0 - alpha_) * it->second;
+  }
+  return it->second;
+}
+
+double RefetchCostModel::CostOf(ObjectId object) const {
+  if (!distance_enabled_) return 1.0;
+  auto it = ewma_.find(object);
+  return it == ewma_.end() ? 1.0 : it->second;
 }
 
 }  // namespace flower

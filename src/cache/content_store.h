@@ -17,6 +17,7 @@
 #ifndef FLOWERCDN_CACHE_CONTENT_STORE_H_
 #define FLOWERCDN_CACHE_CONTENT_STORE_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "cache/keyed_store.h"
@@ -44,12 +45,41 @@ class ContentStore : public KeyedStore<ObjectId> {
 /// (expensive to re-fetch) objects outlive equally popular local ones.
 bool DistanceCostEnabled(const SimConfig& config);
 
-/// The GDSF insert cost for an object fetched over `distance` (one-way
+/// The instantaneous GDSF cost of one fetch over `distance` (one-way
 /// provider->client latency): the measured distance (floored at 1) under
-/// `cache_cost=distance`, exactly 1 otherwise. Every insert path —
-/// serves and replica deposits, content and directory peers — must price
-/// through here so the cost model cannot diverge between them.
+/// `cache_cost=distance`, exactly 1 otherwise. This is the raw sample;
+/// insert paths smooth it through a per-peer RefetchCostModel.
 double GdsfInsertCost(const SimConfig& config, SimTime distance);
+
+/// Per-peer smoothing of GDSF retrieval costs (cache_cost=distance):
+/// every observed (re)fetch of an object folds its measured distance
+/// into an EWMA with `cache_cost_ewma_alpha`, and inserts price at the
+/// smoothed value instead of the single latest sample — one lucky
+/// nearby re-fetch no longer erases an object's history of being
+/// expensive to obtain. alpha=1 reproduces the raw per-fetch cost.
+/// Under cache_cost=uniform the model stores nothing and returns 1.
+///
+/// Every insert path — serves and replica deposits, content, directory
+/// and Squirrel peers — must price through its peer's model so the cost
+/// rule cannot diverge between them.
+class RefetchCostModel {
+ public:
+  RefetchCostModel() = default;
+  explicit RefetchCostModel(const SimConfig& config);
+
+  /// Records a measured fetch of `object` over `distance` (one-way
+  /// provider->client latency) and returns the smoothed cost to insert
+  /// with.
+  double OnFetch(ObjectId object, SimTime distance);
+
+  /// The current smoothed cost (1.0 when never observed, or uniform).
+  double CostOf(ObjectId object) const;
+
+ private:
+  bool distance_enabled_ = false;
+  double alpha_ = 1.0;
+  std::unordered_map<ObjectId, double> ewma_;
+};
 
 }  // namespace flower
 

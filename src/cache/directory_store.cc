@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bloom/summary.h"
 #include "common/config.h"
 
 namespace flower {
@@ -105,18 +106,37 @@ void DirectoryStore::AgeAll(int dead_age_limit, Delta* delta) {
   for (PeerAddress addr : dead) Erase(addr, delta);
 }
 
-void DirectoryStore::PutSummary(Key dir_id, NeighborSummary summary) {
+uint64_t DirectoryStore::SummaryFootprintBytes(
+    const NeighborSummary& summary) {
+  const uint64_t filter_bytes =
+      summary.summary == nullptr ? 0 : (summary.summary->SizeBits() + 7) / 8;
+  return kSummaryBaseBytes + filter_bytes;
+}
+
+void DirectoryStore::PutSummary(Key dir_id, NeighborSummary summary,
+                                Delta* delta) {
+  auto it = summaries_.find(dir_id);
+  if (it != summaries_.end()) {
+    summary_bytes_ -= SummaryFootprintBytes(it->second);
+  }
+  summary_bytes_ += SummaryFootprintBytes(summary);
   summaries_[dir_id] = std::move(summary);
+  std::vector<PeerAddress> evicted;
+  engine_.SetReservedBytes(summary_bytes_, &evicted);
+  AbsorbEvictions(evicted, delta);
 }
 
 void DirectoryStore::EraseSummariesFrom(PeerAddress addr) {
   for (auto it = summaries_.begin(); it != summaries_.end();) {
     if (it->second.addr == addr) {
+      summary_bytes_ -= SummaryFootprintBytes(it->second);
       it = summaries_.erase(it);
     } else {
       ++it;
     }
   }
+  // Shrinking a reservation never evicts.
+  engine_.SetReservedBytes(summary_bytes_, nullptr);
 }
 
 void DirectoryStore::DropPayload(PeerAddress peer, Delta* delta) {

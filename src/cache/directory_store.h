@@ -71,6 +71,14 @@ class DirectoryStore {
     return kEntryBaseBytes + kBytesPerObjectId * num_objects;
   }
 
+  /// Accounted footprint of one neighbor directory summary: a base
+  /// record plus the Bloom filter's wire bytes. Summaries share the
+  /// `directory_index_capacity` budget with index entries (as a
+  /// reservation carved off the engine's capacity), so growing
+  /// `directory_summary_neighbors` visibly squeezes the index.
+  static constexpr uint64_t kSummaryBaseBytes = 32;
+  static uint64_t SummaryFootprintBytes(const NeighborSummary& summary);
+
   /// capacity_bytes == 0 means an unbounded index (the paper's model).
   explicit DirectoryStore(CachePolicy policy = CachePolicy::kUnbounded,
                           uint64_t capacity_bytes = 0);
@@ -154,9 +162,20 @@ class DirectoryStore {
   bool HasSummaryFrom(Key dir_id) const {
     return summaries_.count(dir_id) > 0;
   }
-  void PutSummary(Key dir_id, NeighborSummary summary);
-  /// Drops every neighbor summary held for `addr` (dead neighbor).
+  /// Stores (or replaces) a neighbor's summary, re-accounting its
+  /// footprint against the index budget: on a bounded store, growing
+  /// the summary reservation can evict index entries (reported in
+  /// `*delta`). Summaries themselves are never evicted — protocol
+  /// correctness needs the neighbor map complete — they only squeeze
+  /// the entry budget.
+  void PutSummary(Key dir_id, NeighborSummary summary, Delta* delta);
+  /// Drops every neighbor summary held for `addr` (dead neighbor),
+  /// returning their footprint to the index budget.
   void EraseSummariesFrom(PeerAddress addr);
+
+  /// Bytes of the index budget currently reserved by neighbor
+  /// summaries.
+  uint64_t summary_bytes() const { return summary_bytes_; }
 
   // --- Engine introspection ---------------------------------------------------
 
@@ -178,6 +197,7 @@ class DirectoryStore {
   std::map<PeerAddress, Entry> entries_; // payloads, keyed like the engine
   std::map<ObjectId, int> holder_counts_;
   std::map<Key, NeighborSummary> summaries_;
+  uint64_t summary_bytes_ = 0;  // total footprint of summaries_
 };
 
 }  // namespace flower

@@ -312,7 +312,7 @@ class KeyedStore {
       return true;
     }
     if (bounded()) {
-      if (size_bytes > capacity_bytes_) {
+      if (size_bytes + reserved_bytes_ > capacity_bytes_) {
         ++stats_.admission_rejects;
         return false;
       }
@@ -320,7 +320,7 @@ class KeyedStore {
         ++stats_.admission_rejects;
         return false;
       }
-      while (bytes_used_ + size_bytes > capacity_bytes_) {
+      while (bytes_used_ + size_bytes + reserved_bytes_ > capacity_bytes_) {
         K victim;
         if (!policy_->ChooseVictim(&victim)) {
           // Unbounded on a full bounded store: nothing may leave, so the
@@ -352,14 +352,14 @@ class KeyedStore {
     it->second = new_size;
     policy_->OnResize(key, new_size);
     if (!bounded()) return true;
-    if (new_size > capacity_bytes_) {
+    if (new_size + reserved_bytes_ > capacity_bytes_) {
       // Hopeless alone (mirrors Insert's oversized-object rejection):
       // only the grown key leaves — draining every other resident first
       // would wipe the store for an entry that can never fit.
       Evict(key, evicted);
       return false;
     }
-    while (bytes_used_ > capacity_bytes_) {
+    while (bytes_used_ + reserved_bytes_ > capacity_bytes_) {
       K victim;
       if (!policy_->ChooseVictim(&victim)) victim = key;
       Evict(victim, evicted);
@@ -384,7 +384,26 @@ class KeyedStore {
   bool empty() const { return entries_.empty(); }
   uint64_t bytes_used() const { return bytes_used_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t reserved_bytes() const { return reserved_bytes_; }
   bool bounded() const { return capacity_bytes_ > 0; }
+
+  /// Carves `bytes` of the capacity budget out for out-of-band state
+  /// the owner co-accounts with this store (the DirectoryStore charges
+  /// its neighbor summaries here): residents may only use
+  /// capacity - reserved bytes. Growing the reservation evicts
+  /// policy-chosen victims until residents fit again (appended to
+  /// `*evicted`); when the policy names none (Unbounded), the remaining
+  /// residents stay — like Insert, the engine never force-drains an
+  /// Unbounded store. Accounting-only on unbounded (capacity 0) stores.
+  void SetReservedBytes(uint64_t bytes, std::vector<K>* evicted) {
+    reserved_bytes_ = bytes;
+    if (!bounded()) return;
+    while (bytes_used_ + reserved_bytes_ > capacity_bytes_) {
+      K victim;
+      if (!policy_->ChooseVictim(&victim)) break;
+      Evict(victim, evicted);
+    }
+  }
   CachePolicy policy() const { return policy_kind_; }
   const CacheStats& stats() const { return stats_; }
 
@@ -448,6 +467,7 @@ class KeyedStore {
   std::unique_ptr<KeyedEvictionPolicy<K>> policy_;
   std::map<K, uint64_t> entries_;  // key -> size_bytes
   uint64_t bytes_used_ = 0;
+  uint64_t reserved_bytes_ = 0;  // capacity carved out (SetReservedBytes)
   CacheStats stats_;
   AdmissionHook admission_hook_;
 };

@@ -148,6 +148,15 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
     cache_cost = value;
     return Status::Ok();
   }
+  if (key == "cache_cost_ewma_alpha") {
+    double a;
+    if (!ParseDouble(value, &a) || a <= 0 || a > 1) {
+      return Status::InvalidArgument(
+          "cache_cost_ewma_alpha wants a value in (0, 1]");
+    }
+    cache_cost_ewma_alpha = a;
+    return Status::Ok();
+  }
   if (key == "directory_index_policy") {
     Result<CachePolicy> parsed = ParseCachePolicy(value);
     if (!parsed.ok()) return parsed.status();
@@ -245,7 +254,9 @@ std::string SimConfig::ToString() const {
   }
   // Non-default knobs only: the default line must stay byte-identical
   // across PRs so trajectory diffs catch real drift.
-  if (cache_cost != "uniform") os << " cache_cost=" << cache_cost;
+  if (cache_cost != "uniform") {
+    os << " cache_cost=" << cache_cost << "/a=" << cache_cost_ewma_alpha;
+  }
   if (directory_index_policy != "unbounded" ||
       directory_index_capacity_bytes > 0) {
     os << " dir_index=" << directory_index_policy;

@@ -66,6 +66,12 @@ struct SimConfig {
   /// expensive to re-fetch and outlive equally popular local ones).
   /// Ignored by every policy except gdsf.
   std::string cache_cost = "uniform";
+  /// EWMA weight for observed refetch costs under `cache_cost=distance`
+  /// (RefetchCostModel, src/cache/): each peer smooths an object's cost
+  /// as alpha * latest_sample + (1 - alpha) * previous, per object.
+  /// 1.0 = no smoothing (the latest measured distance alone, the
+  /// pre-EWMA behavior); must be in (0, 1].
+  double cache_cost_ewma_alpha = 0.3;
 
   // --- Directory index (src/cache/; bounded directory-side storage) ----------
   /// Replacement policy of every directory peer's index of its overlay:

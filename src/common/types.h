@@ -38,6 +38,9 @@ inline constexpr SimTime kSecond = 1000 * kMillisecond;
 inline constexpr SimTime kMinute = 60 * kSecond;
 inline constexpr SimTime kHour = 60 * kMinute;
 
+/// An unreachable event time: Simulator::Run's "no bound" bound.
+inline constexpr SimTime kMaxSimTime = INT64_MAX;
+
 }  // namespace flower
 
 #endif  // FLOWERCDN_COMMON_TYPES_H_

@@ -15,6 +15,7 @@ ContentPeer::ContentPeer(FlowerContext* ctx, const Website* site,
       locality_(locality),
       rng_(rng_seed),
       content_(ContentStore::FromConfig(*ctx->config)),
+      cost_model_(*ctx->config),
       view_(ctx->config->view_size, ctx->config->view_age_limit) {
   assert(site != nullptr);
 }
@@ -180,7 +181,7 @@ void ContentPeer::HandleServe(std::unique_ptr<ServeMsg> serve) {
           : Metrics::ProviderKind::kRemotePeer;
   ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
   pending_.erase(serve->object);
-  AddObject(serve->object, GdsfInsertCost(*ctx_->config, distance));
+  AddObject(serve->object, cost_model_.OnFetch(serve->object, distance));
   if (!serve->view_subset.empty()) {
     view_.Merge(serve->view_subset, std::nullopt, address());
   }
@@ -426,7 +427,9 @@ void ContentPeer::HandleReplicaTransfer(
       content_.swap_admission_hook(ContentStore::HeadroomHook(
           &content_, ctx_->config->replication_admission_headroom,
           [this]() { ctx_->metrics->OnReplicaDeclined(); }));
-  AddObject(msg->object, ReplicaInsertCost(*ctx_, msg->sender, address()));
+  AddObject(msg->object,
+            ReplicaInsertCost(*ctx_, &cost_model_, msg->object, msg->sender,
+                              address()));
   content_.swap_admission_hook(std::move(prev));
 }
 

@@ -123,6 +123,8 @@ class ContentPeer : public Peer {
   SimTime joined_at_ = -1;
 
   ContentStore content_;
+  /// EWMA of observed refetch costs per object (cache_cost=distance).
+  RefetchCostModel cost_model_;
   std::vector<ObjectId> push_delta_;    // additions since the last push
   std::vector<ObjectId> push_removed_;  // evictions since the last push
   std::shared_ptr<const ContentSummary> summary_;  // current snapshot

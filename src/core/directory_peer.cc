@@ -19,6 +19,7 @@ DirectoryPeer::DirectoryPeer(FlowerContext* ctx, const Website* site,
       rng_(rng_seed),
       dir_store_(DirectoryStore::FromConfig(*ctx->config)),
       content_(ContentStore::FromConfig(*ctx->config)),
+      cost_model_(*ctx->config),
       view_(ctx->config->view_size, ctx->config->view_age_limit) {
   set_app(this);
 }
@@ -74,9 +75,13 @@ void DirectoryPeer::InstallHandoff(const DirectoryHandoffMsg& handoff) {
   }
   for (const auto& s : handoff.summaries) {
     if (s.dir_id == id()) continue;
+    DirectoryStore::Delta delta;
     dir_store_.PutSummary(
-        s.dir_id, DirectoryStore::NeighborSummary{
-                      s.addr, ctx_->scheme->LocalityOf(s.dir_id), s.summary});
+        s.dir_id,
+        DirectoryStore::NeighborSummary{
+            s.addr, ctx_->scheme->LocalityOf(s.dir_id), s.summary},
+        &delta);
+    ApplyDelta(delta);
   }
   // Neighbors already have a recent summary of this index (sent by our
   // predecessor); start counting changes from here.
@@ -441,7 +446,7 @@ void DirectoryPeer::HandleServe(std::unique_ptr<ServeMsg> serve) {
     ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
     pending_own_.erase(it);
   }
-  AddOwnObject(serve->object, GdsfInsertCost(*ctx_->config, distance));
+  AddOwnObject(serve->object, cost_model_.OnFetch(serve->object, distance));
 }
 
 // --- Replacement adjudication (Sec 5.2) -----------------------------------------------------
@@ -618,9 +623,12 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
     return;
   }
   if (auto* ds = dynamic_cast<DirectorySummaryMsg*>(raw)) {
+    DirectoryStore::Delta delta;
     dir_store_.PutSummary(ds->from_dir_id,
                           DirectoryStore::NeighborSummary{
-                              ds->sender, ds->from_loc, ds->summary});
+                              ds->sender, ds->from_loc, ds->summary},
+                          &delta);
+    ApplyDelta(delta);
     return;
   }
   if (auto* serve = dynamic_cast<ServeMsg*>(raw)) {
@@ -668,7 +676,8 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
             &content_, ctx_->config->replication_admission_headroom,
             [this]() { ctx_->metrics->OnReplicaDeclined(); }));
     AddOwnObject(rt->object,
-                 ReplicaInsertCost(*ctx_, rt->sender, address()));
+                 ReplicaInsertCost(*ctx_, &cost_model_, rt->object,
+                                   rt->sender, address()));
     content_.swap_admission_hook(std::move(prev));
     return;
   }

@@ -153,6 +153,8 @@ class DirectoryPeer : public DRingNode, public KbrApp {
 
   // Own content (non-empty when promoted from a content peer).
   ContentStore content_;
+  /// EWMA of observed refetch costs per object (cache_cost=distance).
+  RefetchCostModel cost_model_;
   View view_;  // inherited view; answers first queries during takeover
   std::map<ObjectId, std::vector<SimTime>> pending_own_;  // own requests
 

@@ -27,14 +27,17 @@ struct FlowerContext {
 };
 
 /// GDSF cost of a replica deposited by `sender` into the peer at `self`:
-/// the measured sender->self latency under cache_cost=distance, 1
-/// otherwise. Locally injected transfers (no sender to measure to) price
-/// as local. Shared by the replica paths of content and directory peers
-/// so the cost rule cannot diverge between them.
-inline double ReplicaInsertCost(const FlowerContext& ctx, PeerAddress sender,
-                                PeerAddress self) {
+/// the deposit is an observed transfer of the object, so its measured
+/// sender->self latency feeds the receiving peer's RefetchCostModel and
+/// the insert prices at the smoothed value. Locally injected transfers
+/// (no sender to measure to) price as local without perturbing the
+/// EWMA. Shared by the replica paths of content and directory peers so
+/// the cost rule cannot diverge between them.
+inline double ReplicaInsertCost(const FlowerContext& ctx,
+                                RefetchCostModel* model, ObjectId object,
+                                PeerAddress sender, PeerAddress self) {
   if (sender == kInvalidAddress) return 1.0;
-  return GdsfInsertCost(*ctx.config, ctx.network->Latency(sender, self));
+  return model->OnFetch(object, ctx.network->Latency(sender, self));
 }
 
 }  // namespace flower

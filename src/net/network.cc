@@ -61,23 +61,23 @@ void Network::Send(Peer* from, PeerAddress to, MessagePtr msg) {
   msg->sender = sender;
   SimTime latency = Latency(sender, to);
 
-  // Move the unique_ptr into the closure via a shared holder (std::function
-  // requires copyable callables).
-  auto holder = std::make_shared<MessagePtr>(std::move(msg));
-  sim_->Schedule(latency, [this, sender, to, ci, bits, holder]() {
+  // EventFn closures are move-only-friendly, so the message rides in the
+  // closure directly — no shared_ptr holder allocation per send.
+  sim_->Schedule(latency, [this, sender, to, ci, bits,
+                           m = std::move(msg)]() mutable {
     auto it = peers_.find(to);
     if (it != peers_.end()) {
       counters_[to].received_bits[ci] += bits;
-      it->second->HandleMessage(std::move(*holder));
+      it->second->HandleMessage(std::move(m));
       return;
     }
     // Destination offline: notify the sender after the return trip.
     ++messages_undeliverable_;
     SimTime back = Latency(to, sender);
-    sim_->Schedule(back, [this, sender, to, holder]() {
+    sim_->Schedule(back, [this, sender, to, m = std::move(m)]() mutable {
       auto sit = peers_.find(sender);
       if (sit != peers_.end()) {
-        sit->second->HandleUndeliverable(to, std::move(*holder));
+        sit->second->HandleUndeliverable(to, std::move(m));
       }
     });
   });

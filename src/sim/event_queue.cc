@@ -5,65 +5,112 @@
 namespace flower {
 
 void EventHandle::Cancel() {
-  if (state_ == nullptr || state_->fired) return;
-  state_->cancelled = true;
-  // The callback will never run; drop it now. Closures can own handles
-  // back into the queue (periodic timers), so keeping the callback alive
-  // until the heap skims the entry would leak such cycles.
-  state_->fn = nullptr;
+  if (queue_ == nullptr) return;
+  // Seq check: stale after the event fired, was cancelled, or the slot
+  // was reused — Cancel is a no-op in all three cases.
+  if (queue_->SlotAt(slot_).seq != seq_) return;
+  // Destroy the callback now: closures can own handles back into the
+  // queue (periodic timers), and their captures must not linger until
+  // the heap skims the entry.
+  queue_->FreeSlot(slot_);
+  --queue_->live_;
+  ++queue_->cancelled_;
 }
 
 bool EventHandle::pending() const {
-  return state_ && !state_->fired && !state_->cancelled;
+  return queue_ != nullptr && queue_->SlotAt(slot_).seq == seq_;
 }
 
-EventQueue::~EventQueue() {
-  // Pending closures may own EventHandles back into this queue (periodic
-  // timers capture their own handle state), forming shared_ptr cycles;
-  // dropping the callbacks breaks the cycles so tearing a simulation down
-  // with events still scheduled cannot leak.
-  while (!heap_.empty()) {
-    heap_.top().state->fn = nullptr;
-    heap_.pop();
+void EventQueue::SiftUp(size_t index) const {
+  const Item item = heap_[index];
+  while (index > 0) {
+    const size_t parent = (index - 1) / 4;
+    if (!Earlier(item, heap_[parent])) break;
+    heap_[index] = heap_[parent];
+    index = parent;
   }
+  heap_[index] = item;
 }
 
-EventHandle EventQueue::Push(SimTime t, std::function<void()> fn) {
+void EventQueue::SiftDown(size_t index) const {
+  const size_t size = heap_.size();
+  const Item item = heap_[index];
+  for (;;) {
+    const size_t first_child = index * 4 + 1;
+    if (first_child >= size) break;
+    const size_t last_child =
+        first_child + 4 <= size ? first_child + 4 : size;
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (Earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!Earlier(heap_[best], item)) break;
+    heap_[index] = heap_[best];
+    index = best;
+  }
+  heap_[index] = item;
+}
+
+void EventQueue::PopRoot() const {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+uint32_t EventQueue::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    const uint32_t index = free_head_;
+    free_head_ = SlotAt(index).next_free;
+    return index;
+  }
+  if ((next_unused_slot_ >> kSlabBits) >= slabs_.size()) {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSlots));
+  }
+  return next_unused_slot_++;
+}
+
+void EventQueue::FreeSlot(uint32_t index) {
+  Slot& slot = SlotAt(index);
+  slot.fn.reset();
+  slot.seq = kFreeSeq;
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+EventHandle EventQueue::Push(SimTime t, EventFn fn) {
   assert(t >= 0);
-  auto state = std::make_shared<EventHandle::State>();
-  state->fn = std::move(fn);
-  heap_.push(Item{t, next_seq_++, state});
+  const uint32_t index = AllocSlot();
+  const uint64_t seq = next_seq_++;
+  Slot& slot = SlotAt(index);
+  slot.fn = std::move(fn);
+  slot.seq = seq;
+  heap_.push_back(Item::Make(t, seq, index));
+  SiftUp(heap_.size() - 1);
   ++live_;
-  return EventHandle(state);
-}
-
-void EventQueue::SkimCancelled() {
-  while (!heap_.empty() && heap_.top().state->cancelled) {
-    heap_.pop();
-    --live_;
-  }
+  return EventHandle(this, index, seq);
 }
 
 bool EventQueue::empty() const {
-  SkimCancelledConst();
+  SkimCancelled();
   return heap_.empty();
 }
 
 SimTime EventQueue::NextTime() const {
-  SkimCancelledConst();
-  assert(!heap_.empty());
-  return heap_.top().time;
-}
-
-std::function<void()> EventQueue::Pop(SimTime* t) {
   SkimCancelled();
   assert(!heap_.empty());
-  Item item = heap_.top();
-  heap_.pop();
+  return heap_[0].Time();
+}
+
+EventFn EventQueue::Pop(SimTime* t) {
+  SkimCancelled();
+  assert(!heap_.empty());
+  const Item item = heap_[0];
+  PopRoot();
+  EventFn fn = std::move(SlotAt(item.slot).fn);
+  FreeSlot(item.slot);  // invalidates the seq: handles go stale (fired)
   --live_;
-  item.state->fired = true;
-  *t = item.time;
-  return std::move(item.state->fn);
+  *t = item.Time();
+  return fn;
 }
 
 }  // namespace flower

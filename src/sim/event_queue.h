@@ -1,21 +1,49 @@
-// Priority queue of timed events with O(log n) push/pop and O(1) lazy
+// Priority queue of timed events with O(log n) push/pop and O(1)
 // cancellation. Ties on time break by insertion sequence, which makes the
 // whole simulation deterministic.
+//
+// Engine layout (the simulator's hottest data structure):
+//  - Events live in slab-allocated slot pools with a free list: a Push
+//    costs no heap allocation once the pool is warm, and the callback is
+//    SBO-stored in its slot (event_fn.h). Slabs never move, so a
+//    callback can be invoked in place while new events are pushed.
+//  - The heap is a hand-rolled 4-ary implicit heap over 32-byte POD
+//    items {128-bit (time, seq) key, slot} — shallower than a binary
+//    heap, one branchless compare per ordering decision, and
+//    cache-friendlier than shared_ptr-carrying nodes.
+//  - An EventHandle is a POD {slot, seq} ticket. A slot remembers the
+//    seq of its current occupant; a handle (or heap item) whose seq no
+//    longer matches is stale — fired, cancelled, or the slot was reused.
+//    seq is unique per push for the queue's lifetime, so there is no
+//    ABA window.
+//  - Cancellation destroys the callback and frees the slot immediately;
+//    the heap skims the stale item lazily. Because handles hold no
+//    owning pointers, the old shared_ptr-cycle teardown hazard (closures
+//    owning handles back into the queue) cannot exist by construction.
+//  - The dispatch fast path is RunNextIfBefore: one skim, pop, invoke
+//    the callback in its slot (no move, no temporary), then recycle the
+//    slot. Pop (move the callback out) remains for callers that need
+//    the callable itself.
+//
+// Handles must not outlive their queue: everything in this codebase that
+// stores one lives inside the owning Simulator's scope.
 #ifndef FLOWERCDN_SIM_EVENT_QUEUE_H_
 #define FLOWERCDN_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/event_fn.h"
 
 namespace flower {
 
+class EventQueue;
+
 /// Handle to a scheduled event; allows cancellation. Default-constructed
-/// handles are inert.
+/// handles are inert. Copyable POD — all copies go stale together once
+/// the event fires or is cancelled.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -28,62 +56,145 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  struct State {
-    std::function<void()> fn;
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> state)
-      : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(EventQueue* queue, uint32_t slot, uint64_t seq)
+      : queue_(queue), slot_(slot), seq_(seq) {}
+
+  EventQueue* queue_ = nullptr;
+  uint32_t slot_ = 0;
+  uint64_t seq_ = 0;
 };
 
 class EventQueue {
  public:
   EventQueue() = default;
-  ~EventQueue();
+  ~EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedules fn at absolute time t. Requires t >= 0.
-  EventHandle Push(SimTime t, std::function<void()> fn);
+  EventHandle Push(SimTime t, EventFn fn);
 
   bool empty() const;
 
   /// Time of the earliest live event. Requires !empty().
   SimTime NextTime() const;
 
-  /// Pops and runs nothing: returns the earliest live event's callback and
-  /// removes it. Requires !empty(). Also reports the event time via *t.
-  std::function<void()> Pop(SimTime* t);
+  /// Pops the earliest live event: removes it and returns its callback
+  /// (without running it). Requires !empty(). Reports the event time via
+  /// *t.
+  EventFn Pop(SimTime* t);
 
-  /// Number of live (non-cancelled) events.
+  /// Dispatch fast path: if a live event with time <= bound exists, pops
+  /// it, calls `before(time)` (the simulator advances its clock here),
+  /// invokes the callback in place, recycles the slot and returns true.
+  /// Returns false otherwise. The callback may Push new events and
+  /// Cancel others; cancelling its own (already firing) event is a
+  /// no-op, exactly as with Pop.
+  template <typename BeforeFn>
+  bool RunNextIfBefore(SimTime bound, BeforeFn&& before) {
+    SkimCancelled();
+    if (heap_.empty() || heap_[0].Time() > bound) return false;
+    const Item item = heap_[0];
+    PopRoot();
+    Slot& slot = SlotAt(item.slot);
+    // Stale the seq first: handles read "fired" from here on, so a
+    // Cancel from inside the callback cannot double-free the slot.
+    slot.seq = kFreeSeq;
+    --live_;
+    before(item.Time());
+    // Invoke+destroy in place, one type-erased call; slabs are stable,
+    // so pushes during the call are safe.
+    slot.fn.InvokeAndReset();
+    // Only now may the slot be reused.
+    slot.next_free = free_head_;
+    free_head_ = item.slot;
+    return true;
+  }
+
+  /// Number of live (neither fired nor cancelled) events.
   size_t live_size() const { return live_; }
 
+  /// Events cancelled over the queue's lifetime (engine counter).
+  uint64_t events_cancelled() const { return cancelled_; }
+
+  /// Slots currently pooled (diagnostics: peak concurrent events,
+  /// rounded up to whole slabs).
+  size_t pool_slots() const { return slabs_.size() * kSlabSlots; }
+
  private:
+  friend class EventHandle;
+
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+  /// Occupancy sentinel: seq values start at 0 and only count up, so no
+  /// live event ever carries this.
+  static constexpr uint64_t kFreeSeq = ~uint64_t{0};
+  static constexpr uint32_t kSlabBits = 8;
+  static constexpr uint32_t kSlabSlots = 1u << kSlabBits;  // 256 per slab
+
+  /// One pooled event. `seq` identifies the current occupant (kFreeSeq
+  /// when the slot is free).
+  struct Slot {
+    EventFn fn;
+    uint64_t seq = kFreeSeq;
+    uint32_t next_free = kNoSlot;
+  };
+
+  /// POD heap entry; the callback stays in the slot. The sort key packs
+  /// (time, seq) into one 128-bit integer — time in the high 64 bits
+  /// (Push asserts t >= 0, so the unsigned compare is order-preserving),
+  /// seq below breaking ties FIFO — so heap ordering is a single
+  /// branchless compare, and total (seq is unique).
   struct Item {
-    SimTime time;
-    uint64_t seq;
-    std::shared_ptr<EventHandle::State> state;
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+    unsigned __int128 key;
+    uint32_t slot;
+
+    static Item Make(SimTime time, uint64_t seq, uint32_t slot) {
+      return Item{(static_cast<unsigned __int128>(static_cast<uint64_t>(time))
+                   << 64) |
+                      seq,
+                  slot};
     }
+    SimTime Time() const {
+      return static_cast<SimTime>(static_cast<uint64_t>(key >> 64));
+    }
+    uint64_t Seq() const { return static_cast<uint64_t>(key); }
   };
+  static bool Earlier(const Item& a, const Item& b) { return a.key < b.key; }
 
-  /// Drops cancelled items from the front of the heap.
-  void SkimCancelled();
+  Slot& SlotAt(uint32_t index) {
+    return slabs_[index >> kSlabBits][index & (kSlabSlots - 1)];
+  }
+  const Slot& SlotAt(uint32_t index) const {
+    return slabs_[index >> kSlabBits][index & (kSlabSlots - 1)];
+  }
 
-  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  bool ItemLive(const Item& item) const {
+    return SlotAt(item.slot).seq == item.Seq();
+  }
+
+  // 4-ary implicit heap over heap_: children of i at 4i+1..4i+4.
+  void SiftUp(size_t index) const;
+  void SiftDown(size_t index) const;
+  void PopRoot() const;
+
+  /// Drops stale (cancelled) items from the root. Logically const: live
+  /// events and their order are unchanged.
+  void SkimCancelled() const {
+    while (!heap_.empty() && !ItemLive(heap_[0])) PopRoot();
+  }
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t index);
+
+  // Skimming mutates only the physical heap (dropping entries that are
+  // already dead), so const observers may do it without a const_cast.
+  mutable std::vector<Item> heap_;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  uint32_t next_unused_slot_ = 0;
+  uint32_t free_head_ = kNoSlot;
   uint64_t next_seq_ = 0;
   size_t live_ = 0;
-
-  // Mutable accessors used by const observers after skimming.
-  void SkimCancelledConst() const {
-    const_cast<EventQueue*>(this)->SkimCancelled();
-  }
+  uint64_t cancelled_ = 0;
 };
 
 }  // namespace flower

@@ -6,12 +6,12 @@ namespace flower {
 
 Simulator::Simulator(uint64_t seed) : rng_(seed) {}
 
-EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+EventHandle Simulator::Schedule(SimTime delay, EventFn fn) {
   assert(delay >= 0);
   return queue_.Push(now_ + delay, std::move(fn));
 }
 
-EventHandle Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+EventHandle Simulator::ScheduleAt(SimTime t, EventFn fn) {
   assert(t >= now_);
   return queue_.Push(t, std::move(fn));
 }
@@ -50,28 +50,25 @@ Simulator::PeriodicHandle Simulator::SchedulePeriodic(
   return handle;
 }
 
-void Simulator::Run() {
+void Simulator::RunLoop(SimTime bound) {
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    SimTime t;
-    auto fn = queue_.Pop(&t);
-    assert(t >= now_);
-    now_ = t;
+  // The clock advances in the `before` hook, so callbacks observe their
+  // own event time via Now(); the callback then runs in its pool slot
+  // (no per-event move of the callable).
+  const auto advance_clock = [this](SimTime event_time) {
+    assert(event_time >= now_);
+    now_ = event_time;
     ++events_processed_;
-    fn();
+  };
+  while (!stop_requested_ && queue_.RunNextIfBefore(bound, advance_clock)) {
   }
 }
 
+void Simulator::Run() { RunLoop(kMaxSimTime); }
+
 void Simulator::RunUntil(SimTime t) {
   assert(t >= now_);
-  stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_ && queue_.NextTime() <= t) {
-    SimTime et;
-    auto fn = queue_.Pop(&et);
-    now_ = et;
-    ++events_processed_;
-    fn();
-  }
+  RunLoop(t);
   if (!stop_requested_ && now_ < t) now_ = t;
 }
 

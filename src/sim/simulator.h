@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -24,11 +25,13 @@ class Simulator {
   /// Current virtual time.
   SimTime Now() const { return now_; }
 
-  /// Schedules fn to run after the given delay (>= 0).
-  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+  /// Schedules fn to run after the given delay (>= 0). Accepts any
+  /// callable (EventFn stores it inline when it fits, see event_fn.h);
+  /// move-only closures are fine.
+  EventHandle Schedule(SimTime delay, EventFn fn);
 
   /// Schedules fn at an absolute time (>= Now()).
-  EventHandle ScheduleAt(SimTime t, std::function<void()> fn);
+  EventHandle ScheduleAt(SimTime t, EventFn fn);
 
   /// Schedules fn every `period`, first firing after `initial_delay`.
   /// The returned handle cancels the *next* occurrence and all others.
@@ -65,10 +68,13 @@ class Simulator {
   Rng* rng() { return &rng_; }
 
   uint64_t events_processed() const { return events_processed_; }
+  uint64_t events_cancelled() const { return queue_.events_cancelled(); }
 
  private:
   void ScheduleNextPeriodic(std::shared_ptr<PeriodicHandle::State> state,
                             SimTime period, std::function<void()> fn);
+  /// Dispatches events with time <= bound until drained or stopped.
+  void RunLoop(SimTime bound);
 
   SimTime now_ = 0;
   EventQueue queue_;

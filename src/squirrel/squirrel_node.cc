@@ -10,7 +10,8 @@ SquirrelNode::SquirrelNode(SquirrelContext* ctx, Key id, uint64_t rng_seed)
     : ChordNode(ctx->sim, ctx->network, ctx->ring, id),
       ctx_(ctx),
       rng_(rng_seed),
-      cache_(ContentStore::FromConfig(*ctx->config)) {
+      cache_(ContentStore::FromConfig(*ctx->config)),
+      cost_model_(*ctx->config) {
   set_app(this);
 }
 
@@ -177,8 +178,7 @@ void SquirrelNode::HandleServe(std::unique_ptr<ServeMsg> serve) {
   }
   // Same cost model as Flower peers, so cross-system cache ablations
   // under cache_cost=distance stay fair.
-  CacheObject(serve->website, object,
-              GdsfInsertCost(*ctx_->config, distance));
+  CacheObject(serve->website, object, cost_model_.OnFetch(object, distance));
 
   // Home-store: the object just arrived from the server; serve the queue.
   auto wit = awaiting_fetch_.find(object);

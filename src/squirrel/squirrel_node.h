@@ -74,8 +74,8 @@ class SquirrelNode : public ChordNode, public KbrApp {
   /// server, or (home-store) serve/fetch the object itself.
   void ProcessAsHome(std::unique_ptr<FlowerQueryMsg> query);
   /// Caches an object under the store's policy/budget, counting evictions.
-  /// `cost` is the GDSF retrieval-cost term (GdsfInsertCost; 1 under the
-  /// default uniform model).
+  /// `cost` is the GDSF retrieval-cost term (RefetchCostModel::OnFetch;
+  /// 1 under the default uniform model).
   void CacheObject(WebsiteId website, ObjectId object, double cost = 1.0);
   void RememberDownloader(ObjectId object, PeerAddress peer);
   void ServeClient(const FlowerQueryMsg& query);
@@ -92,6 +92,10 @@ class SquirrelNode : public ChordNode, public KbrApp {
   /// pressure as Flower-CDN's peers, so policy/capacity ablations compare
   /// both systems fairly.
   ContentStore cache_;
+  /// EWMA of observed refetch costs per object (cache_cost=distance),
+  /// the same smoothing Flower peers apply, so cross-system ablations
+  /// stay fair.
+  RefetchCostModel cost_model_;
   /// Objects this node evicted and has not re-cached. A redirected query
   /// that misses one of these is an eviction-induced stale pointer
   /// (counted via OnStaleRedirect); misses on never-held objects are the

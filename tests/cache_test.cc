@@ -53,6 +53,45 @@ TEST(CachePolicyTest, GdsfInsertCostFollowsConfig) {
   EXPECT_DOUBLE_EQ(GdsfInsertCost(c, 0), 1.0) << "floored at 1";
 }
 
+TEST(RefetchCostModelTest, EwmaSmoothingPinned) {
+  SimConfig c;
+  ASSERT_TRUE(c.Apply("cache_cost", "distance").ok());
+  ASSERT_TRUE(c.Apply("cache_cost_ewma_alpha", "0.5").ok());
+  RefetchCostModel model(c);
+  EXPECT_DOUBLE_EQ(model.CostOf(7), 1.0) << "never observed";
+  EXPECT_DOUBLE_EQ(model.OnFetch(7, 100), 100.0) << "first sample seeds";
+  EXPECT_DOUBLE_EQ(model.OnFetch(7, 200), 150.0) << "0.5*200 + 0.5*100";
+  EXPECT_DOUBLE_EQ(model.OnFetch(7, 50), 100.0) << "0.5*50 + 0.5*150";
+  EXPECT_DOUBLE_EQ(model.CostOf(7), 100.0) << "CostOf reads, no update";
+  EXPECT_DOUBLE_EQ(model.OnFetch(8, 0), 1.0) << "samples floored at 1";
+  EXPECT_DOUBLE_EQ(model.CostOf(9), 1.0) << "per-object state";
+}
+
+TEST(RefetchCostModelTest, AlphaOneIsLatestSample) {
+  SimConfig c;
+  ASSERT_TRUE(c.Apply("cache_cost", "distance").ok());
+  ASSERT_TRUE(c.Apply("cache_cost_ewma_alpha", "1.0").ok());
+  RefetchCostModel model(c);
+  model.OnFetch(3, 400);
+  EXPECT_DOUBLE_EQ(model.OnFetch(3, 20), 20.0)
+      << "alpha=1 reproduces the pre-EWMA single-sample cost";
+}
+
+TEST(RefetchCostModelTest, UniformStaysStateless) {
+  SimConfig c;  // cache_cost=uniform default
+  RefetchCostModel model(c);
+  EXPECT_DOUBLE_EQ(model.OnFetch(7, 500), 1.0);
+  EXPECT_DOUBLE_EQ(model.CostOf(7), 1.0);
+}
+
+TEST(RefetchCostModelTest, AlphaConfigValidated) {
+  SimConfig c;
+  EXPECT_FALSE(c.Apply("cache_cost_ewma_alpha", "0").ok());
+  EXPECT_FALSE(c.Apply("cache_cost_ewma_alpha", "1.5").ok());
+  EXPECT_TRUE(c.Apply("cache_cost_ewma_alpha", "0.25").ok());
+  EXPECT_DOUBLE_EQ(c.cache_cost_ewma_alpha, 0.25);
+}
+
 TEST(ContentStoreTest, CapacityAccounting) {
   ContentStore store(CachePolicy::kLru, 100);
   EXPECT_TRUE(store.bounded());

@@ -4,8 +4,11 @@
 // victim choice, and the eviction/expiry attribution split.
 #include "cache/directory_store.h"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
+#include "bloom/summary.h"
 #include "common/config.h"
 
 namespace flower {
@@ -214,15 +217,65 @@ TEST(DirectoryStoreTest, GdsfPrefersLargeFootprintVictims) {
 
 TEST(DirectoryStoreTest, NeighborSummariesOwnedByStore) {
   DirectoryStore store;
-  store.PutSummary(7, DirectoryStore::NeighborSummary{42, 1, nullptr});
-  store.PutSummary(9, DirectoryStore::NeighborSummary{42, 2, nullptr});
-  store.PutSummary(11, DirectoryStore::NeighborSummary{43, 1, nullptr});
+  DirectoryStore::Delta d;
+  store.PutSummary(7, DirectoryStore::NeighborSummary{42, 1, nullptr}, &d);
+  store.PutSummary(9, DirectoryStore::NeighborSummary{42, 2, nullptr}, &d);
+  store.PutSummary(11, DirectoryStore::NeighborSummary{43, 1, nullptr}, &d);
+  EXPECT_TRUE(d.evicted.empty()) << "unbounded: accounting only";
   EXPECT_TRUE(store.HasSummaryFrom(7));
   EXPECT_EQ(store.summaries().size(), 3u);
+  EXPECT_EQ(store.summary_bytes(),
+            3 * DirectoryStore::kSummaryBaseBytes);
   store.EraseSummariesFrom(42);
   EXPECT_FALSE(store.HasSummaryFrom(7));
   EXPECT_FALSE(store.HasSummaryFrom(9));
   EXPECT_TRUE(store.HasSummaryFrom(11));
+  EXPECT_EQ(store.summary_bytes(), DirectoryStore::kSummaryBaseBytes);
+}
+
+TEST(DirectoryStoreTest, SummariesByteAccountedAgainstIndexBudget) {
+  // Budget fits exactly two empty entries; a stored neighbor summary
+  // reserves part of it and squeezes entries out.
+  const uint64_t capacity = 2 * DirectoryStore::FootprintBytes(0);
+  DirectoryStore store(CachePolicy::kLru, capacity);
+  DirectoryStore::Delta d;
+  ASSERT_TRUE(store.Admit(1, 0, 0, &d));
+  ASSERT_TRUE(store.Admit(2, 0, 0, &d));
+  store.Probe(2);  // entry 1 is now the LRU victim
+
+  // 32 objects x 8 bits = 256 filter bits = 32 bytes; footprint 64 —
+  // exactly one entry's worth of budget.
+  auto summary = std::make_shared<ContentSummary>(32, 8, 5);
+  DirectoryStore::Delta put;
+  store.PutSummary(7, DirectoryStore::NeighborSummary{42, 1, summary},
+                   &put);
+  const uint64_t expected_bytes =
+      DirectoryStore::kSummaryBaseBytes + (summary->SizeBits() + 7) / 8;
+  EXPECT_EQ(store.summary_bytes(), expected_bytes);
+  ASSERT_EQ(put.evicted, (std::vector<PeerAddress>{1}))
+      << "the summary reservation must evict the LRU index entry";
+  EXPECT_TRUE(store.Contains(2));
+  EXPECT_EQ(store.stats().evictions, 1u);
+  ExpectHolderCountsConsistent(store);
+
+  // A replacement summary re-accounts instead of double-charging.
+  DirectoryStore::Delta replace;
+  store.PutSummary(7, DirectoryStore::NeighborSummary{42, 1, summary},
+                   &replace);
+  EXPECT_EQ(store.summary_bytes(), expected_bytes);
+  EXPECT_TRUE(replace.evicted.empty());
+
+  // Admission now has to fit beside the reservation.
+  DirectoryStore::Delta more;
+  ASSERT_TRUE(store.Admit(3, 0, 0, &more));
+  EXPECT_EQ(more.evicted, (std::vector<PeerAddress>{2}));
+
+  // Dropping the neighbor returns its bytes: both entries fit again.
+  store.EraseSummariesFrom(42);
+  EXPECT_EQ(store.summary_bytes(), 0u);
+  DirectoryStore::Delta after;
+  ASSERT_TRUE(store.Admit(4, 0, 0, &after));
+  EXPECT_TRUE(after.evicted.empty());
 }
 
 TEST(DirectoryStoreTest, FromConfigReadsDirectoryIndexKeys) {

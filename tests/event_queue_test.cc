@@ -1,0 +1,301 @@
+// Engine tests for the pooled event queue (src/sim/event_queue.h):
+// determinism against a reference model under interleaved
+// push/cancel/pop, tie-break ordering across slot reuse, generation/seq
+// staleness of handles, the in-place dispatch path, EventFn inline/heap
+// storage, and ASan-clean teardown with pending self-referential timers.
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace flower {
+namespace {
+
+// --- EventFn ------------------------------------------------------------------
+
+TEST(EventFnTest, SmallCapturesStayInline) {
+  int hits = 0;
+  int* p = &hits;
+  auto small = [p]() { ++*p; };
+  EXPECT_TRUE(EventFn::FitsInline<decltype(small)>());
+  EventFn fn(small);
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFnTest, LargeCapturesFallBackToHeap) {
+  struct Big {
+    char pad[EventFn::kInlineBytes + 1] = {0};
+  };
+  Big big;
+  int hits = 0;
+  int* p = &hits;
+  auto large = [big, p]() {
+    (void)big;
+    ++*p;
+  };
+  EXPECT_FALSE(EventFn::FitsInline<decltype(large)>());
+  EventFn fn(std::move(large));
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFnTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  EventFn a([counter]() { ++*counter; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+  EventFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(EventFnTest, MoveOnlyCapturesWork) {
+  int result = 0;
+  EventFn fn([m = std::make_unique<int>(41), &result]() { result = *m + 1; });
+  fn.InvokeAndReset();
+  EXPECT_EQ(result, 42);
+  EXPECT_FALSE(static_cast<bool>(fn)) << "InvokeAndReset empties the fn";
+}
+
+TEST(EventFnTest, ResetReleasesCaptures) {
+  auto token = std::make_shared<int>(7);
+  EventFn fn([token]() {});
+  EXPECT_EQ(token.use_count(), 2);
+  fn.reset();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// --- Handle staleness (seq/generation checks) ---------------------------------
+
+TEST(EventQueueTest, StaleHandleCannotCancelSlotReuser) {
+  EventQueue q;
+  EventHandle a = q.Push(5, []() {});
+  a.Cancel();  // frees the slot
+  EXPECT_EQ(q.events_cancelled(), 1u);
+  bool ran = false;
+  EventHandle b = q.Push(1, [&ran]() { ran = true; });  // reuses the slot
+  a.Cancel();  // stale seq: must not touch b's event
+  EXPECT_TRUE(b.pending());
+  EXPECT_EQ(q.events_cancelled(), 1u);
+  SimTime t;
+  q.Pop(&t)();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(b.pending()) << "fired events read as not pending";
+  b.Cancel();  // after fire: no-op
+  EXPECT_EQ(q.events_cancelled(), 1u);
+}
+
+TEST(EventQueueTest, HandleCopiesGoStaleTogether) {
+  EventQueue q;
+  EventHandle a = q.Push(5, []() {});
+  EventHandle copy = a;
+  a.Cancel();
+  EXPECT_FALSE(copy.pending());
+  copy.Cancel();  // idempotent through the copy
+  EXPECT_EQ(q.events_cancelled(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelOwnHandleInsideCallbackIsNoop) {
+  Simulator sim(1);
+  int runs = 0;
+  EventHandle h;
+  h = sim.Schedule(10, [&]() {
+    ++runs;
+    h.Cancel();  // the event is already firing: must be a no-op
+  });
+  sim.Run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(sim.events_cancelled(), 0u);
+}
+
+// --- Tie-break ordering across pool reuse -------------------------------------
+
+TEST(EventQueueTest, SameTimeFifoSurvivesSlotChurn) {
+  EventQueue q;
+  // Scramble the free list: slots are freed in a different order than
+  // allocated, so later pushes reuse interior slots.
+  std::vector<EventHandle> churn;
+  for (int i = 0; i < 64; ++i) churn.push_back(q.Push(1, []() {}));
+  for (int i = 0; i < 64; i += 2) churn[static_cast<size_t>(i)].Cancel();
+  SimTime t;
+  while (!q.empty()) q.Pop(&t);
+
+  // FIFO among equal times must follow push order, not slot order.
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    q.Push(7, [&order, i]() { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop(&t)();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+// --- Reference-model stress ---------------------------------------------------
+
+TEST(EventQueueStress, InterleavedPushCancelPopMatchesModel) {
+  struct ModelEvent {
+    SimTime time;
+    uint64_t seq;
+    int id;
+  };
+  Rng rng(20260731);
+  EventQueue q;
+  std::vector<ModelEvent> live;           // the reference model
+  std::map<uint64_t, EventHandle> handles;  // seq -> handle
+  std::vector<int> fired;
+  uint64_t seq = 0;
+  int next_id = 0;
+
+  auto model_min = [&]() {
+    return std::min_element(live.begin(), live.end(),
+                            [](const ModelEvent& a, const ModelEvent& b) {
+                              if (a.time != b.time) return a.time < b.time;
+                              return a.seq < b.seq;
+                            });
+  };
+
+  for (int round = 0; round < 30000; ++round) {
+    const uint64_t op = rng.Index(4);
+    if (op <= 1) {  // push (twice as likely, keeps the queue populated)
+      const SimTime time = static_cast<SimTime>(rng.Index(500));
+      const int id = next_id++;
+      handles[seq] = q.Push(time, [&fired, id]() { fired.push_back(id); });
+      EXPECT_TRUE(handles[seq].pending());
+      live.push_back(ModelEvent{time, seq, id});
+      ++seq;
+    } else if (op == 2) {  // cancel a random live event
+      if (live.empty()) continue;
+      const size_t pick = rng.Index(live.size());
+      handles[live[pick].seq].Cancel();
+      EXPECT_FALSE(handles[live[pick].seq].pending());
+      handles.erase(live[pick].seq);
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else {  // pop: must match the model's (time, seq) minimum
+      if (q.empty()) {
+        EXPECT_TRUE(live.empty());
+        continue;
+      }
+      auto expected = model_min();
+      SimTime t;
+      EXPECT_EQ(q.NextTime(), expected->time);
+      q.Pop(&t)();
+      EXPECT_EQ(t, expected->time);
+      ASSERT_FALSE(fired.empty());
+      EXPECT_EQ(fired.back(), expected->id);
+      handles.erase(expected->seq);
+      live.erase(expected);
+    }
+    ASSERT_EQ(q.live_size(), live.size());
+  }
+
+  // Drain the remainder through the in-place dispatch path.
+  SimTime t = -1;
+  while (!live.empty()) {
+    auto expected = model_min();
+    const int expected_id = expected->id;
+    ASSERT_TRUE(q.RunNextIfBefore(kMaxSimTime, [&](SimTime when) {
+      EXPECT_EQ(when, expected->time);
+      t = when;
+    }));
+    ASSERT_FALSE(fired.empty());
+    EXPECT_EQ(fired.back(), expected_id);
+    live.erase(expected);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.live_size(), 0u);
+  (void)t;
+}
+
+// --- In-place dispatch path ---------------------------------------------------
+
+TEST(EventQueueTest, RunNextIfBeforeRespectsBound) {
+  EventQueue q;
+  std::vector<SimTime> ran;
+  q.Push(10, [&ran]() { ran.push_back(10); });
+  q.Push(20, [&ran]() { ran.push_back(20); });
+  q.Push(30, [&ran]() { ran.push_back(30); });
+  SimTime t;
+  while (q.RunNextIfBefore(20, [&t](SimTime when) { t = when; })) {
+  }
+  EXPECT_EQ(ran, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(q.live_size(), 1u);
+  while (q.RunNextIfBefore(kMaxSimTime, [&t](SimTime when) { t = when; })) {
+  }
+  EXPECT_EQ(ran.size(), 3u);
+}
+
+TEST(EventQueueTest, CallbackMayPushDuringInPlaceDispatch) {
+  // Pushing from inside a callback must be safe even when it grows the
+  // slot pool (slabs are stable) and may reuse freed slots.
+  EventQueue q;
+  int depth = 0;
+  std::vector<int> order;
+  std::function<void(int)> recurse = [&](int d) {
+    order.push_back(d);
+    if (d < 300) {  // deep enough to force several new slabs
+      q.Push(static_cast<SimTime>(d + 1), [&recurse, d]() { recurse(d + 1); });
+      // A sibling that gets cancelled right away churns the free list
+      // while the current callback still executes in its slot.
+      EventHandle sibling = q.Push(static_cast<SimTime>(d + 2), []() {});
+      sibling.Cancel();
+    }
+    ++depth;
+  };
+  q.Push(0, [&recurse]() { recurse(0); });
+  SimTime t;
+  while (q.RunNextIfBefore(kMaxSimTime, [&t](SimTime when) { t = when; })) {
+  }
+  EXPECT_EQ(depth, 301);
+  for (int i = 0; i <= 300; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+// --- Teardown with pending self-referential timers ----------------------------
+
+TEST(EventQueueTeardown, PendingSelfReferentialTimersDoNotLeak) {
+  // Periodic timers capture their own handle state; events capture
+  // handles to other pending events and owned heap payloads. Destroying
+  // the simulator with all of it pending must release every capture
+  // (the ASan job fails on leaks).
+  auto sim = std::make_unique<Simulator>(1);
+  std::vector<Simulator::PeriodicHandle> timers;
+  for (int i = 0; i < 50; ++i) {
+    timers.push_back(sim->SchedulePeriodic(
+        10, 10, [payload = std::make_shared<int>(i)]() { (void)*payload; }));
+  }
+  EventHandle target = sim->Schedule(500, []() {});
+  sim->Schedule(600, [target]() mutable { target.Cancel(); });
+  sim->Schedule(700, [owned = std::make_unique<int>(7)]() { (void)*owned; });
+  sim->RunUntil(45);  // a few periodic rounds fire, everything rearms
+  EXPECT_GT(sim->events_processed(), 0u);
+  sim.reset();  // pending timers + handles torn down here
+  SUCCEED();
+}
+
+TEST(EventQueueTeardown, QueueDiesWithPendingMoveOnlyCaptures) {
+  auto token = std::make_shared<int>(1);
+  {
+    EventQueue q;
+    q.Push(10, [token]() {});
+    q.Push(20, [t2 = token, big = std::make_unique<int>(2)]() { (void)*big; });
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1) << "teardown must release captures";
+}
+
+}  // namespace
+}  // namespace flower
