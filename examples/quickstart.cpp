@@ -66,8 +66,14 @@ int main(int argc, char** argv) {
               100 * flower_run.TransferFractionBelow(100),
               100 * squirrel_run.TransferFractionBelow(100));
   // Engine throughput (RunResult carries it; sinks deliberately omit
-  // the wall-clock numbers to keep output reproducible).
-  std::printf("  engine           : flower %.0f ev/s  squirrel %.0f ev/s\n",
-              flower_run.EventsPerSec(), squirrel_run.EventsPerSec());
+  // the wall-clock numbers to keep output reproducible). The primary
+  // (flower) run gets the full events/wall_ms/ev-s line so engine
+  // regressions are visible straight from this smoke run, same as the
+  // explicit-system path above.
+  std::printf("  engine           : flower %llu events in %.0f ms "
+              "(%.0f ev/s)  squirrel %.0f ev/s\n",
+              static_cast<unsigned long long>(flower_run.events_processed),
+              flower_run.wall_ms, flower_run.EventsPerSec(),
+              squirrel_run.EventsPerSec());
   return 0;
 }

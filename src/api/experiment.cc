@@ -8,6 +8,7 @@
 
 #include "net/network.h"
 #include "net/topology.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 #include "stats/metrics.h"
 
@@ -16,7 +17,11 @@ namespace flower {
 namespace {
 
 /// Schedules workload events one at a time (keeps the event heap small),
-/// skipping originators the system reports as blacked out by churn.
+/// skipping originators the system reports as blacked out by churn. In
+/// sharded mode the generator chain lives on the control lane and each
+/// query is injected onto the originating node's lane at its submit time
+/// (the control phase always runs before the lane phase of a window, so
+/// same-window injection is safe).
 class WorkloadDriver {
  public:
   WorkloadDriver(Simulator* sim, WorkloadSource* source, CdnSystem* system)
@@ -30,7 +35,16 @@ class WorkloadDriver {
     if (!source_->Next(&ev)) return;
     sim_->ScheduleAt(ev.time, [this, ev]() {
       if (!system_->IsBlackedOut(ev.node)) {
-        system_->SubmitQuery(ev.node, ev.website, ev.object);
+        if (sim_->sharded()) {
+          CdnSystem* system = system_;
+          sim_->ScheduleOnLane(sim_->LaneForNode(ev.node), ev.time,
+                               [system, ev]() {
+                                 system->SubmitQuery(ev.node, ev.website,
+                                                     ev.object);
+                               });
+        } else {
+          system_->SubmitQuery(ev.node, ev.website, ev.object);
+        }
       }
       ScheduleNext();
     });
@@ -162,8 +176,17 @@ Result<RunResult> Experiment::TryRun() {
   // metric value, bit-identical across the API migration.
   Simulator sim(config_.seed);
   Topology topology(config_, sim.rng());
+  // shards >= 2 switches the engine into locality-lane mode before any
+  // component is built on top of it. Lane RNG streams are derived from
+  // the seed (not drawn from the master), so the static world above is
+  // the same one a serial run sees.
+  const bool sharded = config_.shards > 1 && topology.num_localities() > 1;
+  if (sharded) {
+    sim.EnableSharding(MakeLocalityShardPlan(topology, config_.shards));
+  }
   Network network(&sim, &topology);
   Metrics metrics(config_);
+  if (sharded) metrics.EnableLanes(topology.num_localities());
 
   SystemContext ctx;
   ctx.config = &config_;
@@ -233,13 +256,31 @@ Result<RunResult> Experiment::TryRun() {
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  sim.RunUntil(config_.duration);
+  if (sharded) {
+    // "threads" needs lane-isolated system state; "auto" asks the
+    // system, an explicit "threads" falls back to the cooperative
+    // executor when the system cannot isolate. Either executor runs the
+    // identical deterministic schedule.
+    const bool want_threads = config_.shard_executor != "serial";
+    const ShardedSimulator::Executor executor =
+        want_threads && system->SupportsParallelShards()
+            ? ShardedSimulator::Executor::kThreads
+            : ShardedSimulator::Executor::kSerial;
+    ShardedSimulator coordinator(&sim, executor);
+    coordinator.RunUntil(config_.duration);
+  } else {
+    sim.RunUntil(config_.duration);
+  }
   const auto wall_end = std::chrono::steady_clock::now();
   for (Simulator::PeriodicHandle& timer : observer_timers) timer.Cancel();
 
   RunResult result;
   result.events_processed = sim.events_processed();
   result.events_cancelled = sim.events_cancelled();
+  if (sharded) {
+    result.sim_lanes = topology.num_localities();
+    result.events_by_lane = sim.LaneEventCounts();
+  }
   result.wall_ms =
       std::chrono::duration<double, std::milli>(wall_end - wall_start)
           .count();

@@ -41,6 +41,15 @@ bool FlowerAdapter::IsBlackedOut(NodeId node) const {
          churn_->IsBlackedOut(node);
 }
 
+bool FlowerAdapter::SupportsParallelShards() const {
+  // Lane isolation holds while nothing mutates cross-locality shared
+  // structures mid-run: churn drives promotions through the (global)
+  // D-ring bookkeeping, and non-oracle Chord maintenance mutates ring
+  // state from protocol events. Both force the cooperative executor;
+  // the schedule (and output) is identical either way.
+  return !config_->churn_enabled && config_->chord_oracle_maintenance;
+}
+
 void FlowerAdapter::FillStats(RunResult* result) const {
   if (churn_ != nullptr) {
     result->churn_failures = churn_->failures();

@@ -112,6 +112,21 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
     workload_trace = value;
     return Status::Ok();
   }
+  if (key == "shards") {
+    if (!ParseInt(value, &i) || i < 1) {
+      return Status::InvalidArgument("shards wants an integer >= 1");
+    }
+    shards = static_cast<int>(i);
+    return Status::Ok();
+  }
+  if (key == "shard_executor") {
+    if (value != "auto" && value != "serial" && value != "threads") {
+      return Status::InvalidArgument(
+          "shard_executor must be auto, serial or threads");
+    }
+    shard_executor = value;
+    return Status::Ok();
+  }
   INT_KEY("num_topology_nodes", num_topology_nodes)
   INT_KEY("num_localities", num_localities)
   TIME_KEY("min_intra_latency", min_intra_latency)
@@ -266,6 +281,11 @@ std::string SimConfig::ToString() const {
   }
   if (system != "flower") os << " system=" << system;
   if (!workload_trace.empty()) os << " workload=trace:" << workload_trace;
+  // The sharded engine is a different deterministic schedule, so the
+  // config line must say so — but neither the shard count nor the
+  // executor changes any output byte, so neither is printed (a shards=2
+  // and a shards=4 trajectory must diff clean).
+  if (shards > 1) os << " sharded=on";
   return os.str();
 }
 

@@ -26,6 +26,24 @@ struct SimConfig {
   /// see workload/trace.h) instead of the synthetic generator.
   std::string workload_trace;
 
+  // --- Sharded intra-run simulation (src/sim/sharded_simulator.h) ----------
+  /// >= 2 partitions one run into per-locality event lanes executed in
+  /// conservative lookahead windows, packed into min(shards, localities)
+  /// executor groups. 1 (default) is the historical serial engine,
+  /// bit-identical to pre-sharding builds. Sharded output is a pure
+  /// function of (config, seed): byte-identical for every shards >= 2,
+  /// every executor, and every repetition — but it is a *different*
+  /// deterministic schedule than shards=1 (window-phased dispatch,
+  /// per-lane RNG streams), so compare sharded runs with sharded runs.
+  int shards = 1;
+  /// Lane executor under shards >= 2: "serial" runs lanes in lane order
+  /// on one thread; "threads" runs shard groups on a worker pool
+  /// (requires a system whose lane state is isolated — Flower without
+  /// churn; silently falls back to serial otherwise); "auto" (default)
+  /// picks threads exactly when the system supports it. All three
+  /// produce byte-identical output.
+  std::string shard_executor = "auto";
+
   // --- Underlying topology (paper Table 1 / BRITE-inspired model) ----------
   int num_topology_nodes = 5000;
   int num_localities = 6;          // k

@@ -16,6 +16,17 @@ void TimeSeries::Add(SimTime t, double value) {
   windows_[idx].count += 1;
 }
 
+void TimeSeries::Merge(const TimeSeries& other) {
+  assert(other.window_ == window_);
+  if (other.windows_.size() > windows_.size()) {
+    windows_.resize(other.windows_.size());
+  }
+  for (size_t i = 0; i < other.windows_.size(); ++i) {
+    windows_[i].sum += other.windows_[i].sum;
+    windows_[i].count += other.windows_[i].count;
+  }
+}
+
 double TimeSeries::WindowMean(size_t i) const {
   if (i >= windows_.size() || windows_[i].count == 0) return 0.0;
   return windows_[i].sum / static_cast<double>(windows_[i].count);
@@ -50,6 +61,13 @@ void RatioSeries::Add(SimTime t, bool success) {
   successes_.Add(t, success ? 1.0 : 0.0);
   ++total_trials_;
   if (success) ++total_successes_;
+}
+
+void RatioSeries::Merge(const RatioSeries& other) {
+  trials_.Merge(other.trials_);
+  successes_.Merge(other.successes_);
+  total_trials_ += other.total_trials_;
+  total_successes_ += other.total_successes_;
 }
 
 double RatioSeries::WindowRatio(size_t i) const {

@@ -19,6 +19,15 @@ class TimeSeries {
 
   void Add(SimTime t, double value);
 
+  /// Adds `other`'s per-window sums and counts into this series (same
+  /// window width required). Used to fold per-shard collectors into one
+  /// result; folding in a fixed lane order keeps the floating-point sums
+  /// deterministic.
+  void Merge(const TimeSeries& other);
+
+  /// Drops all samples (window width kept).
+  void Clear() { windows_.clear(); }
+
   /// Number of windows touched so far (index of last + 1).
   size_t NumWindows() const { return windows_.size(); }
 
@@ -51,6 +60,17 @@ class RatioSeries {
   explicit RatioSeries(SimTime window);
 
   void Add(SimTime t, bool success);
+
+  /// Folds another ratio series into this one (same window width).
+  void Merge(const RatioSeries& other);
+
+  /// Drops all samples (window width kept).
+  void Clear() {
+    trials_.Clear();
+    successes_.Clear();
+    total_trials_ = 0;
+    total_successes_ = 0;
+  }
 
   size_t NumWindows() const { return trials_.NumWindows(); }
   SimTime WindowStart(size_t i) const { return trials_.WindowStart(i); }

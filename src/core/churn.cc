@@ -2,36 +2,72 @@
 
 namespace flower {
 
+namespace {
+/// Seed-stream tag for per-lane churn generators.
+constexpr uint64_t kChurnLaneTag = 0xc4425c4425ull;
+}  // namespace
+
 ChurnManager::ChurnManager(FlowerSystem* system, const SimConfig& config,
                            uint64_t seed)
-    : system_(system), config_(config), rng_(seed) {}
+    : system_(system), config_(config), seed_(seed), rng_(seed) {}
 
 void ChurnManager::Start() {
   if (!config_.churn_enabled) return;
   Simulator* sim = system_->context()->sim;
-  timer_ = sim->SchedulePeriodic(kTick, kTick, [this]() { Tick(); });
+  if (!sim->sharded()) {
+    blackout_until_.resize(1);
+    timers_.push_back(sim->SchedulePeriodic(
+        kTick, kTick, [this]() { Tick(0, &rng_); }));
+    return;
+  }
+  // Shard-local churn: one tick process per locality lane, pinned to the
+  // lane so every death decision and the triggered protocol activity
+  // stay inside the lane's partition.
+  const int lanes = sim->shard_plan().num_lanes;
+  blackout_until_.resize(static_cast<size_t>(lanes));
+  lane_rngs_.reserve(static_cast<size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    lane_rngs_.emplace_back(
+        Mix64(seed_ ^ (kChurnLaneTag + static_cast<uint64_t>(l))));
+  }
+  for (int l = 0; l < lanes; ++l) {
+    Simulator::LaneScope scope(sim, l);
+    timers_.push_back(sim->SchedulePeriodic(kTick, kTick, [this, l]() {
+      Tick(l, &lane_rngs_[static_cast<size_t>(l)]);
+    }));
+  }
 }
 
-void ChurnManager::Stop() { timer_.Cancel(); }
+void ChurnManager::Stop() {
+  for (Simulator::PeriodicHandle& timer : timers_) timer.Cancel();
+}
 
 bool ChurnManager::IsBlackedOut(NodeId node) const {
-  auto it = blackout_until_.find(node);
-  if (it == blackout_until_.end()) return false;
+  if (blackout_until_.empty()) return false;
+  const auto& blackout =
+      blackout_until_[static_cast<size_t>(system_->LaneOf(node))];
+  auto it = blackout.find(node);
+  if (it == blackout.end()) return false;
   return system_->context()->sim->Now() < it->second;
 }
 
-void ChurnManager::Tick() {
+void ChurnManager::Tick(int lane, Rng* rng) {
   Simulator* sim = system_->context()->sim;
+  const bool sharded = sim->sharded();
   const double p_death = static_cast<double>(kTick) /
                          static_cast<double>(config_.churn_mean_session);
-  SimTime blackout_end = sim->Now() + static_cast<SimTime>(rng_.Exponential(
+  SimTime blackout_end = sim->Now() + static_cast<SimTime>(rng->Exponential(
                              static_cast<double>(config_.churn_mean_downtime)));
+  auto& blackout = blackout_until_[static_cast<size_t>(lane)];
 
-  for (ContentPeer* peer : system_->LiveContentPeers()) {
+  const std::vector<ContentPeer*> peers =
+      sharded ? system_->LiveContentPeersIn(lane)
+              : system_->LiveContentPeers();
+  for (ContentPeer* peer : peers) {
     if (!peer->joined()) continue;  // only established members churn
-    if (!rng_.Bernoulli(p_death)) continue;
-    blackout_until_[peer->node()] = blackout_end;
-    if (rng_.Bernoulli(config_.churn_fail_probability)) {
+    if (!rng->Bernoulli(p_death)) continue;
+    blackout[peer->node()] = blackout_end;
+    if (rng->Bernoulli(config_.churn_fail_probability)) {
       peer->Fail();
       ++failures_;
     } else {
@@ -39,11 +75,14 @@ void ChurnManager::Tick() {
       ++leaves_;
     }
   }
-  for (DirectoryPeer* dir : system_->LiveDirectories()) {
-    if (!rng_.Bernoulli(p_death)) continue;
-    blackout_until_[dir->node()] = blackout_end;
+  const std::vector<DirectoryPeer*> dirs =
+      sharded ? system_->LiveDirectoriesIn(lane)
+              : system_->LiveDirectories();
+  for (DirectoryPeer* dir : dirs) {
+    if (!rng->Bernoulli(p_death)) continue;
+    blackout[dir->node()] = blackout_end;
     ++directory_deaths_;
-    if (rng_.Bernoulli(config_.churn_fail_probability)) {
+    if (rng->Bernoulli(config_.churn_fail_probability)) {
       dir->FailAbruptly();
       ++failures_;
     } else {

@@ -7,10 +7,18 @@
 // peers say goodbye to their directory; directory peers hand their
 // directory over, Sec 5.2). Dead nodes rejoin as fresh clients the next
 // time the workload picks them, after a configurable blackout.
+//
+// On a sharded simulator the driver is shard-local: each locality lane
+// runs its own tick timer with its own RNG stream over its own peer
+// partition, so session deaths, blackouts and the resulting
+// handoffs/promotions are decided entirely inside the lane (the promotion
+// itself runs on the dying peer's lane; only its ring bookkeeping is
+// global, which is why churn keeps the cooperative executor).
 #ifndef FLOWERCDN_CORE_CHURN_H_
 #define FLOWERCDN_CORE_CHURN_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "common/config.h"
 #include "common/rng.h"
@@ -35,13 +43,19 @@ class ChurnManager {
   uint64_t directory_deaths() const { return directory_deaths_; }
 
  private:
-  void Tick();
+  /// One churn round over lane partition `lane` with generator `rng`
+  /// (the whole population on a serial simulator).
+  void Tick(int lane, Rng* rng);
 
   FlowerSystem* system_;
   SimConfig config_;
+  uint64_t seed_;
   Rng rng_;
-  Simulator::PeriodicHandle timer_;
-  std::unordered_map<NodeId, SimTime> blackout_until_;
+  std::vector<Rng> lane_rngs_;  // sharded mode: one stream per lane
+  std::vector<Simulator::PeriodicHandle> timers_;
+  // Blackout bookkeeping partitioned like the peers: lane ticks write
+  // only their own partition.
+  std::vector<std::unordered_map<NodeId, SimTime>> blackout_until_;
   uint64_t failures_ = 0;
   uint64_t leaves_ = 0;
   uint64_t directory_deaths_ = 0;

@@ -16,6 +16,9 @@ ChordConfig MakeChordConfig(const SimConfig& config) {
   cc.oracle = config.chord_oracle_maintenance;
   return cc;
 }
+
+/// Seed-stream tag for per-lane client generators (see rng_seed_).
+constexpr uint64_t kClientRngTag = 0xc11e47a55eedull;
 }  // namespace
 
 FlowerSystem::FlowerSystem(const SimConfig& config, Simulator* sim,
@@ -31,7 +34,8 @@ FlowerSystem::FlowerSystem(const SimConfig& config, Simulator* sim,
       dring_(MakeChordConfig(config)),
       catalog_(std::make_unique<WebsiteCatalog>(config, scheme_)),
       deployment_(Deployment::Plan(config, *topology, sim->rng())),
-      rng_(sim->rng()->Next()) {
+      rng_seed_(sim->rng()->Next()),
+      rng_(rng_seed_) {
   ctx_.sim = sim_;
   ctx_.network = network_;
   ctx_.dring = &dring_;
@@ -40,9 +44,34 @@ FlowerSystem::FlowerSystem(const SimConfig& config, Simulator* sim,
   ctx_.catalog = catalog_.get();
   ctx_.metrics = metrics_;
   ctx_.system = this;
+
+  // One peer partition per simulation lane; a serial simulator gets a
+  // single partition, keeping its container behavior (and hence churn's
+  // iteration order) exactly the historical one.
+  const size_t lanes =
+      sim_->sharded()
+          ? static_cast<size_t>(sim_->shard_plan().num_lanes)
+          : 1;
+  content_peers_.resize(lanes);
+  directories_.resize(lanes);
+  graveyards_.resize(lanes);
+  clients_created_.assign(lanes, 0);
+  promotions_.assign(lanes, 0);
+  if (sim_->sharded()) {
+    client_rngs_.reserve(lanes);
+    for (size_t l = 0; l < lanes; ++l) {
+      client_rngs_.emplace_back(
+          Mix64(rng_seed_ ^ (kClientRngTag + static_cast<uint64_t>(l))));
+    }
+  }
 }
 
 FlowerSystem::~FlowerSystem() = default;
+
+int FlowerSystem::LaneOf(NodeId node) const {
+  if (!sim_->sharded() || node == kInvalidNode) return 0;
+  return sim_->LaneForNode(node);
+}
 
 void FlowerSystem::Setup() {
   // Origin servers.
@@ -80,46 +109,59 @@ void FlowerSystem::Setup() {
 DirectoryPeer* FlowerSystem::CreateDirectory(const Website* site,
                                              LocalityId locality,
                                              uint32_t instance, NodeId node) {
+  const int lane = LaneOf(node);
+  // The directory's timers must live on its node's lane; during Setup
+  // this scope does the pinning (a no-op on serial simulators; promotion
+  // paths already run on the node's lane).
+  Simulator::LaneScope scope(sim_, lane);
   auto dir = std::make_unique<DirectoryPeer>(&ctx_, site, locality, instance,
                                              rng_.Next());
   if (!dir->Start(node)) return nullptr;
   DirectoryPeer* raw = dir.get();
-  directories_[node] = std::move(dir);
+  directories_[static_cast<size_t>(lane)][node] = std::move(dir);
   return raw;
 }
 
 void FlowerSystem::SubmitQuery(NodeId node, WebsiteId website,
                                ObjectId object) {
+  const size_t lane = static_cast<size_t>(LaneOf(node));
   // Directory peers are participants too.
-  auto dit = directories_.find(node);
-  if (dit != directories_.end()) {
+  auto& dir_map = directories_[lane];
+  auto dit = dir_map.find(node);
+  if (dit != dir_map.end()) {
     if (dit->second->alive()) {
       dit->second->RequestObject(object);
       return;
     }
-    graveyard_.push_back(std::move(dit->second));
-    directories_.erase(dit);
-    sim_->Schedule(0, [this]() { graveyard_.clear(); });
+    graveyards_[lane].push_back(std::move(dit->second));
+    dir_map.erase(dit);
+    sim_->Schedule(0, [this, lane]() { graveyards_[lane].clear(); });
   }
-  auto it = content_peers_.find(node);
-  if (it != content_peers_.end()) {
+  auto& peer_map = content_peers_[lane];
+  auto it = peer_map.find(node);
+  if (it != peer_map.end()) {
     if (it->second->alive()) {
       it->second->RequestObject(object);
       return;
     }
     // The peer churned out earlier; the node comes back as a new client.
-    graveyard_.push_back(std::move(it->second));
-    content_peers_.erase(it);
-    sim_->Schedule(0, [this]() { graveyard_.clear(); });
+    graveyards_[lane].push_back(std::move(it->second));
+    peer_map.erase(it);
+    sim_->Schedule(0, [this, lane]() { graveyards_[lane].clear(); });
   }
   const Website* site = &catalog_->site(website);
   LocalityId locality = deployment_.detected_locality[node];
+  // Sharded runs seed clients from the node's lane stream so creation is
+  // lane-local (and thread-safe under the parallel executor); serial
+  // runs keep the historical draw from the system generator.
+  uint64_t client_seed =
+      client_rngs_.empty() ? rng_.Next() : client_rngs_[lane].Next();
   auto peer = std::make_unique<ContentPeer>(&ctx_, site, locality,
-                                            rng_.Next());
+                                            client_seed);
   peer->Activate(node);
   ContentPeer* raw = peer.get();
-  content_peers_[node] = std::move(peer);
-  ++clients_created_;
+  peer_map[node] = std::move(peer);
+  ++clients_created_[lane];
   raw->RequestObject(object);
 }
 
@@ -148,8 +190,9 @@ DirectoryPeer* FlowerSystem::FindDirectory(WebsiteId website,
 }
 
 ContentPeer* FlowerSystem::FindContentPeer(NodeId node) const {
-  auto it = content_peers_.find(node);
-  return it == content_peers_.end() ? nullptr : it->second.get();
+  const auto& peer_map = content_peers_[static_cast<size_t>(LaneOf(node))];
+  auto it = peer_map.find(node);
+  return it == peer_map.end() ? nullptr : it->second.get();
 }
 
 OriginServer* FlowerSystem::FindServer(WebsiteId website) const {
@@ -159,30 +202,65 @@ OriginServer* FlowerSystem::FindServer(WebsiteId website) const {
 
 std::vector<PeerAddress> FlowerSystem::ParticipantAddresses() const {
   std::vector<PeerAddress> out;
-  out.reserve(content_peers_.size() + directories_.size());
-  for (const auto& [node, peer] : content_peers_) {
-    if (peer->alive() && peer->joined()) out.push_back(peer->address());
+  for (const auto& peer_map : content_peers_) {
+    for (const auto& [node, peer] : peer_map) {
+      if (peer->alive() && peer->joined()) out.push_back(peer->address());
+    }
   }
-  for (const auto& [node, dir] : directories_) {
-    if (dir->alive()) out.push_back(dir->address());
+  for (const auto& dir_map : directories_) {
+    for (const auto& [node, dir] : dir_map) {
+      if (dir->alive()) out.push_back(dir->address());
+    }
   }
   return out;
 }
 
 std::vector<ContentPeer*> FlowerSystem::LiveContentPeers() const {
   std::vector<ContentPeer*> out;
-  for (const auto& [node, peer] : content_peers_) {
-    if (peer->alive()) out.push_back(peer.get());
+  for (const auto& peer_map : content_peers_) {
+    for (const auto& [node, peer] : peer_map) {
+      if (peer->alive()) out.push_back(peer.get());
+    }
   }
   return out;
 }
 
 std::vector<DirectoryPeer*> FlowerSystem::LiveDirectories() const {
   std::vector<DirectoryPeer*> out;
-  for (const auto& [node, dir] : directories_) {
+  for (const auto& dir_map : directories_) {
+    for (const auto& [node, dir] : dir_map) {
+      if (dir->alive()) out.push_back(dir.get());
+    }
+  }
+  return out;
+}
+
+std::vector<ContentPeer*> FlowerSystem::LiveContentPeersIn(int lane) const {
+  std::vector<ContentPeer*> out;
+  for (const auto& [node, peer] : content_peers_[static_cast<size_t>(lane)]) {
+    if (peer->alive()) out.push_back(peer.get());
+  }
+  return out;
+}
+
+std::vector<DirectoryPeer*> FlowerSystem::LiveDirectoriesIn(int lane) const {
+  std::vector<DirectoryPeer*> out;
+  for (const auto& [node, dir] : directories_[static_cast<size_t>(lane)]) {
     if (dir->alive()) out.push_back(dir.get());
   }
   return out;
+}
+
+uint64_t FlowerSystem::clients_created() const {
+  uint64_t total = 0;
+  for (uint64_t c : clients_created_) total += c;
+  return total;
+}
+
+uint64_t FlowerSystem::promotions() const {
+  uint64_t total = 0;
+  for (uint64_t p : promotions_) total += p;
+  return total;
 }
 
 PeerAddress FlowerSystem::PromoteReplacement(ContentPeer* candidate,
@@ -200,6 +278,7 @@ PeerAddress FlowerSystem::PromoteReplacement(ContentPeer* candidate,
   LocalityId locality = scheme_.LocalityOf(dir_key);
   uint32_t instance = scheme_.InstanceOf(dir_key);
   NodeId node = candidate->node();
+  const size_t lane = static_cast<size_t>(LaneOf(node));
 
   ContentPeer::PromotionState state = candidate->PrepareForPromotion();
   auto dir = std::make_unique<DirectoryPeer>(&ctx_, site, locality, instance,
@@ -209,15 +288,16 @@ PeerAddress FlowerSystem::PromoteReplacement(ContentPeer* candidate,
   (void)ok;
   dir->SeedFromPromotion(std::move(state.content), std::move(state.view),
                          state.joined_at);
-  ++promotions_;
+  ++promotions_[lane];
 
-  auto it = content_peers_.find(node);
-  assert(it != content_peers_.end());
-  graveyard_.push_back(std::move(it->second));
-  content_peers_.erase(it);
+  auto& peer_map = content_peers_[lane];
+  auto it = peer_map.find(node);
+  assert(it != peer_map.end());
+  graveyards_[lane].push_back(std::move(it->second));
+  peer_map.erase(it);
   PeerAddress new_addr = dir->address();
-  directories_[node] = std::move(dir);
-  sim_->Schedule(0, [this]() { graveyard_.clear(); });
+  directories_[lane][node] = std::move(dir);
+  sim_->Schedule(0, [this, lane]() { graveyards_[lane].clear(); });
   return new_addr;
 }
 
@@ -230,14 +310,10 @@ bool FlowerSystem::PromoteWithHandoff(
   if (result != candidate->address()) return false;
   // PromoteReplacement moved the candidate to the graveyard; the new
   // directory lives at the same node.
-  auto it = directories_.find(candidate->node());
-  if (it != directories_.end()) it->second->InstallHandoff(*handoff);
+  const size_t lane = static_cast<size_t>(LaneOf(candidate->node()));
+  auto it = directories_[lane].find(candidate->node());
+  if (it != directories_[lane].end()) it->second->InstallHandoff(*handoff);
   return true;
-}
-
-void FlowerSystem::ScheduleDeletion(std::unique_ptr<Peer> peer) {
-  graveyard_.push_back(std::move(peer));
-  sim_->Schedule(0, [this]() { graveyard_.clear(); });
 }
 
 }  // namespace flower

@@ -98,8 +98,18 @@ class FlowerSystem {
   std::vector<ContentPeer*> LiveContentPeers() const;
   std::vector<DirectoryPeer*> LiveDirectories() const;
 
-  uint64_t clients_created() const { return clients_created_; }
-  uint64_t promotions() const { return promotions_; }
+  /// Simulation lane (== ground-truth locality) of a node under a
+  /// sharded simulator; 0 on a serial one. Peer bookkeeping is
+  /// partitioned by this index so lane events only touch their own
+  /// partition.
+  int LaneOf(NodeId node) const;
+  /// Live peers of one lane partition (sharded churn drives each lane's
+  /// sessions independently).
+  std::vector<ContentPeer*> LiveContentPeersIn(int lane) const;
+  std::vector<DirectoryPeer*> LiveDirectoriesIn(int lane) const;
+
+  uint64_t clients_created() const;
+  uint64_t promotions() const;
 
  private:
   friend class ContentPeer;
@@ -107,7 +117,6 @@ class FlowerSystem {
 
   DirectoryPeer* CreateDirectory(const Website* site, LocalityId locality,
                                  uint32_t instance, NodeId node);
-  void ScheduleDeletion(std::unique_ptr<Peer> peer);
 
   SimConfig config_;
   Simulator* sim_;
@@ -120,16 +129,31 @@ class FlowerSystem {
   std::unique_ptr<WebsiteCatalog> catalog_;
   Deployment deployment_;
   FlowerContext ctx_;
+  uint64_t rng_seed_;
   Rng rng_;
 
   std::vector<std::unique_ptr<OriginServer>> servers_;
-  // All client/content/directory peers keyed by topology node.
-  std::unordered_map<NodeId, std::unique_ptr<ContentPeer>> content_peers_;
-  std::unordered_map<NodeId, std::unique_ptr<DirectoryPeer>> directories_;
-  std::vector<std::unique_ptr<Peer>> graveyard_;  // deferred deletions
+  // All client/content/directory peers keyed by topology node, stored in
+  // one partition per simulation lane (a single partition on a serial
+  // simulator, so serial behavior — including churn's map iteration
+  // order — is exactly the historical one). A lane's events only touch
+  // that lane's partition, which is what makes the parallel shard
+  // executor safe.
+  std::vector<std::unordered_map<NodeId, std::unique_ptr<ContentPeer>>>
+      content_peers_;
+  std::vector<std::unordered_map<NodeId, std::unique_ptr<DirectoryPeer>>>
+      directories_;
+  // Deferred deletions, one graveyard per lane (cleanup events run on
+  // the lane that buried the peer).
+  std::vector<std::vector<std::unique_ptr<Peer>>> graveyards_;
 
-  uint64_t clients_created_ = 0;
-  uint64_t promotions_ = 0;
+  // Per-lane counters, folded by the getters.
+  std::vector<uint64_t> clients_created_;
+  std::vector<uint64_t> promotions_;
+  // Sharded mode only: per-lane seed streams for mid-run client
+  // creation, derived from this system's seed so the serial draw
+  // sequence (directory seeds at setup) is unperturbed.
+  std::vector<Rng> client_rngs_;
 };
 
 }  // namespace flower

@@ -22,14 +22,29 @@ uint64_t TrafficCounters::TotalReceived() const {
 Network::Network(Simulator* sim, const Topology* topology)
     : sim_(sim), topology_(topology) {
   assert(sim != nullptr && topology != nullptr);
+  const size_t n = static_cast<size_t>(topology->num_nodes());
+  peers_.assign(n, nullptr);
+  counters_.assign(n, TrafficCounters{});
+  const size_t lane_slots =
+      sim->sharded() ? static_cast<size_t>(sim->shard_plan().num_lanes) + 1
+                     : 1;
+  total_bits_.assign(lane_slots, {});
+  messages_sent_.assign(lane_slots, 0);
+  messages_undeliverable_.assign(lane_slots, 0);
+}
+
+size_t Network::LaneSlot() const {
+  if (total_bits_.size() == 1) return 0;
+  const int lane = CurrentSimLane();
+  return lane == Simulator::kControlLane ? 0
+                                         : static_cast<size_t>(lane) + 1;
 }
 
 void Network::RegisterPeer(Peer* peer, NodeId node) {
   assert(peer != nullptr);
   assert(node < static_cast<NodeId>(topology_->num_nodes()));
   PeerAddress address = static_cast<PeerAddress>(node);
-  assert(peers_.find(address) == peers_.end() &&
-         "node already hosts a live peer");
+  assert(peers_[address] == nullptr && "node already hosts a live peer");
   peer->address_ = address;
   peer->node_ = node;
   peers_[address] = peer;
@@ -37,12 +52,19 @@ void Network::RegisterPeer(Peer* peer, NodeId node) {
 
 void Network::UnregisterPeer(Peer* peer) {
   assert(peer != nullptr);
-  auto it = peers_.find(peer->address());
-  if (it != peers_.end() && it->second == peer) peers_.erase(it);
+  PeerAddress address = peer->address();
+  if (address < peers_.size() && peers_[address] == peer) {
+    peers_[address] = nullptr;
+  }
 }
 
-bool Network::IsAlive(PeerAddress address) const {
-  return peers_.find(address) != peers_.end();
+void Network::RouteAfter(PeerAddress dest, SimTime delay, EventFn fn) {
+  if (!sim_->sharded()) {
+    sim_->Schedule(delay, std::move(fn));
+    return;
+  }
+  sim_->RouteToLane(sim_->LaneForNode(static_cast<NodeId>(dest)),
+                    sim_->Now() + delay, std::move(fn));
 }
 
 void Network::Send(Peer* from, PeerAddress to, MessagePtr msg) {
@@ -55,29 +77,29 @@ void Network::Send(Peer* from, PeerAddress to, MessagePtr msg) {
   const size_t ci = static_cast<size_t>(cls);
 
   counters_[sender].sent_bits[ci] += bits;
-  total_bits_[ci] += bits;
-  ++messages_sent_;
+  total_bits_[LaneSlot()][ci] += bits;
+  ++messages_sent_[LaneSlot()];
 
   msg->sender = sender;
   SimTime latency = Latency(sender, to);
 
   // EventFn closures are move-only-friendly, so the message rides in the
   // closure directly — no shared_ptr holder allocation per send.
-  sim_->Schedule(latency, [this, sender, to, ci, bits,
+  RouteAfter(to, latency, [this, sender, to, ci, bits,
                            m = std::move(msg)]() mutable {
-    auto it = peers_.find(to);
-    if (it != peers_.end()) {
+    Peer* dest = to < peers_.size() ? peers_[to] : nullptr;
+    if (dest != nullptr) {
       counters_[to].received_bits[ci] += bits;
-      it->second->HandleMessage(std::move(m));
+      dest->HandleMessage(std::move(m));
       return;
     }
     // Destination offline: notify the sender after the return trip.
-    ++messages_undeliverable_;
+    ++messages_undeliverable_[LaneSlot()];
     SimTime back = Latency(to, sender);
-    sim_->Schedule(back, [this, sender, to, m = std::move(m)]() mutable {
-      auto sit = peers_.find(sender);
-      if (sit != peers_.end()) {
-        sit->second->HandleUndeliverable(to, std::move(m));
+    RouteAfter(sender, back, [this, sender, to, m = std::move(m)]() mutable {
+      Peer* src = sender < peers_.size() ? peers_[sender] : nullptr;
+      if (src != nullptr) {
+        src->HandleUndeliverable(to, std::move(m));
       }
     });
   });
@@ -88,24 +110,38 @@ SimTime Network::Latency(PeerAddress a, PeerAddress b) const {
 }
 
 const TrafficCounters& Network::CountersFor(PeerAddress address) const {
-  auto it = counters_.find(address);
-  if (it == counters_.end()) return empty_counters_;
-  return it->second;
+  if (address >= counters_.size()) return empty_counters_;
+  return counters_[address];
 }
 
 uint64_t Network::TotalBits(TrafficClass c) const {
-  return total_bits_[static_cast<size_t>(c)];
+  const size_t ci = static_cast<size_t>(c);
+  uint64_t total = 0;
+  for (const auto& slot : total_bits_) total += slot[ci];
+  return total;
+}
+
+uint64_t Network::messages_sent() const {
+  uint64_t total = 0;
+  for (uint64_t m : messages_sent_) total += m;
+  return total;
+}
+
+uint64_t Network::messages_undeliverable() const {
+  uint64_t total = 0;
+  for (uint64_t m : messages_undeliverable_) total += m;
+  return total;
 }
 
 uint64_t Network::SumBits(const std::vector<PeerAddress>& peers,
                           const std::vector<TrafficClass>& classes) const {
   uint64_t total = 0;
   for (PeerAddress p : peers) {
-    auto it = counters_.find(p);
-    if (it == counters_.end()) continue;
-    for (TrafficClass c : classes) {
-      size_t ci = static_cast<size_t>(c);
-      total += it->second.sent_bits[ci] + it->second.received_bits[ci];
+    if (p >= counters_.size()) continue;
+    const TrafficCounters& c = counters_[p];
+    for (TrafficClass cls : classes) {
+      size_t ci = static_cast<size_t>(cls);
+      total += c.sent_bits[ci] + c.received_bits[ci];
     }
   }
   return total;

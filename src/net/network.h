@@ -1,12 +1,19 @@
 // Message-passing network over the topology, with per-peer traffic
 // accounting and undeliverable-message notification (the mechanism behind
 // the paper's redirection-failure handling, Sec 5.1).
+//
+// Storage is partitioned for the sharded engine (sim/shard_plan.h): peer
+// slots and per-address counters are plain address-indexed vectors whose
+// entries are only written by the lane owning that address (a message
+// delivery runs on the destination's lane; registration happens on the
+// peer's own lane), and the scalar totals are split per execution lane
+// and folded on read. In serial mode there is a single lane, and the
+// address-indexed layout doubles as a hash-map-free fast path.
 #ifndef FLOWERCDN_NET_NETWORK_H_
 #define FLOWERCDN_NET_NETWORK_H_
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -53,6 +60,8 @@ struct TrafficCounters {
 
 class Network {
  public:
+  /// With a sharded simulator, enable sharding before constructing the
+  /// network (the accounting layout is sized per lane here).
   Network(Simulator* sim, const Topology* topology);
 
   /// Registers a peer at a topology node; the node id becomes its address.
@@ -64,11 +73,15 @@ class Network {
   void UnregisterPeer(Peer* peer);
 
   /// True if a peer is currently registered at this address.
-  bool IsAlive(PeerAddress address) const;
+  bool IsAlive(PeerAddress address) const {
+    return address < peers_.size() && peers_[address] != nullptr;
+  }
 
   /// Sends a message; it arrives after the topology latency. If the
   /// destination is (or goes) offline, the sender's HandleUndeliverable
-  /// runs after a full round trip instead.
+  /// runs after a full round trip instead. In sharded mode delivery is
+  /// routed to the lane owning the destination node — cross-lane sends
+  /// travel through the stamped window exchange.
   void Send(Peer* from, PeerAddress to, MessagePtr msg);
 
   /// One-way latency between two peer addresses.
@@ -77,25 +90,37 @@ class Network {
   const Topology& topology() const { return *topology_; }
   Simulator* sim() { return sim_; }
 
-  /// Traffic accounting.
+  /// Traffic accounting. Reads fold the per-lane splits; in sharded mode
+  /// they are only stable at barriers (control phase / after the run).
   const TrafficCounters& CountersFor(PeerAddress address) const;
   uint64_t TotalBits(TrafficClass c) const;
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_undeliverable() const { return messages_undeliverable_; }
+  uint64_t messages_sent() const;
+  uint64_t messages_undeliverable() const;
 
   /// Sum over given peers of (sent+received) bits in the given classes.
   uint64_t SumBits(const std::vector<PeerAddress>& peers,
                    const std::vector<TrafficClass>& classes) const;
 
  private:
+  static constexpr size_t kNumClasses =
+      static_cast<size_t>(TrafficClass::kNumClasses);
+
+  /// Index into the per-lane scalar splits for the lane executing on
+  /// this thread (0 = control/serial, lane + 1 otherwise).
+  size_t LaneSlot() const;
+
+  /// Schedules fn after `delay` on the lane owning `dest`.
+  void RouteAfter(PeerAddress dest, SimTime delay, EventFn fn);
+
   Simulator* sim_;
   const Topology* topology_;
-  std::unordered_map<PeerAddress, Peer*> peers_;
-  mutable std::unordered_map<PeerAddress, TrafficCounters> counters_;
-  std::array<uint64_t, static_cast<size_t>(TrafficClass::kNumClasses)>
-      total_bits_{};
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_undeliverable_ = 0;
+  std::vector<Peer*> peers_;  // address -> live peer (nullptr = none)
+  mutable std::vector<TrafficCounters> counters_;  // address-indexed
+  // Scalar totals, one slot per execution lane (+ control), folded on
+  // read so lane events never write shared accumulators.
+  std::vector<std::array<uint64_t, kNumClasses>> total_bits_;
+  std::vector<uint64_t> messages_sent_;
+  std::vector<uint64_t> messages_undeliverable_;
 
   static TrafficCounters empty_counters_;
 };

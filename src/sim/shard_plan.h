@@ -1,0 +1,50 @@
+// Static partitioning plan for a sharded simulation run.
+//
+// A sharded Simulator splits its event population into "lanes", one per
+// network locality (the Flower-CDN overlay is partitioned by construction:
+// the D-ring splits directory state by (website, locality) and
+// intra-locality traffic dominates). Every topology node — and therefore
+// every peer, message delivery and peer timer — is pinned to the lane of
+// its ground-truth locality. Cross-lane messages are only possible between
+// different localities, whose link latency is bounded below by
+// `lookahead`; that bound is what lets lanes run a whole window of events
+// independently (sharded_simulator.h).
+//
+// Lanes are the unit of determinism; shard *groups* are the unit of
+// execution. `shards=N` packs the lanes into min(N, lanes) contiguous
+// groups that a ShardedSimulator may run on separate threads. Nothing
+// observable depends on the grouping — stamps, RNG streams and merge
+// order are all per-lane — so output is byte-identical for any N >= 2.
+#ifndef FLOWERCDN_SIM_SHARD_PLAN_H_
+#define FLOWERCDN_SIM_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flower {
+
+struct ShardPlan {
+  /// Locality lanes (>= 1). The control lane (workload injection,
+  /// observers, samplers) is implicit and extra.
+  int num_lanes = 1;
+
+  /// Topology node -> lane (== ground-truth locality of the node).
+  std::vector<uint32_t> node_lane;
+
+  /// Conservative synchronization horizon: a lower bound on the one-way
+  /// latency of every cross-locality link. Events separated by less than
+  /// this can only interact within one lane, so lanes may advance
+  /// `lookahead` of virtual time between barriers.
+  SimTime lookahead = kMaxSimTime;
+
+  /// Executor groups (<= num_lanes); lane_group[l] is the contiguous
+  /// group of lane l.
+  int num_groups = 1;
+  std::vector<int> lane_group;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_SIM_SHARD_PLAN_H_

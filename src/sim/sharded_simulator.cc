@@ -1,0 +1,142 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flower {
+
+ShardedSimulator::ShardedSimulator(Simulator* sim, Executor executor)
+    : sim_(sim), executor_(executor) {
+  assert(sim != nullptr && sim->sharded());
+  const ShardPlan& plan = sim->shard_plan();
+  groups_.resize(static_cast<size_t>(plan.num_groups));
+  for (auto& g : groups_) g = LaneRange{plan.num_lanes, 0};
+  for (int l = 0; l < plan.num_lanes; ++l) {
+    LaneRange& g = groups_[static_cast<size_t>(plan.lane_group[l])];
+    g.begin = std::min(g.begin, l);
+    g.end = std::max(g.end, l + 1);
+  }
+  if (executor_ == Executor::kThreads && groups_.size() >= 2) {
+    workers_.reserve(groups_.size() - 1);
+    for (size_t g = 1; g < groups_.size(); ++g) {
+      workers_.emplace_back([this, g]() { WorkerLoop(g); });
+    }
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      quit_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+}
+
+void ShardedSimulator::RunLaneRange(const LaneRange& range, SimTime bound) {
+  for (int lane = range.begin; lane < range.end; ++lane) {
+    if (sim_->LaneHasEventBefore(lane, bound)) {
+      sim_->RunLaneUntil(lane, bound);
+    }
+  }
+}
+
+void ShardedSimulator::WorkerLoop(size_t group_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    SimTime bound;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [this, seen_generation]() {
+        return quit_ || generation_ != seen_generation;
+      });
+      if (quit_) return;
+      seen_generation = generation_;
+      bound = window_bound_;
+    }
+    RunLaneRange(groups_[group_index], bound);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardedSimulator::DispatchGroups(SimTime bound) {
+  // Skip the pool handoff when at most one group has work this window —
+  // the common case with sparse event populations.
+  int busy = 0;
+  const LaneRange* only = nullptr;
+  for (const LaneRange& g : groups_) {
+    for (int lane = g.begin; lane < g.end; ++lane) {
+      if (sim_->LaneHasEventBefore(lane, bound)) {
+        ++busy;
+        only = &g;
+        break;
+      }
+    }
+    if (busy > 1) break;
+  }
+  if (busy == 0) return;
+  if (busy == 1 || workers_.empty()) {
+    if (busy == 1) {
+      RunLaneRange(*only, bound);
+    } else {
+      for (const LaneRange& g : groups_) RunLaneRange(g, bound);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_bound_ = bound;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  RunLaneRange(groups_[0], bound);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this]() { return pending_ == 0; });
+}
+
+void ShardedSimulator::RunWindow(SimTime bound) {
+  sim_->RunControlUntil(bound);
+  if (sim_->stop_requested()) return;
+  if (executor_ == Executor::kThreads) {
+    DispatchGroups(bound);
+  } else {
+    for (const LaneRange& g : groups_) RunLaneRange(g, bound);
+  }
+  sim_->ExchangeCrossLane();
+}
+
+void ShardedSimulator::RunUntil(SimTime t) {
+  sim_->ClearStopRequest();
+  const SimTime lookahead = sim_->shard_plan().lookahead;
+  while (!sim_->stop_requested()) {
+    const SimTime next = sim_->NextEventTime();
+    if (next > t) break;
+    // Window [next, bound]; width <= lookahead keeps cross-lane posts
+    // strictly beyond the bound.
+    const SimTime bound =
+        (t - next >= lookahead) ? next + lookahead - 1 : t;
+    RunWindow(bound);
+  }
+  if (!sim_->stop_requested()) sim_->AdvanceAllClocksTo(t);
+}
+
+void ShardedSimulator::Run() {
+  sim_->ClearStopRequest();
+  const SimTime lookahead = sim_->shard_plan().lookahead;
+  while (!sim_->stop_requested() && !sim_->AllQueuesEmpty()) {
+    const SimTime next = sim_->NextEventTime();
+    assert(next < kMaxSimTime);
+    const SimTime bound = (kMaxSimTime - next > lookahead)
+                              ? next + lookahead - 1
+                              : kMaxSimTime;
+    RunWindow(bound);
+  }
+}
+
+}  // namespace flower

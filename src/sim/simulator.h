@@ -1,20 +1,44 @@
 // Discrete-event simulation kernel: a virtual clock plus an event queue.
 //
-// This is the PeerSim substitute (see DESIGN.md): single-threaded,
-// deterministic given a seed, with a per-simulation master Rng from which
-// all component generators are forked.
+// This is the PeerSim substitute (see DESIGN.md): deterministic given a
+// seed, with a per-simulation master Rng from which all component
+// generators are forked.
+//
+// Serial mode (the default) is exactly the historical single-queue
+// engine. EnableSharding(plan) switches the kernel into sharded mode:
+// the event population is partitioned into per-locality *lanes*, each
+// with its own pooled EventQueue, virtual clock and RNG stream, plus an
+// implicit *control* lane (workload injection, observers, samplers) that
+// keeps the historical queue. Scheduling calls made while a lane event
+// is dispatching land on that lane; cross-lane work is routed through a
+// stamped outbox that a ShardedSimulator (sharded_simulator.h) merges at
+// conservative window barriers. Dispatch order — and therefore every
+// metric and RNG draw — is a pure function of (config, seed, locality
+// partition): it does not depend on the executor's thread count or on
+// how lanes are packed into shard groups.
 #ifndef FLOWERCDN_SIM_SIMULATOR_H_
 #define FLOWERCDN_SIM_SIMULATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
+#include "sim/shard_plan.h"
 
 namespace flower {
+
+/// Lane executing on the current thread: a lane index in [0, num_lanes)
+/// while a sharded Simulator dispatches a lane event on this thread,
+/// Simulator::kControlLane otherwise (serial mode, setup, control phase,
+/// barriers). Metrics and traffic accounting use this to route samples
+/// into per-lane collectors without threading a lane id through every
+/// peer call.
+int CurrentSimLane();
 
 class Simulator {
  public:
@@ -22,15 +46,24 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Current virtual time.
-  SimTime Now() const { return now_; }
+  /// Current virtual time: the executing lane's clock in sharded mode
+  /// (lanes at the same wall point may differ by up to the lookahead),
+  /// the global clock otherwise.
+  SimTime Now() const {
+    if (shard_ != nullptr) {
+      int lane = CurrentSimLane();
+      if (lane >= 0) return shard_->lanes[static_cast<size_t>(lane)]->now;
+    }
+    return now_;
+  }
 
-  /// Schedules fn to run after the given delay (>= 0). Accepts any
-  /// callable (EventFn stores it inline when it fits, see event_fn.h);
-  /// move-only closures are fine.
+  /// Schedules fn to run after the given delay (>= 0) on the lane
+  /// executing on this thread (the only queue in serial mode). Accepts
+  /// any callable (EventFn stores it inline when it fits, see
+  /// event_fn.h); move-only closures are fine.
   EventHandle Schedule(SimTime delay, EventFn fn);
 
-  /// Schedules fn at an absolute time (>= Now()).
+  /// Schedules fn at an absolute time (>= Now()) on the executing lane.
   EventHandle ScheduleAt(SimTime t, EventFn fn);
 
   /// Schedules fn every `period`, first firing after `initial_delay`.
@@ -53,22 +86,116 @@ class Simulator {
                                   std::function<void()> fn);
 
   /// Runs events until the queue is empty or a stop was requested.
+  /// Serial mode only; sharded runs go through ShardedSimulator.
   void Run();
 
   /// Runs events with time <= t, then sets Now() to t (if queue drained).
+  /// Serial mode only.
   void RunUntil(SimTime t);
 
   /// Runs for a relative duration from the current time.
   void RunFor(SimTime duration) { RunUntil(Now() + duration); }
 
-  /// Requests Run()/RunUntil() to stop after the current event.
+  /// Requests the run loop to stop. Serial mode stops after the current
+  /// event; a sharded run stops at the next window barrier (the
+  /// deterministic point — stopping mid-window would make the cut depend
+  /// on lane execution order).
   void Stop() { stop_requested_ = true; }
 
-  /// Master generator for this simulation. Fork per component.
+  /// Master generator for this simulation. Fork per component (setup
+  /// path); lane-scoped randomness should come from lane_rng instead.
   Rng* rng() { return &rng_; }
 
-  uint64_t events_processed() const { return events_processed_; }
-  uint64_t events_cancelled() const { return queue_.events_cancelled(); }
+  uint64_t events_processed() const;
+  uint64_t events_cancelled() const;
+
+  // --- Sharded mode ---------------------------------------------------------
+
+  /// CurrentSimLane()'s value outside lane dispatch.
+  static constexpr int kControlLane = -1;
+
+  /// Switches this simulator into sharded mode. Must be called before
+  /// any peer is created or event scheduled (lane RNG streams are seeded
+  /// from the master seed, not drawn from the master generator, so the
+  /// static world — topology, deployment, catalog — is identical to a
+  /// serial run with the same seed).
+  void EnableSharding(ShardPlan plan);
+
+  bool sharded() const { return shard_ != nullptr; }
+  const ShardPlan& shard_plan() const { return shard_->plan; }
+
+  /// Lane owning a topology node / peer address. kControlLane in serial
+  /// mode.
+  int LaneForNode(NodeId node) const {
+    if (shard_ == nullptr) return kControlLane;
+    return static_cast<int>(shard_->plan.node_lane[node]);
+  }
+
+  /// The lane's private RNG stream (per-lane client seeding, sharded
+  /// churn). Deterministic per (seed, lane).
+  Rng* lane_rng(int lane) {
+    return &shard_->lanes[static_cast<size_t>(lane)]->rng;
+  }
+
+  SimTime lane_now(int lane) const {
+    return shard_->lanes[static_cast<size_t>(lane)]->now;
+  }
+
+  /// Pushes fn at absolute time t directly into `lane`'s queue. Only
+  /// valid while that lane is idle: setup, the control phase of a window
+  /// (the control lane always runs before the locality lanes, so
+  /// injecting at times inside the current window is safe), or barriers.
+  EventHandle ScheduleOnLane(int lane, SimTime t, EventFn fn);
+
+  /// Routes fn to run at absolute time t on `lane`: a direct push from
+  /// the same lane or from control context, a stamped cross-lane post
+  /// otherwise (delivered by the next ExchangeCrossLane, which is sound
+  /// because cross-locality latency >= the plan's lookahead).
+  void RouteToLane(int lane, SimTime t, EventFn fn);
+
+  /// Per-lane dispatch counters, locality lanes first, control last.
+  std::vector<uint64_t> LaneEventCounts() const;
+
+  /// RAII override of the executing lane, so setup code can create a
+  /// peer "on its lane" (the peer's timers then land on that lane). A
+  /// no-op on serial simulators.
+  class LaneScope {
+   public:
+    LaneScope(Simulator* sim, int lane);
+    ~LaneScope();
+    LaneScope(const LaneScope&) = delete;
+    LaneScope& operator=(const LaneScope&) = delete;
+
+   private:
+    bool active_ = false;
+    int prev_ = kControlLane;
+  };
+
+  // --- Sharded engine internals (driven by ShardedSimulator and engine
+  // tests; not for peer code) -------------------------------------------------
+
+  /// Dispatches `lane`'s events with time <= bound. Ignores Stop() —
+  /// lanes always complete their window so the stop point is
+  /// deterministic.
+  void RunLaneUntil(int lane, SimTime bound);
+  /// Dispatches control-lane events with time <= bound; honors Stop()
+  /// immediately (the control phase is coordinator-sequential).
+  void RunControlUntil(SimTime bound);
+  bool LaneHasEventBefore(int lane, SimTime bound) const;
+  bool ControlHasEventBefore(SimTime bound) const;
+  /// Barrier: delivers every pending cross-lane post into its
+  /// destination lane's queue, in (time, source lane, post seq) stamp
+  /// order — the order (and thus queue tie-breaking) is independent of
+  /// executor threading and shard grouping.
+  void ExchangeCrossLane();
+  bool AllQueuesEmpty() const;
+  /// Earliest pending event across control + all lanes (posts must be
+  /// exchanged first); kMaxSimTime when drained.
+  SimTime NextEventTime() const;
+  bool stop_requested() const { return stop_requested_; }
+  void ClearStopRequest() { stop_requested_ = false; }
+  /// Advances every clock to at least t (end-of-run clamp).
+  void AdvanceAllClocksTo(SimTime t);
 
  private:
   void ScheduleNextPeriodic(std::shared_ptr<PeriodicHandle::State> state,
@@ -76,11 +203,40 @@ class Simulator {
   /// Dispatches events with time <= bound until drained or stopped.
   void RunLoop(SimTime bound);
 
+  struct CrossLanePost {
+    SimTime time;
+    uint32_t source_lane;
+    uint32_t dest_lane;
+    uint64_t seq;  // per-source-lane, assigned at post time
+    EventFn fn;
+  };
+
+  struct Lane {
+    explicit Lane(uint64_t seed) : rng(seed) {}
+    EventQueue queue;
+    SimTime now = 0;
+    uint64_t events_processed = 0;
+    Rng rng;
+    uint64_t next_post_seq = 0;
+    std::vector<CrossLanePost> outbox;
+  };
+
+  struct ShardState {
+    ShardPlan plan;
+    std::vector<std::unique_ptr<Lane>> lanes;
+    std::vector<CrossLanePost> exchange_scratch;
+  };
+
+  // Control lane (the only lane in serial mode).
   SimTime now_ = 0;
   EventQueue queue_;
   Rng rng_;
-  bool stop_requested_ = false;
+  uint64_t seed_;
+  // Atomic so a Stop() from a lane event is a benign cross-thread signal
+  // under the parallel executor (it is only *honored* at barriers).
+  std::atomic<bool> stop_requested_{false};
   uint64_t events_processed_ = 0;
+  std::unique_ptr<ShardState> shard_;
 };
 
 }  // namespace flower

@@ -1,11 +1,21 @@
 // Measurement collection for the paper's four metrics (Sec 6):
 // background traffic, hit ratio, lookup latency, transfer distance.
+//
+// Sharded runs (sim/shard_plan.h) call EnableLanes: every write hook then
+// routes to a per-lane sub-collector chosen by CurrentSimLane(), so lane
+// events never touch a shared accumulator (safe under the parallel shard
+// executor), and reads fold the lanes in lane order — a deterministic
+// floating-point summation order that is independent of thread count and
+// shard grouping. In sharded mode reads are only stable at barriers
+// (control phase, observers, after the run), which is where every caller
+// in this codebase reads.
 #ifndef FLOWERCDN_STATS_METRICS_H_
 #define FLOWERCDN_STATS_METRICS_H_
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,9 +31,15 @@ class Metrics {
  public:
   explicit Metrics(const SimConfig& config);
 
+  /// Switches into lane-routed mode with `locality_lanes` lanes (one
+  /// extra, last, collects control-context samples). Call before the run
+  /// starts.
+  void EnableLanes(int locality_lanes);
+  bool lanes_enabled() const { return !lanes_.empty(); }
+
   // --- Query lifecycle hooks --------------------------------------------------
 
-  void OnQuerySubmitted(SimTime t) { ++queries_submitted_; (void)t; }
+  void OnQuerySubmitted(SimTime t) { ++Self().queries_submitted_; (void)t; }
 
   /// The query reached the node that will provide the object.
   /// `submit` is the original submission time.
@@ -43,12 +59,12 @@ class Metrics {
                 ProviderKind kind = ProviderKind::kLocalPeer);
 
   /// Origin-server load accounting (per query served by the server).
-  void OnServerHit() { ++server_hits_; }
+  void OnServerHit() { ++Self().server_hits_; }
 
   // --- Cache pressure hooks (src/cache/ subsystem) ------------------------------
 
   /// A peer's bounded content store evicted `n` objects to make room.
-  void OnCacheEvictions(uint64_t n) { cache_evictions_ += n; }
+  void OnCacheEvictions(uint64_t n) { Self().cache_evictions_ += n; }
 
   /// Which channel carried the stale claim behind a misdirected hop, so
   /// directory-side staleness (index entries) is attributed distinctly
@@ -66,13 +82,14 @@ class Metrics {
   /// wasted hop so eviction-induced staleness is measurable. The total is
   /// always the sum over both sources.
   void OnStaleRedirect(StaleSource source = StaleSource::kPeerSummary) {
-    ++stale_redirects_;
-    ++stale_redirects_by_source_[static_cast<size_t>(source)];
+    Metrics& m = Self();
+    ++m.stale_redirects_;
+    ++m.stale_redirects_by_source_[static_cast<size_t>(source)];
   }
 
   /// A bounded DirectoryStore evicted `n` index entries for capacity
   /// (expiry via T_dead is not an eviction).
-  void OnDirIndexEvictions(uint64_t n) { dir_index_evictions_ += n; }
+  void OnDirIndexEvictions(uint64_t n) { Self().dir_index_evictions_ += n; }
 
   /// A dir-to-dir redirected query (sent here because a neighbor held a
   /// summary of this directory claiming the object) fell through to the
@@ -80,47 +97,65 @@ class Metrics {
   /// bounded index typically because the holding entries were evicted.
   /// Kept out of `stale_redirects` (a new observation channel, not a
   /// re-attribution of the existing one).
-  void OnDirSummaryFallthrough() { ++dir_summary_fallthroughs_; }
+  void OnDirSummaryFallthrough() { ++Self().dir_summary_fallthroughs_; }
 
   /// A peer declined an offered replica because its bounded store was
   /// within the configured admission headroom of its capacity.
-  void OnReplicaDeclined() { ++replica_declines_; }
+  void OnReplicaDeclined() { ++Self().replica_declines_; }
 
   /// Serve counts by provider kind (diagnostics for Fig 8 analyses).
   uint64_t ServesBy(ProviderKind kind) const {
-    return serves_by_kind_[static_cast<size_t>(kind)];
+    return SumOverLanes(&Metrics::serves_by_kind_,
+                        static_cast<size_t>(kind));
   }
 
   // --- Results ------------------------------------------------------------------
 
-  uint64_t queries_submitted() const { return queries_submitted_; }
-  uint64_t queries_served() const { return hit_series_.total_trials(); }
-  uint64_t server_hits() const { return server_hits_; }
-  uint64_t cache_evictions() const { return cache_evictions_; }
-  uint64_t stale_redirects() const { return stale_redirects_; }
+  uint64_t queries_submitted() const {
+    return SumScalar(&Metrics::queries_submitted_);
+  }
+  uint64_t queries_served() const;
+  uint64_t server_hits() const { return SumScalar(&Metrics::server_hits_); }
+  uint64_t cache_evictions() const {
+    return SumScalar(&Metrics::cache_evictions_);
+  }
+  uint64_t stale_redirects() const {
+    return SumScalar(&Metrics::stale_redirects_);
+  }
   uint64_t StaleRedirectsBy(StaleSource source) const {
-    return stale_redirects_by_source_[static_cast<size_t>(source)];
+    return SumOverLanes(&Metrics::stale_redirects_by_source_,
+                        static_cast<size_t>(source));
   }
-  uint64_t dir_index_evictions() const { return dir_index_evictions_; }
+  uint64_t dir_index_evictions() const {
+    return SumScalar(&Metrics::dir_index_evictions_);
+  }
   uint64_t dir_summary_fallthroughs() const {
-    return dir_summary_fallthroughs_;
+    return SumScalar(&Metrics::dir_summary_fallthroughs_);
   }
-  uint64_t replica_declines() const { return replica_declines_; }
+  uint64_t replica_declines() const {
+    return SumScalar(&Metrics::replica_declines_);
+  }
 
-  const RatioSeries& hit_series() const { return hit_series_; }
-  const TimeSeries& lookup_series() const { return lookup_series_; }
-  const TimeSeries& transfer_series() const { return transfer_series_; }
-  const Histogram& lookup_histogram() const { return lookup_hist_; }
-  const Histogram& transfer_histogram() const { return transfer_hist_; }
+  const RatioSeries& hit_series() const { return Folded().hit_series_; }
+  const TimeSeries& lookup_series() const { return Folded().lookup_series_; }
+  const TimeSeries& transfer_series() const {
+    return Folded().transfer_series_;
+  }
+  const Histogram& lookup_histogram() const { return Folded().lookup_hist_; }
+  const Histogram& transfer_histogram() const {
+    return Folded().transfer_hist_;
+  }
 
   /// Headline hit ratio: mean over the last `tail_windows` metric windows
   /// (the curves converge, see DESIGN.md Sec 5).
   double FinalHitRatio(size_t tail_windows = 2) const {
-    return hit_series_.TailRatio(tail_windows);
+    return hit_series().TailRatio(tail_windows);
   }
-  double CumulativeHitRatio() const { return hit_series_.CumulativeRatio(); }
-  double MeanLookupLatency() const { return lookup_hist_.Mean(); }
-  double MeanTransferDistance() const { return transfer_hist_.Mean(); }
+  double CumulativeHitRatio() const {
+    return hit_series().CumulativeRatio();
+  }
+  double MeanLookupLatency() const { return lookup_histogram().Mean(); }
+  double MeanTransferDistance() const { return transfer_histogram().Mean(); }
 
   /// Background traffic in bits/s per peer: (gossip + push + keepalive)
   /// bits sent+received by the given peers, averaged over elapsed time.
@@ -132,6 +167,38 @@ class Metrics {
   std::string Summary(SimTime elapsed) const;
 
  private:
+  /// Collector the current write goes to: a lane sub-collector in lane
+  /// mode (control context uses the last lane), this object otherwise.
+  Metrics& Self() {
+    if (lanes_.empty()) return *this;
+    const int lane = CurrentSimLane();
+    const size_t index = lane == Simulator::kControlLane
+                             ? lanes_.size() - 1
+                             : static_cast<size_t>(lane);
+    return *lanes_[index];
+  }
+
+  /// The folded view backing series/histogram reads: this object when
+  /// lanes are off; otherwise a scratch collector rebuilt from the lanes
+  /// (in lane order) on every read burst.
+  const Metrics& Folded() const;
+  void MergeFrom(const Metrics& other);
+
+  uint64_t SumScalar(uint64_t Metrics::*member) const {
+    if (lanes_.empty()) return this->*member;
+    uint64_t total = 0;
+    for (const auto& lane : lanes_) total += (*lane).*member;
+    return total;
+  }
+  template <typename Array>
+  uint64_t SumOverLanes(Array Metrics::*member, size_t index) const {
+    if (lanes_.empty()) return (this->*member)[index];
+    uint64_t total = 0;
+    for (const auto& lane : lanes_) total += ((*lane).*member)[index];
+    return total;
+  }
+
+  SimTime window_;
   RatioSeries hit_series_;
   TimeSeries lookup_series_;
   TimeSeries transfer_series_;
@@ -148,6 +215,10 @@ class Metrics {
   uint64_t replica_declines_ = 0;
   std::array<uint64_t, static_cast<size_t>(ProviderKind::kNumKinds)>
       serves_by_kind_{};
+
+  // Lane mode (empty = plain single collector).
+  std::vector<std::unique_ptr<Metrics>> lanes_;
+  mutable std::unique_ptr<Metrics> folded_;
 };
 
 }  // namespace flower
