@@ -1,0 +1,188 @@
+// Ablation: membership scalability (ISSUE 6 headline). Sweeps the
+// locality size S_co x gossip_protocol x churn and contrasts the paper's
+// full-view gossip (view_size = S_co, so a member tracks its whole
+// overlay, as Table 1's V_gossip >= S_co intends) with HyParView partial
+// views + Plumtree dissemination.
+//
+// Shape to demonstrate: hyparview holds the hit ratio within a few
+// points of flower at every S_co while its per-peer membership state
+// stays near-constant (bounded active+passive views, capped summary
+// cache) and its steady-state background traffic stays flat-or-lower —
+// flower's state grows ~linearly with the overlay size.
+//
+//   ./bench_ablation_gossip quick json   -> BENCH_gossip.json
+//
+// A single hot website concentrates clients so the overlays actually
+// saturate their S_co cap; otherwise every sweep point would measure the
+// same (demand-limited) overlay population.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+struct Arm {
+  std::string label;
+  std::string protocol;
+  int s_co = 0;
+  bool churn = false;
+  flower::RunResult result;
+};
+
+/// Per-peer membership state: tracked contacts plus cached summaries.
+double StateEntries(const flower::RunResult& r) {
+  return r.mean_active_view + r.mean_passive_view + r.mean_summaries_known;
+}
+
+void WriteJson(const std::string& path, const std::vector<Arm>& arms) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const Arm& a = arms[i];
+    const flower::RunResult& r = a.result;
+    std::fprintf(
+        f,
+        "  {\"label\":\"%s\",\"protocol\":\"%s\",\"s_co\":%d,"
+        "\"churn\":%s,\"hit_ratio\":%.6f,\"steady_background_bps\":%.3f,"
+        "\"mean_active_view\":%.3f,\"mean_passive_view\":%.3f,"
+        "\"mean_summaries_known\":%.3f,\"state_entries\":%.3f,"
+        "\"hyparview_shuffles\":%llu,\"plumtree_grafts\":%llu,"
+        "\"plumtree_prunes\":%llu,\"mean_summary_staleness\":%.3f}%s\n",
+        a.label.c_str(), a.protocol.c_str(), a.s_co,
+        a.churn ? "true" : "false", r.final_hit_ratio,
+        r.SteadyStateBackgroundBps(), r.mean_active_view,
+        r.mean_passive_view, r.mean_summaries_known, StateEntries(r),
+        static_cast<unsigned long long>(r.hyparview_shuffles),
+        static_cast<unsigned long long>(r.plumtree_grafts),
+        static_cast<unsigned long long>(r.plumtree_prunes),
+        r.mean_summary_staleness, i + 1 < arms.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flower;
+
+  // This bench writes its own JSON schema (per-arm membership state for
+  // both protocols), so the json token is handled here, not by Driver.
+  std::string json_path;
+  std::vector<char*> fwd;
+  for (int a = 0; a < argc; ++a) {
+    if (a > 0 && std::strncmp(argv[a], "json", 4) == 0) {
+      const char* eq = std::strchr(argv[a], '=');
+      json_path = eq != nullptr ? eq + 1 : "BENCH_gossip.json";
+      continue;
+    }
+    fwd.push_back(argv[a]);
+  }
+  bench::Driver driver("gossip", static_cast<int>(fwd.size()), fwd.data());
+  driver.PrintHeader("Ablation: S_co x gossip_protocol x churn");
+  SimConfig base = driver.config();
+  base.num_active_websites = 1;  // concentrate demand: saturate S_co
+
+  const int s_full = base.max_content_overlay_size;
+  const int sweep[] = {std::max(s_full / 4, 5), std::max(s_full / 2, 10),
+                       s_full};
+  const char* protocols[] = {"flower", "hyparview"};
+
+  std::vector<Arm> arms;
+  for (bool churn : {false, true}) {
+    for (int s_co : sweep) {
+      for (const char* protocol : protocols) {
+        SimConfig c = base;
+        c.max_content_overlay_size = s_co;
+        c.gossip_protocol = protocol;
+        if (std::strcmp(protocol, "flower") == 0) {
+          // The paper's sizing: the view can span the whole overlay.
+          c.view_size = s_co;
+        }
+        if (churn) {
+          c.churn_enabled = true;
+          c.churn_mean_session = 1 * kHour;
+          c.churn_mean_downtime = 10 * kMinute;
+        }
+        Arm arm;
+        arm.protocol = protocol;
+        arm.s_co = s_co;
+        arm.churn = churn;
+        arm.label = std::string(protocol) + "/S_co=" +
+                    std::to_string(s_co) + (churn ? "/churn" : "");
+        driver.Enqueue(c, "flower", arm.label);
+        arms.push_back(std::move(arm));
+      }
+    }
+  }
+  std::vector<RunResult> runs = driver.RunQueued();
+  for (size_t i = 0; i < runs.size(); ++i) arms[i].result = runs[i];
+
+  std::printf("  %-24s %-10s %-11s %-9s %-9s %-9s\n", "arm", "hit_ratio",
+              "bg_steady", "views", "summaries", "state");
+  for (const Arm& a : arms) {
+    const RunResult& r = a.result;
+    std::printf("  %-24s %-10s %-11s %-9s %-9s %-9s\n", a.label.c_str(),
+                bench::Fmt(r.final_hit_ratio).c_str(),
+                bench::Fmt(r.SteadyStateBackgroundBps(), 1).c_str(),
+                bench::Fmt(r.mean_active_view + r.mean_passive_view, 1).c_str(),
+                bench::Fmt(r.mean_summaries_known, 1).c_str(),
+                bench::Fmt(StateEntries(r), 1).c_str());
+  }
+
+  // Headline numbers: state growth from the smallest to the largest
+  // overlay, and the worst hit-ratio gap at any matched sweep point.
+  auto find_arm = [&arms](const char* protocol, int s_co,
+                          bool churn) -> const Arm* {
+    for (const Arm& a : arms) {
+      if (a.protocol == protocol && a.s_co == s_co && a.churn == churn) {
+        return &a;
+      }
+    }
+    return nullptr;
+  };
+  const int s_min = sweep[0];
+  const Arm* fl_min = find_arm("flower", s_min, false);
+  const Arm* fl_max = find_arm("flower", s_full, false);
+  const Arm* hp_min = find_arm("hyparview", s_min, false);
+  const Arm* hp_max = find_arm("hyparview", s_full, false);
+  double fl_growth = StateEntries(fl_max->result) /
+                     std::max(StateEntries(fl_min->result), 1.0);
+  double hp_growth = StateEntries(hp_max->result) /
+                     std::max(StateEntries(hp_min->result), 1.0);
+  double worst_gap = 0;
+  for (const Arm& a : arms) {
+    if (a.protocol != "hyparview") continue;
+    const Arm* fl = find_arm("flower", a.s_co, a.churn);
+    worst_gap = std::max(worst_gap,
+                         fl->result.final_hit_ratio -
+                             a.result.final_hit_ratio);
+  }
+  bench::PrintComparison(
+      "membership state growth x" + std::to_string(s_full / s_min) +
+          " S_co (flower vs hyparview)",
+      "~linear vs ~flat", bench::Fmt(fl_growth, 2) + "x vs " +
+                              bench::Fmt(hp_growth, 2) + "x");
+  bench::PrintComparison("worst hyparview hit-ratio gap", "a few points",
+                         bench::Fmt(worst_gap, 3));
+  bench::PrintComparison(
+      "steady background at S_co=" + std::to_string(s_full) +
+          " (flower vs hyparview)",
+      "flat or lower",
+      bench::Fmt(fl_max->result.SteadyStateBackgroundBps(), 1) + " vs " +
+          bench::Fmt(hp_max->result.SteadyStateBackgroundBps(), 1) + " bps");
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, arms);
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -120,6 +120,12 @@ void CollectSeries(const Metrics& metrics, RunResult* result) {
   result->dir_index_evictions = metrics.dir_index_evictions();
   result->dir_summary_fallthroughs = metrics.dir_summary_fallthroughs();
   result->replica_declines = metrics.replica_declines();
+  result->hyparview_shuffles = metrics.hyparview_shuffles();
+  result->plumtree_grafts = metrics.plumtree_grafts();
+  result->plumtree_prunes = metrics.plumtree_prunes();
+  result->plumtree_eager_deliveries = metrics.plumtree_eager_deliveries();
+  result->plumtree_lazy_recoveries = metrics.plumtree_lazy_recoveries();
+  result->plumtree_duplicates = metrics.plumtree_duplicates();
   result->final_hit_ratio = metrics.FinalHitRatio();
   result->cumulative_hit_ratio = metrics.CumulativeHitRatio();
   result->mean_lookup_ms = metrics.MeanLookupLatency();
@@ -287,6 +293,7 @@ Result<RunResult> Experiment::TryRun() {
   result.system = system->key();
   result.system_name = system->name();
   result.label = label_;
+  result.gossip_protocol = config_.gossip_protocol;
   CollectSeries(metrics, &result);
   result.background_bps_by_window = sampler.samples();
   std::vector<PeerAddress> peers = system->ParticipantAddresses();

@@ -73,6 +73,27 @@ struct RunResult {
   uint64_t churn_leaves = 0;
   uint64_t directory_promotions = 0;
 
+  // Scalable membership statistics (src/gossip/). Sinks emit them only
+  // when gossip_protocol != "flower", so default records stay
+  // byte-identical to pre-subsystem builds.
+  std::string gossip_protocol = "flower";
+  /// Mean contacts per joined content peer at end of run: flower counts
+  /// its full view, hyparview its active and passive views separately.
+  double mean_active_view = 0;
+  double mean_passive_view = 0;
+  /// Mean contacts with a usable content summary per joined peer — the
+  /// state that actually serves peer-direct queries.
+  double mean_summaries_known = 0;
+  /// Mean lag, in broadcast versions, of cached Plumtree summaries
+  /// behind their origin's latest version (0 for flower: unversioned).
+  double mean_summary_staleness = 0;
+  uint64_t hyparview_shuffles = 0;
+  uint64_t plumtree_grafts = 0;
+  uint64_t plumtree_prunes = 0;
+  uint64_t plumtree_eager_deliveries = 0;
+  uint64_t plumtree_lazy_recoveries = 0;
+  uint64_t plumtree_duplicates = 0;
+
   // Engine counters (simulation-kernel performance, src/sim/).
   /// Events dispatched by the Simulator run loop. Deterministic: a
   /// function of config + seed, so sinks write it.
@@ -101,6 +122,22 @@ struct RunResult {
     return wall_ms > 0 ? static_cast<double>(events_processed) /
                              (wall_ms / 1000.0)
                        : 0.0;
+  }
+
+  /// Steady-state background traffic: mean bits/s per peer over the last
+  /// `tail_windows` metric windows (the startup flood has drained by
+  /// then; this is where the membership protocols actually differ).
+  double SteadyStateBackgroundBps(size_t tail_windows = 2) const {
+    const std::vector<double>& s = background_bps_by_window;
+    // A run ending on a window boundary (or a churn lull) can leave
+    // empty trailing windows; they are artifacts, not steady state.
+    size_t end = s.size();
+    while (end > 0 && s[end - 1] <= 0) --end;
+    if (end == 0) return background_bps;
+    size_t n = tail_windows < end ? tail_windows : end;
+    double sum = 0;
+    for (size_t i = end - n; i < end; ++i) sum += s[i];
+    return sum / static_cast<double>(n);
   }
 
   /// Fraction of lookups resolved faster than `ms`.

@@ -17,7 +17,8 @@ Result<CachePolicy> ParseCachePolicy(const std::string& name) {
   if (name == "lru") return CachePolicy::kLru;
   if (name == "lfu") return CachePolicy::kLfu;
   if (name == "gdsf") return CachePolicy::kGdsf;
-  return Status::InvalidArgument("unknown cache policy: " + name);
+  return Status::InvalidArgument("unknown cache policy: \"" + name +
+                                 "\" (accepted: unbounded, lru, lfu, gdsf)");
 }
 
 }  // namespace flower

@@ -61,6 +61,22 @@ bool ParseTime(const std::string& v, SimTime* out) {
   return true;
 }
 
+// Uniform fail-fast diagnostic for enum-valued keys: name the offending
+// value and every accepted one, so a typo in a sweep script dies with
+// the fix in the message.
+Status UnknownEnumValue(const std::string& key, const std::string& value,
+                        std::initializer_list<const char*> accepted) {
+  std::string msg = "unknown " + key + ": \"" + value + "\" (accepted: ";
+  bool first = true;
+  for (const char* a : accepted) {
+    if (!first) msg += ", ";
+    msg += a;
+    first = false;
+  }
+  msg += ")";
+  return Status::InvalidArgument(msg);
+}
+
 }  // namespace
 
 Status SimConfig::Apply(const std::string& key, const std::string& value) {
@@ -121,8 +137,7 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
   }
   if (key == "shard_executor") {
     if (value != "auto" && value != "serial" && value != "threads") {
-      return Status::InvalidArgument(
-          "shard_executor must be auto, serial or threads");
+      return UnknownEnumValue(key, value, {"auto", "serial", "threads"});
     }
     shard_executor = value;
     return Status::Ok();
@@ -140,8 +155,7 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
   INT_KEY("object_size_bits", object_size_bits)
   if (key == "object_size_distribution") {
     if (value != "fixed" && value != "pareto") {
-      return Status::InvalidArgument("unknown object size distribution: " +
-                                     value);
+      return UnknownEnumValue(key, value, {"fixed", "pareto"});
     }
     object_size_distribution = value;
     return Status::Ok();
@@ -158,7 +172,7 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
   INT_KEY("cache_capacity_bytes", cache_capacity_bytes)
   if (key == "cache_cost") {
     if (value != "uniform" && value != "distance") {
-      return Status::InvalidArgument("unknown cache cost model: " + value);
+      return UnknownEnumValue(key, value, {"uniform", "distance"});
     }
     cache_cost = value;
     return Status::Ok();
@@ -197,6 +211,19 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
   TIME_KEY("gossip_period", gossip_period)
   INT_KEY("gossip_length", gossip_length)
   INT_KEY("view_size", view_size)
+  if (key == "gossip_protocol") {
+    if (value != "flower" && value != "hyparview") {
+      return UnknownEnumValue(key, value, {"flower", "hyparview"});
+    }
+    gossip_protocol = value;
+    return Status::Ok();
+  }
+  INT_KEY("hyparview_active_size", hyparview_active_size)
+  INT_KEY("hyparview_passive_size", hyparview_passive_size)
+  TIME_KEY("hyparview_shuffle_period", hyparview_shuffle_period)
+  TIME_KEY("plumtree_ihave_timeout", plumtree_ihave_timeout)
+  INT_KEY("plumtree_summary_capacity", plumtree_summary_capacity)
+  DOUBLE_KEY("plumtree_broadcast_threshold", plumtree_broadcast_threshold)
   DOUBLE_KEY("push_threshold", push_threshold)
   TIME_KEY("keepalive_period", keepalive_period)
   INT_KEY("dead_age_limit", dead_age_limit)
@@ -279,6 +306,7 @@ std::string SimConfig::ToString() const {
       os << "/" << directory_index_capacity_bytes << "B";
     }
   }
+  if (gossip_protocol != "flower") os << " gossip=" << gossip_protocol;
   if (system != "flower") os << " system=" << system;
   if (!workload_trace.empty()) os << " workload=trace:" << workload_trace;
   // The sharded engine is a different deterministic schedule, so the

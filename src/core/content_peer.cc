@@ -15,9 +15,11 @@ ContentPeer::ContentPeer(FlowerContext* ctx, const Website* site,
       locality_(locality),
       rng_(rng_seed),
       content_(ContentStore::FromConfig(*ctx->config)),
-      cost_model_(*ctx->config),
-      view_(ctx->config->view_size, ctx->config->view_age_limit) {
+      cost_model_(*ctx->config) {
   assert(site != nullptr);
+  // Built in the body: the factory reads config through the
+  // MembershipHost interface, which needs this object constructed.
+  membership_ = MakeMembership(this);
 }
 
 ContentPeer::~ContentPeer() {
@@ -28,6 +30,24 @@ ContentPeer::~ContentPeer() {
 void ContentPeer::Activate(NodeId node) {
   ctx_->network->RegisterPeer(this, node);
   alive_ = true;
+}
+
+const View& ContentPeer::view() const {
+  if (const View* v = membership_->DebugView()) return *v;
+  static const View kEmpty(0, 0);
+  return kEmpty;
+}
+
+void ContentPeer::HostSend(PeerAddress to, MessagePtr msg) {
+  ctx_->network->Send(this, to, std::move(msg));
+}
+
+std::shared_ptr<const ContentSummary> ContentPeer::HostSummary() {
+  return CurrentSummary();
+}
+
+void ContentPeer::HostMergeDirPointer(const DirectoryPointer& incoming) {
+  MergeDirPointer(incoming);
 }
 
 // --- Query pipeline -----------------------------------------------------------
@@ -76,18 +96,11 @@ std::unique_ptr<FlowerQueryMsg> ContentPeer::MakeQuery(
 }
 
 bool ContentPeer::TryPeerDirect(ObjectId object, PendingQuery* pq) {
-  // Candidates: view entries whose summary may contain the object and that
-  // we have not asked yet this query.
+  // Candidates: contacts whose summary may contain the object and that we
+  // have not asked yet this query; the membership enumerates them in a
+  // deterministic order and this peer's RNG draws the pick.
   std::vector<PeerAddress> candidates;
-  for (const ViewEntry& e : view_.entries()) {
-    if (!e.summary || e.addr == address()) continue;
-    if (!e.summary->MaybeContains(object)) continue;
-    if (std::find(pq->tried.begin(), pq->tried.end(), e.addr) !=
-        pq->tried.end()) {
-      continue;
-    }
-    candidates.push_back(e.addr);
-  }
+  membership_->AppendHolderCandidates(object, pq->tried, &candidates);
   if (candidates.empty()) return false;
   PeerAddress target = candidates[rng_.Index(candidates.size())];
   pq->tried.push_back(target);
@@ -136,17 +149,11 @@ void ContentPeer::HandleIncomingQuery(std::unique_ptr<FlowerQueryMsg> query) {
         /*from_server=*/false, query->submit_time,
         site_->ObjectSizeBits(query->object));
     if (!query->client_is_member && query->client_loc == locality_) {
-      // Seed the new client's view from ours (paper Sec 4.2) — only when
-      // the client joins *our* overlay; a cross-locality client gets its
-      // contacts from its own directory instead, so views never leak
+      // Seed the new client's contacts from ours (paper Sec 4.2) — only
+      // when the client joins *our* overlay; a cross-locality client gets
+      // its contacts from its own directory instead, so views never leak
       // across overlays.
-      serve->view_subset = view_.SelectSubset(ctx_->config->gossip_length,
-                                              &rng_, query->client);
-      ViewEntry self_entry;
-      self_entry.addr = address();
-      self_entry.age = 0;
-      self_entry.summary = CurrentSummary();
-      serve->view_subset.push_back(self_entry);
+      serve->view_subset = membership_->NewClientSeed(query->client);
     }
     ctx_->network->Send(this, query->client, std::move(serve));
     return;
@@ -183,12 +190,12 @@ void ContentPeer::HandleServe(std::unique_ptr<ServeMsg> serve) {
   pending_.erase(serve->object);
   AddObject(serve->object, cost_model_.OnFetch(serve->object, distance));
   if (!serve->view_subset.empty()) {
-    view_.Merge(serve->view_subset, std::nullopt, address());
+    membership_->OnViewSeed(serve->view_subset);
   }
 }
 
 void ContentPeer::HandleWelcome(std::unique_ptr<WelcomeMsg> welcome) {
-  view_.Merge(welcome->contacts, std::nullopt, address());
+  membership_->OnWelcomeContacts(welcome->contacts);
   MergeDirPointer(DirectoryPointer{welcome->sender, 0});
   if (!joined_) {
     joined_ = true;
@@ -208,12 +215,11 @@ void ContentPeer::HandleNotFound(std::unique_ptr<NotFoundMsg> nf) {
 void ContentPeer::StartOverlayTimers() {
   const SimConfig& cfg = *ctx_->config;
   // Random phase so the overlay's gossip rounds are desynchronized.
+  SimTime round_period = membership_->RoundPeriod();
   SimTime gossip_offset =
-      static_cast<SimTime>(rng_.UniformInt(0, cfg.gossip_period - 1));
-  gossip_timer_ = ctx_->sim->SchedulePeriodic(gossip_offset, cfg.gossip_period,
-                                              [this]() {
-                                                ActiveGossipRound();
-                                              });
+      static_cast<SimTime>(rng_.UniformInt(0, round_period - 1));
+  gossip_timer_ = ctx_->sim->SchedulePeriodic(gossip_offset, round_period,
+                                              [this]() { GossipTick(); });
   SimTime ka_offset =
       static_cast<SimTime>(rng_.UniformInt(0, cfg.keepalive_period - 1));
   keepalive_timer_ = ctx_->sim->SchedulePeriodic(
@@ -233,46 +239,10 @@ std::shared_ptr<const ContentSummary> ContentPeer::CurrentSummary() {
   return summary_;
 }
 
-void ContentPeer::ActiveGossipRound() {
+void ContentPeer::GossipTick() {
   if (!alive_ || !joined_) return;
-  view_.IncrementAges();
-  view_.DropOlderThan(ctx_->config->view_age_limit);
   ++dir_pointer_.age;
-  const ViewEntry* oldest = view_.SelectOldest();
-  if (oldest == nullptr) return;
-  auto req = std::make_unique<GossipRequestMsg>();
-  req->own_summary = CurrentSummary();
-  req->view_subset =
-      view_.SelectSubset(ctx_->config->gossip_length, &rng_, oldest->addr);
-  req->dir_pointer = dir_pointer_;
-  ctx_->network->Send(this, oldest->addr, std::move(req));
-}
-
-void ContentPeer::HandleGossipRequest(std::unique_ptr<GossipRequestMsg> req) {
-  // Passive behavior: answer with our own summary + subset + dir pointer,
-  // then merge what we received.
-  auto reply = std::make_unique<GossipReplyMsg>();
-  reply->own_summary = CurrentSummary();
-  reply->view_subset =
-      view_.SelectSubset(ctx_->config->gossip_length, &rng_, req->sender);
-  reply->dir_pointer = dir_pointer_;
-  ctx_->network->Send(this, req->sender, std::move(reply));
-
-  ViewEntry fresh;
-  fresh.addr = req->sender;
-  fresh.age = 0;
-  fresh.summary = req->own_summary;
-  view_.Merge(req->view_subset, fresh, address());
-  MergeDirPointer(req->dir_pointer);
-}
-
-void ContentPeer::HandleGossipReply(std::unique_ptr<GossipReplyMsg> reply) {
-  ViewEntry fresh;
-  fresh.addr = reply->sender;
-  fresh.age = 0;
-  fresh.summary = reply->own_summary;
-  view_.Merge(reply->view_subset, fresh, address());
-  MergeDirPointer(reply->dir_pointer);
+  membership_->PeriodicRound();
 }
 
 void ContentPeer::MergeDirPointer(const DirectoryPointer& incoming) {
@@ -314,6 +284,7 @@ void ContentPeer::AddObject(ObjectId object, double cost) {
       push_removed_.push_back(victim);
     }
     summary_dirty_ = true;
+    content_changes_ += evicted.size();
   }
   if (!inserted) {
     if (!evicted.empty()) MaybePush();
@@ -324,6 +295,7 @@ void ContentPeer::AddObject(ObjectId object, double cost) {
   // pair would net out to a (wrong) removal of a held object.
   DropDelta(&push_removed_, object);
   summary_dirty_ = true;
+  ++content_changes_;
   push_delta_.push_back(object);
   MaybePush();
 }
@@ -448,6 +420,7 @@ void ContentPeer::Fail() {
   if (!alive_) return;
   gossip_timer_.Cancel();
   keepalive_timer_.Cancel();
+  membership_->Stop();
   alive_ = false;
   ctx_->network->UnregisterPeer(this);
 }
@@ -455,9 +428,11 @@ void ContentPeer::Fail() {
 ContentPeer::PromotionState ContentPeer::PrepareForPromotion() {
   gossip_timer_.Cancel();
   keepalive_timer_.Cancel();
+  membership_->Stop();
   alive_ = false;
   ctx_->network->UnregisterPeer(this);
-  PromotionState state{std::move(content_), std::move(view_), joined_at_};
+  PromotionState state{std::move(content_), membership_->ExportView(),
+                       joined_at_};
   return state;
 }
 
@@ -486,16 +461,7 @@ void ContentPeer::HandleMessage(MessagePtr msg) {
     HandleNotFound(std::unique_ptr<NotFoundMsg>(nf));
     return;
   }
-  if (auto* gr = dynamic_cast<GossipRequestMsg*>(raw)) {
-    msg.release();
-    HandleGossipRequest(std::unique_ptr<GossipRequestMsg>(gr));
-    return;
-  }
-  if (auto* gp = dynamic_cast<GossipReplyMsg*>(raw)) {
-    msg.release();
-    HandleGossipReply(std::unique_ptr<GossipReplyMsg>(gp));
-    return;
-  }
+  if (membership_->ConsumeMessage(msg)) return;
   if (auto* jr = dynamic_cast<JoinDirectoryResp*>(raw)) {
     HandleJoinDirectoryResp(*jr);
     return;
@@ -521,11 +487,7 @@ void ContentPeer::HandleMessage(MessagePtr msg) {
 void ContentPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
   if (!alive_) return;
   Message* raw = msg.get();
-  if (dynamic_cast<GossipRequestMsg*>(raw) != nullptr ||
-      dynamic_cast<GossipReplyMsg*>(raw) != nullptr) {
-    view_.Remove(dest);  // dead contact (Sec 5.4: treated like dead peers)
-    return;
-  }
+  if (membership_->OnUndeliverable(dest, raw)) return;
   if (auto* push = dynamic_cast<PushMsg*>(raw)) {
     // Re-queue the delta and start directory replacement. The cache may
     // have moved on while the push was in flight: only re-queue entries
@@ -557,7 +519,7 @@ void ContentPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
   if (auto* q = dynamic_cast<FlowerQueryMsg*>(raw)) {
     switch (q->stage) {
       case QueryStage::kPeerDirect:
-        view_.Remove(dest);
+        membership_->OnContactDead(dest);
         ContinueQuery(q->object);
         return;
       case QueryStage::kToDirectory: {

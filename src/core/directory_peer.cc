@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/flower_system.h"
+#include "gossip/gossip_messages.h"
 
 namespace flower {
 
@@ -679,6 +680,15 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
                  ReplicaInsertCost(*ctx_, &cost_model_, rt->object,
                                    rt->sender, address()));
     content_.swap_admission_hook(std::move(prev));
+    return;
+  }
+  if (auto* hpv = dynamic_cast<HyParViewMsg*>(raw)) {
+    // A promoted directory no longer runs overlay membership: decline the
+    // chatter so the sender demotes us out of its active view.
+    if (dynamic_cast<HpvDisconnectMsg*>(hpv) == nullptr) {
+      ctx_->network->Send(this, hpv->sender,
+                          std::make_unique<HpvDisconnectMsg>());
+    }
     return;
   }
   // Everything else is DHT traffic.

@@ -1,0 +1,152 @@
+// Wire messages of the scalable membership subsystem: HyParView partial
+// view maintenance (JOIN / FORWARD-JOIN / NEIGHBOR / DISCONNECT /
+// SHUFFLE) and Plumtree dissemination (eager GOSSIP, lazy IHAVE, GRAFT /
+// PRUNE tree repair). All of them account as TrafficClass::kGossip so
+// the paper's background-traffic metric stays honest across protocols.
+#ifndef FLOWERCDN_GOSSIP_GOSSIP_MESSAGES_H_
+#define FLOWERCDN_GOSSIP_GOSSIP_MESSAGES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/summary.h"
+#include "common/types.h"
+#include "net/message.h"
+
+namespace flower {
+
+/// Common base so hosts can recognize (and politely decline) membership
+/// chatter addressed to a peer that no longer runs the protocol, e.g. a
+/// content peer promoted to directory.
+class HyParViewMsg : public Message {
+ public:
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kGossip;
+  }
+};
+
+/// Joiner -> contact node: admit me to the overlay's partial views.
+class HpvJoinMsg : public HyParViewMsg {
+ public:
+  uint64_t SizeBits() const override { return kAddressBits; }
+};
+
+/// Contact -> active view: random walk advertising the joiner.
+class HpvForwardJoinMsg : public HyParViewMsg {
+ public:
+  HpvForwardJoinMsg(PeerAddress new_node, int ttl)
+      : new_node(new_node), ttl(ttl) {}
+
+  uint64_t SizeBits() const override { return kAddressBits + kTtlBits; }
+
+  PeerAddress new_node;
+  int ttl;
+};
+
+/// Sender asks the receiver to become an active-view neighbor. The
+/// sender has already added the receiver optimistically; a low-priority
+/// request may be rejected (HpvNeighborRejectMsg), a high-priority one
+/// (sender's active view is empty) never is.
+class HpvNeighborMsg : public HyParViewMsg {
+ public:
+  explicit HpvNeighborMsg(bool high_priority)
+      : high_priority(high_priority) {}
+
+  uint64_t SizeBits() const override { return kAddressBits + 8; }
+
+  bool high_priority;
+};
+
+class HpvNeighborRejectMsg : public HyParViewMsg {
+ public:
+  uint64_t SizeBits() const override { return kAddressBits; }
+};
+
+/// Eviction notice: the sender dropped the receiver from its active view
+/// (the receiver demotes the sender to its passive view).
+class HpvDisconnectMsg : public HyParViewMsg {
+ public:
+  uint64_t SizeBits() const override { return kAddressBits; }
+};
+
+/// Passive-view repair: random walk carrying a sample of the origin's
+/// views; the accepting node answers the origin directly.
+class HpvShuffleMsg : public HyParViewMsg {
+ public:
+  HpvShuffleMsg(PeerAddress origin, int ttl) : origin(origin), ttl(ttl) {}
+
+  uint64_t SizeBits() const override {
+    return kAddressBits * (2 + sample.size()) + kTtlBits;
+  }
+
+  PeerAddress origin;
+  int ttl;
+  std::vector<PeerAddress> sample;
+};
+
+class HpvShuffleReplyMsg : public HyParViewMsg {
+ public:
+  uint64_t SizeBits() const override {
+    return kAddressBits * (1 + sample.size());
+  }
+
+  std::vector<PeerAddress> sample;
+};
+
+/// Plumtree eager push: one content-summary delta, identified by
+/// (origin, version) with per-origin monotone versions.
+class PtGossipMsg : public HyParViewMsg {
+ public:
+  PtGossipMsg(PeerAddress origin, uint64_t version,
+              std::shared_ptr<const ContentSummary> summary)
+      : origin(origin), version(version), summary(std::move(summary)) {}
+
+  uint64_t SizeBits() const override {
+    return kAddressBits + kVersionBits +
+           (summary ? summary->SizeBits() : 0);
+  }
+
+  PeerAddress origin;
+  uint64_t version;
+  std::shared_ptr<const ContentSummary> summary;
+  /// True when sent in answer to a GRAFT (lazy-path recovery), so the
+  /// eager-vs-lazy delivery split is measurable.
+  bool retransmit = false;
+};
+
+/// Plumtree lazy announcement to non-tree neighbors.
+class PtIHaveMsg : public HyParViewMsg {
+ public:
+  PtIHaveMsg(PeerAddress origin, uint64_t version)
+      : origin(origin), version(version) {}
+
+  uint64_t SizeBits() const override { return kAddressBits + kVersionBits; }
+
+  PeerAddress origin;
+  uint64_t version;
+};
+
+/// Tree repair: the receiver becomes an eager neighbor and retransmits
+/// the missing (origin, version).
+class PtGraftMsg : public HyParViewMsg {
+ public:
+  PtGraftMsg(PeerAddress origin, uint64_t version)
+      : origin(origin), version(version) {}
+
+  uint64_t SizeBits() const override { return kAddressBits + kVersionBits; }
+
+  PeerAddress origin;
+  uint64_t version;
+};
+
+/// Tree pruning after a duplicate delivery: the sender is demoted to a
+/// lazy (IHAVE-only) neighbor.
+class PtPruneMsg : public HyParViewMsg {
+ public:
+  uint64_t SizeBits() const override { return kAddressBits; }
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_GOSSIP_GOSSIP_MESSAGES_H_

@@ -1,0 +1,15 @@
+#include "gossip/membership.h"
+
+#include "gossip/flower_membership.h"
+#include "gossip/hyparview.h"
+
+namespace flower {
+
+std::unique_ptr<Membership> MakeMembership(MembershipHost* host) {
+  if (host->HostConfig().gossip_protocol == "hyparview") {
+    return std::make_unique<HyParViewMembership>(host);
+  }
+  return std::make_unique<FlowerMembership>(host);
+}
+
+}  // namespace flower

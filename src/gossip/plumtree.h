@@ -1,0 +1,111 @@
+// Plumtree ("Epidemic Broadcast Trees", Leitão et al.) over a HyParView
+// active view: content-summary deltas ride an eager-push spanning tree;
+// off-tree neighbors get lazy IHAVE announcements; missing-message timers
+// GRAFT the announcer back into the tree, duplicates PRUNE the sender out
+// of it. Each origin's broadcasts carry a monotone version, so delivery
+// and staleness are exactly measurable.
+//
+// The tree state is deterministic: neighbor sets are ordered containers,
+// all sends go through the host peer, and timers fire on the host's
+// simulation lane.
+#ifndef FLOWERCDN_GOSSIP_PLUMTREE_H_
+#define FLOWERCDN_GOSSIP_PLUMTREE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "gossip/gossip_messages.h"
+#include "gossip/membership.h"
+
+namespace flower {
+
+class Plumtree {
+ public:
+  explicit Plumtree(MembershipHost* host);
+  ~Plumtree() { Stop(); }
+
+  // --- Neighborhood (driven by HyParView active-view changes) -------------
+  void NeighborUp(PeerAddress peer);
+  void NeighborDown(PeerAddress peer);
+
+  /// Drops everything known about `origin` (a contact died): its cached
+  /// summary and any pending recovery for its messages.
+  void ForgetOrigin(PeerAddress origin);
+
+  // --- Broadcast ----------------------------------------------------------
+  /// Broadcasts the host's summary as the next version of this origin.
+  void BroadcastOwnSummary(std::shared_ptr<const ContentSummary> summary);
+
+  /// Seeds the cache with a summary learned outside the protocol (serve
+  /// subsets); kept only while no versioned broadcast from that origin
+  /// has been seen.
+  void SeedSummary(PeerAddress origin,
+                   std::shared_ptr<const ContentSummary> summary);
+
+  /// Offers a Pt* message; true if consumed.
+  bool ConsumeMessage(MessagePtr& msg);
+
+  // --- Query support ------------------------------------------------------
+  void AppendHolderCandidates(ObjectId object,
+                              const std::vector<PeerAddress>& tried,
+                              std::vector<PeerAddress>* out) const;
+
+  // --- Introspection ------------------------------------------------------
+  size_t eager_size() const { return eager_.size(); }
+  size_t lazy_size() const { return lazy_.size(); }
+  size_t summaries_known() const { return summaries_.size(); }
+  uint64_t own_version() const { return own_version_; }
+  void AppendCachedVersions(
+      std::vector<std::pair<PeerAddress, uint64_t>>* out) const;
+
+  /// Snapshot of the summary cache as a flower View (directory promotion).
+  View ExportView(int capacity, int max_age) const;
+
+  /// Cancels all pending IHAVE timers.
+  void Stop();
+
+ private:
+  struct OriginState {
+    uint64_t version = 0;  // 0 = seeded outside the protocol
+    std::shared_ptr<const ContentSummary> summary;
+    uint64_t touch = 0;  // recency stamp for capacity eviction
+  };
+  struct MissingState {
+    std::deque<PeerAddress> announcers;
+    EventHandle timer;
+  };
+  using MessageId = std::pair<PeerAddress, uint64_t>;
+
+  void HandleGossip(std::unique_ptr<PtGossipMsg> msg);
+  void HandleIHave(std::unique_ptr<PtIHaveMsg> msg);
+  void HandleGraft(std::unique_ptr<PtGraftMsg> msg);
+  void HandlePrune(PeerAddress sender);
+
+  /// Accepts a fresh (origin, version) into the cache and relays it:
+  /// eager push to the eager set, IHAVE to the lazy set.
+  void DeliverAndRelay(PeerAddress origin, uint64_t version,
+                       std::shared_ptr<const ContentSummary> summary,
+                       PeerAddress relayer);
+  void ScheduleMissingTimer(const MessageId& id);
+  void OnMissingTimer(MessageId id);
+  void MoveToLazy(PeerAddress peer);
+  void MoveToEager(PeerAddress peer);
+  bool Seen(PeerAddress origin, uint64_t version) const;
+  void CapSummaryCache();
+
+  MembershipHost* host_;
+  std::set<PeerAddress> eager_;
+  std::set<PeerAddress> lazy_;
+  std::map<PeerAddress, OriginState> summaries_;
+  std::map<MessageId, MissingState> missing_;
+  uint64_t own_version_ = 0;
+  uint64_t touch_seq_ = 0;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_GOSSIP_PLUMTREE_H_

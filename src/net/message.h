@@ -48,6 +48,14 @@ inline constexpr uint64_t kObjectIdBits = 64;
 /// Size of an age field on the wire, in bits.
 inline constexpr uint64_t kAgeBits = 16;
 
+/// Size of a random-walk TTL field on the wire, in bits (HyParView
+/// JOIN/SHUFFLE walks).
+inline constexpr uint64_t kTtlBits = 8;
+
+/// Size of a broadcast version counter on the wire, in bits (Plumtree
+/// per-origin message ids).
+inline constexpr uint64_t kVersionBits = 64;
+
 class Message {
  public:
   virtual ~Message() = default;

@@ -1,0 +1,143 @@
+// HyParView membership invariants (ISSUE 6 satellite): disjoint
+// active/passive partial views, configured capacity bounds, active-view
+// symmetry once the overlay settles after JOINs, and reactive promotion
+// of passive contacts when an active neighbor crashes.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/flower_system.h"
+#include "gossip/hyparview.h"
+#include "test_util.h"
+
+namespace flower {
+namespace {
+
+SimConfig HyParViewConfig() {
+  SimConfig c = TinyConfig();
+  c.gossip_protocol = "hyparview";
+  return c;
+}
+
+class HyParViewTest : public ::testing::Test {
+ protected:
+  HyParViewTest()
+      : world_(HyParViewConfig()),
+        metrics_(world_.config()),
+        system_(world_.config(), world_.sim(), world_.network(),
+                world_.topology(), &metrics_) {
+    system_.Setup();
+  }
+
+  /// Makes `n` peers of (website 0, locality 0) members, each fetching one
+  /// distinct object.
+  std::vector<ContentPeer*> Join(size_t n) {
+    const auto& pool = system_.deployment().client_pools[0][0];
+    std::vector<ContentPeer*> peers;
+    for (size_t i = 0; i < n; ++i) {
+      system_.SubmitQuery(pool[i], 0, system_.catalog().site(0).objects[i]);
+      world_.sim()->RunFor(kMinute);
+      peers.push_back(system_.FindContentPeer(pool[i]));
+    }
+    return peers;
+  }
+
+  static const HyParViewMembership* Hpv(const ContentPeer* p) {
+    return dynamic_cast<const HyParViewMembership*>(&p->membership());
+  }
+
+  static bool Contains(const std::vector<PeerAddress>& v, PeerAddress a) {
+    return std::find(v.begin(), v.end(), a) != v.end();
+  }
+
+  TestWorld world_;
+  Metrics metrics_;
+  FlowerSystem system_;
+};
+
+TEST_F(HyParViewTest, ProtocolSelected) {
+  auto peers = Join(2);
+  ASSERT_NE(Hpv(peers[0]), nullptr)
+      << "gossip_protocol=hyparview must build a HyParViewMembership";
+  EXPECT_STREQ(peers[0]->membership().protocol(), "hyparview");
+  EXPECT_TRUE(peers[0]->view().entries().empty())
+      << "the flower debug view must be an empty sentinel";
+}
+
+TEST_F(HyParViewTest, ViewsAreDisjointAndBounded) {
+  auto peers = Join(10);
+  world_.sim()->RunFor(10 * world_.config().gossip_period);
+  const SimConfig& cfg = world_.config();
+  for (ContentPeer* p : peers) {
+    const HyParViewMembership* m = Hpv(p);
+    ASSERT_NE(m, nullptr);
+    EXPECT_LE(m->active_view().size(),
+              static_cast<size_t>(cfg.hyparview_active_size));
+    EXPECT_LE(m->passive_view().size(),
+              static_cast<size_t>(cfg.hyparview_passive_size));
+    EXPECT_FALSE(Contains(m->active_view(), p->address()))
+        << "a peer must not track itself";
+    EXPECT_FALSE(Contains(m->passive_view(), p->address()));
+    for (PeerAddress a : m->active_view()) {
+      EXPECT_FALSE(Contains(m->passive_view(), a))
+          << "address " << a << " is in both views of peer " << p->address();
+    }
+  }
+}
+
+TEST_F(HyParViewTest, OverlayIsConnectedAfterJoins) {
+  auto peers = Join(10);
+  world_.sim()->RunFor(10 * world_.config().gossip_period);
+  for (ContentPeer* p : peers) {
+    EXPECT_GE(Hpv(p)->active_view().size(), 1u)
+        << "peer " << p->address() << " is isolated";
+  }
+}
+
+TEST_F(HyParViewTest, ActiveViewsAreSymmetricOnceSettled) {
+  auto peers = Join(10);
+  // Several shuffle/gossip rounds with no churn: every optimistic
+  // NEIGHBOR/REJECT/DISCONNECT exchange has resolved by now.
+  world_.sim()->RunFor(10 * world_.config().gossip_period);
+  for (ContentPeer* a : peers) {
+    for (ContentPeer* b : peers) {
+      if (a == b) continue;
+      if (Contains(Hpv(a)->active_view(), b->address())) {
+        EXPECT_TRUE(Contains(Hpv(b)->active_view(), a->address()))
+            << "active edge " << a->address() << " -> " << b->address()
+            << " is not symmetric";
+      }
+    }
+  }
+}
+
+TEST_F(HyParViewTest, FailurePromotesPassiveContact) {
+  auto peers = Join(10);
+  world_.sim()->RunFor(10 * world_.config().gossip_period);
+  PeerAddress dead = peers[0]->address();
+  peers[0]->Fail();
+  world_.sim()->RunFor(6 * world_.config().gossip_period);
+  for (size_t i = 1; i < peers.size(); ++i) {
+    const HyParViewMembership* m = Hpv(peers[i]);
+    EXPECT_FALSE(Contains(m->active_view(), dead))
+        << "peer " << i << " still has the crashed contact active";
+    EXPECT_GE(m->active_view().size(), 1u)
+        << "peer " << i << " did not repair its active view";
+  }
+}
+
+TEST_F(HyParViewTest, ShufflesRefreshPassiveViews) {
+  auto peers = Join(10);
+  world_.sim()->RunFor(10 * world_.config().gossip_period);
+  EXPECT_GT(metrics_.hyparview_shuffles(), 0u);
+  // With 10 members and a 5-slot active view, shuffles must have spread
+  // knowledge beyond the active view for at least some peers.
+  size_t with_passive = 0;
+  for (ContentPeer* p : peers) {
+    if (!Hpv(p)->passive_view().empty()) ++with_passive;
+  }
+  EXPECT_GT(with_passive, peers.size() / 2);
+}
+
+}  // namespace
+}  // namespace flower
