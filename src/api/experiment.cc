@@ -261,6 +261,9 @@ Result<RunResult> Experiment::TryRun() {
         }));
   }
 
+  // wall_ms is a diagnostic (engine line / RunResult.wall_ms only); it
+  // never feeds events, RNG draws or metrics.
+  // detlint: allow(wall-clock) — diagnostics-only wall_ms timing
   const auto wall_start = std::chrono::steady_clock::now();
   if (sharded) {
     // "threads" needs lane-isolated system state; "auto" asks the
@@ -277,6 +280,7 @@ Result<RunResult> Experiment::TryRun() {
   } else {
     sim.RunUntil(config_.duration);
   }
+  // detlint: allow(wall-clock) — same wall_ms diagnostic as above.
   const auto wall_end = std::chrono::steady_clock::now();
   for (Simulator::PeriodicHandle& timer : observer_timers) timer.Cancel();
 

@@ -22,6 +22,7 @@
 
 #include "common/config.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "core/flower_system.h"
 
 namespace flower {
@@ -51,11 +52,14 @@ class ChurnManager {
   SimConfig config_;
   uint64_t seed_;
   Rng rng_;
-  std::vector<Rng> lane_rngs_;  // sharded mode: one stream per lane
+  // Sharded mode: one stream per lane, drawn from only by that lane's
+  // tick process.
+  LANE_CONFINED std::vector<Rng> lane_rngs_;
   std::vector<Simulator::PeriodicHandle> timers_;
   // Blackout bookkeeping partitioned like the peers: lane ticks write
   // only their own partition.
-  std::vector<std::unordered_map<NodeId, SimTime>> blackout_until_;
+  LANE_CONFINED std::vector<std::unordered_map<NodeId, SimTime>>
+      blackout_until_;
   uint64_t failures_ = 0;
   uint64_t leaves_ = 0;
   uint64_t directory_deaths_ = 0;

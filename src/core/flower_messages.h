@@ -29,16 +29,17 @@ enum class QueryStage : uint8_t {
 
 class FlowerQueryMsg : public Message {
  public:
-  FlowerQueryMsg(WebsiteId website, uint64_t website_hash, ObjectId object,
-                 PeerAddress client, LocalityId client_loc,
-                 SimTime submit_time, QueryStage stage)
-      : website(website),
-        website_hash(website_hash),
-        object(object),
-        client(client),
-        client_loc(client_loc),
-        submit_time(submit_time),
-        stage(stage) {}
+  FlowerQueryMsg(WebsiteId website_in, uint64_t website_hash_in,
+                 ObjectId object_in, PeerAddress client_in,
+                 LocalityId client_loc_in, SimTime submit_time_in,
+                 QueryStage stage_in)
+      : website(website_in),
+        website_hash(website_hash_in),
+        object(object_in),
+        client(client_in),
+        client_loc(client_loc_in),
+        submit_time(submit_time_in),
+        stage(stage_in) {}
 
   uint64_t SizeBits() const override {
     // object id + website id + client address + locality + flags.
@@ -85,16 +86,16 @@ class FlowerQueryMsg : public Message {
 /// server) to the requesting client.
 class ServeMsg : public Message {
  public:
-  ServeMsg(ObjectId object, WebsiteId website, uint64_t website_hash,
-           PeerAddress provider, bool from_server, SimTime submit_time,
-           uint64_t object_size_bits)
-      : object(object),
-        website(website),
-        website_hash(website_hash),
-        provider(provider),
-        from_server(from_server),
-        submit_time(submit_time),
-        object_size_bits(object_size_bits) {}
+  ServeMsg(ObjectId object_in, WebsiteId website_in, uint64_t website_hash_in,
+           PeerAddress provider_in, bool from_server_in, SimTime submit_time_in,
+           uint64_t object_size_bits_in)
+      : object(object_in),
+        website(website_in),
+        website_hash(website_hash_in),
+        provider(provider_in),
+        from_server(from_server_in),
+        submit_time(submit_time_in),
+        object_size_bits(object_size_bits_in) {}
 
   uint64_t SizeBits() const override {
     uint64_t bits = object_size_bits + kObjectIdBits + kAddressBits + 8;
@@ -121,8 +122,8 @@ class ServeMsg : public Message {
 /// positive or stale directory entry). The requester falls back.
 class NotFoundMsg : public Message {
  public:
-  NotFoundMsg(ObjectId object, uint64_t website_hash, QueryStage stage)
-      : object(object), website_hash(website_hash), stage(stage) {}
+  NotFoundMsg(ObjectId object_in, uint64_t website_hash_in, QueryStage stage_in)
+      : object(object_in), website_hash(website_hash_in), stage(stage_in) {}
 
   uint64_t SizeBits() const override { return kObjectIdBits + 8; }
   TrafficClass traffic_class() const override { return TrafficClass::kQuery; }
@@ -139,8 +140,8 @@ class NotFoundMsg : public Message {
 /// initial contacts from my directory index (addresses only).
 class WelcomeMsg : public Message {
  public:
-  WelcomeMsg(uint64_t website_hash, LocalityId locality)
-      : website_hash(website_hash), locality(locality) {}
+  WelcomeMsg(uint64_t website_hash_in, LocalityId locality_in)
+      : website_hash(website_hash_in), locality(locality_in) {}
 
   uint64_t SizeBits() const override {
     uint64_t bits = 64 + 8;
@@ -233,13 +234,13 @@ class LeaveMsg : public Message {
 /// summary (paper Sec 3.3 / 4.2.1; counted with push traffic).
 class DirectorySummaryMsg : public Message {
  public:
-  DirectorySummaryMsg(uint64_t website_hash, LocalityId from_loc,
-                      Key from_dir_id,
-                      std::shared_ptr<const ContentSummary> summary)
-      : website_hash(website_hash),
-        from_loc(from_loc),
-        from_dir_id(from_dir_id),
-        summary(std::move(summary)) {}
+  DirectorySummaryMsg(uint64_t website_hash_in, LocalityId from_loc_in,
+                      Key from_dir_id_in,
+                      std::shared_ptr<const ContentSummary> summary_in)
+      : website_hash(website_hash_in),
+        from_loc(from_loc_in),
+        from_dir_id(from_dir_id_in),
+        summary(std::move(summary_in)) {}
 
   uint64_t SizeBits() const override {
     return 64 + 8 + 64 + (summary ? summary->SizeBits() : 0);
@@ -291,8 +292,8 @@ class DirectoryHandoffMsg : public Message {
 /// directory position (paper Sec 5.2).
 class JoinDirectoryReq : public Message {
  public:
-  JoinDirectoryReq(Key dir_key, PeerAddress candidate)
-      : dir_key(dir_key), candidate(candidate) {}
+  JoinDirectoryReq(Key dir_key_in, PeerAddress candidate_in)
+      : dir_key(dir_key_in), candidate(candidate_in) {}
 
   uint64_t SizeBits() const override { return 64 + kAddressBits; }
   TrafficClass traffic_class() const override {
@@ -305,8 +306,10 @@ class JoinDirectoryReq : public Message {
 
 class JoinDirectoryResp : public Message {
  public:
-  JoinDirectoryResp(Key dir_key, bool granted, NodeRef current_dir)
-      : dir_key(dir_key), granted(granted), current_dir(current_dir) {}
+  JoinDirectoryResp(Key dir_key_in, bool granted_in, NodeRef current_dir_in)
+      : dir_key(dir_key_in),
+        granted(granted_in),
+        current_dir(current_dir_in) {}
 
   uint64_t SizeBits() const override { return 64 + 8 + kNodeRefBits; }
   TrafficClass traffic_class() const override {
@@ -350,11 +353,11 @@ class ReplicationRequestMsg : public Message {
 /// Holder content peer -> deposit target in the sibling overlay.
 class ReplicaTransferMsg : public Message {
  public:
-  ReplicaTransferMsg(ObjectId object, uint64_t website_hash,
-                     uint64_t object_size_bits)
-      : object(object),
-        website_hash(website_hash),
-        object_size_bits(object_size_bits) {}
+  ReplicaTransferMsg(ObjectId object_in, uint64_t website_hash_in,
+                     uint64_t object_size_bits_in)
+      : object(object_in),
+        website_hash(website_hash_in),
+        object_size_bits(object_size_bits_in) {}
 
   uint64_t SizeBits() const override {
     return object_size_bits + kObjectIdBits;
@@ -371,8 +374,8 @@ class ReplicaTransferMsg : public Message {
 /// Offering directory -> one of its holders: "transfer this object there".
 class ReplicaTransferCmd : public Message {
  public:
-  ReplicaTransferCmd(ObjectId object, PeerAddress target)
-      : object(object), target(target) {}
+  ReplicaTransferCmd(ObjectId object_in, PeerAddress target_in)
+      : object(object_in), target(target_in) {}
 
   uint64_t SizeBits() const override { return kObjectIdBits + kAddressBits; }
   TrafficClass traffic_class() const override {

@@ -1,5 +1,6 @@
 #include "core/flower_system.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 
@@ -201,6 +202,13 @@ OriginServer* FlowerSystem::FindServer(WebsiteId website) const {
   return servers_[website].get();
 }
 
+// The peer partitions are hash maps, so every harvest below sorts its
+// result by node id before returning it. Consumers draw RNGs per element
+// (churn) or emit in element order (stats, tests): handing them
+// bucket-order lists would make behavior depend on the standard
+// library's hash layout — exactly the class of bug `tools/detlint.py`
+// (rule unordered-iteration) exists to keep out.
+
 std::vector<PeerAddress> FlowerSystem::ParticipantAddresses() const {
   std::vector<PeerAddress> out;
   for (const auto& peer_map : content_peers_) {
@@ -213,6 +221,7 @@ std::vector<PeerAddress> FlowerSystem::ParticipantAddresses() const {
       if (dir->alive()) out.push_back(dir->address());
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -223,6 +232,10 @@ std::vector<ContentPeer*> FlowerSystem::LiveContentPeers() const {
       if (peer->alive()) out.push_back(peer.get());
     }
   }
+  std::sort(out.begin(), out.end(),
+            [](const ContentPeer* a, const ContentPeer* b) {
+              return a->node() < b->node();
+            });
   return out;
 }
 
@@ -233,6 +246,10 @@ std::vector<DirectoryPeer*> FlowerSystem::LiveDirectories() const {
       if (dir->alive()) out.push_back(dir.get());
     }
   }
+  std::sort(out.begin(), out.end(),
+            [](const DirectoryPeer* a, const DirectoryPeer* b) {
+              return a->node() < b->node();
+            });
   return out;
 }
 
@@ -241,6 +258,10 @@ std::vector<ContentPeer*> FlowerSystem::LiveContentPeersIn(int lane) const {
   for (const auto& [node, peer] : content_peers_[static_cast<size_t>(lane)]) {
     if (peer->alive()) out.push_back(peer.get());
   }
+  std::sort(out.begin(), out.end(),
+            [](const ContentPeer* a, const ContentPeer* b) {
+              return a->node() < b->node();
+            });
   return out;
 }
 
@@ -249,6 +270,10 @@ std::vector<DirectoryPeer*> FlowerSystem::LiveDirectoriesIn(int lane) const {
   for (const auto& [node, dir] : directories_[static_cast<size_t>(lane)]) {
     if (dir->alive()) out.push_back(dir.get());
   }
+  std::sort(out.begin(), out.end(),
+            [](const DirectoryPeer* a, const DirectoryPeer* b) {
+              return a->node() < b->node();
+            });
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/thread_annotations.h"
 #include "core/content_peer.h"
 #include "core/deployment.h"
 #include "core/directory_peer.h"
@@ -154,21 +155,23 @@ class FlowerSystem {
   // order — is exactly the historical one). A lane's events only touch
   // that lane's partition, which is what makes the parallel shard
   // executor safe.
-  std::vector<std::unordered_map<NodeId, std::unique_ptr<ContentPeer>>>
+  LANE_CONFINED std::vector<
+      std::unordered_map<NodeId, std::unique_ptr<ContentPeer>>>
       content_peers_;
-  std::vector<std::unordered_map<NodeId, std::unique_ptr<DirectoryPeer>>>
+  LANE_CONFINED std::vector<
+      std::unordered_map<NodeId, std::unique_ptr<DirectoryPeer>>>
       directories_;
   // Deferred deletions, one graveyard per lane (cleanup events run on
   // the lane that buried the peer).
-  std::vector<std::vector<std::unique_ptr<Peer>>> graveyards_;
+  LANE_CONFINED std::vector<std::vector<std::unique_ptr<Peer>>> graveyards_;
 
   // Per-lane counters, folded by the getters.
-  std::vector<uint64_t> clients_created_;
-  std::vector<uint64_t> promotions_;
+  LANE_CONFINED std::vector<uint64_t> clients_created_;
+  LANE_CONFINED std::vector<uint64_t> promotions_;
   // Sharded mode only: per-lane seed streams for mid-run client
   // creation, derived from this system's seed so the serial draw
   // sequence (directory seeds at setup) is unperturbed.
-  std::vector<Rng> client_rngs_;
+  LANE_CONFINED std::vector<Rng> client_rngs_;
 };
 
 }  // namespace flower

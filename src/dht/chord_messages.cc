@@ -4,8 +4,8 @@
 
 namespace flower {
 
-RouteMsg::RouteMsg(Key key, MessagePtr payload)
-    : key(key), payload(std::move(payload)) {
+RouteMsg::RouteMsg(Key key_in, MessagePtr payload_in)
+    : key(key_in), payload(std::move(payload_in)) {
   assert(this->payload != nullptr);
 }
 

@@ -27,7 +27,7 @@ inline constexpr uint64_t kNodeRefBits = 64 + kAddressBits;
 /// runs at each hop; this is the msg it forwards).
 class RouteMsg : public Message {
  public:
-  RouteMsg(Key key, MessagePtr payload);
+  RouteMsg(Key key_in, MessagePtr payload_in);
 
   uint64_t SizeBits() const override;
   TrafficClass traffic_class() const override;
@@ -42,8 +42,11 @@ class RouteMsg : public Message {
 /// the requester directly.
 class FindSuccessorReq : public Message {
  public:
-  FindSuccessorReq(Key target, PeerAddress requester, uint64_t request_id)
-      : target(target), requester(requester), request_id(request_id) {}
+  FindSuccessorReq(Key target_in, PeerAddress requester_in,
+                   uint64_t request_id_in)
+      : target(target_in),
+        requester(requester_in),
+        request_id(request_id_in) {}
 
   uint64_t SizeBits() const override {
     return 64 + kAddressBits + 64;
@@ -58,8 +61,8 @@ class FindSuccessorReq : public Message {
 
 class FindSuccessorResp : public Message {
  public:
-  FindSuccessorResp(Key target, NodeRef result, uint64_t request_id)
-      : target(target), result(result), request_id(request_id) {}
+  FindSuccessorResp(Key target_in, NodeRef result_in, uint64_t request_id_in)
+      : target(target_in), result(result_in), request_id(request_id_in) {}
 
   uint64_t SizeBits() const override { return 64 + kNodeRefBits + 64; }
   TrafficClass traffic_class() const override { return TrafficClass::kDht; }
@@ -90,7 +93,7 @@ class GetNeighborsResp : public Message {
 /// Chord notify(): "I believe I am your predecessor".
 class NotifyMsg : public Message {
  public:
-  explicit NotifyMsg(NodeRef self) : self(self) {}
+  explicit NotifyMsg(NodeRef self_in) : self(self_in) {}
   uint64_t SizeBits() const override { return kNodeRefBits; }
   TrafficClass traffic_class() const override { return TrafficClass::kDht; }
 

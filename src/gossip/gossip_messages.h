@@ -35,8 +35,8 @@ class HpvJoinMsg : public HyParViewMsg {
 /// Contact -> active view: random walk advertising the joiner.
 class HpvForwardJoinMsg : public HyParViewMsg {
  public:
-  HpvForwardJoinMsg(PeerAddress new_node, int ttl)
-      : new_node(new_node), ttl(ttl) {}
+  HpvForwardJoinMsg(PeerAddress new_node_in, int ttl_in)
+      : new_node(new_node_in), ttl(ttl_in) {}
 
   uint64_t SizeBits() const override { return kAddressBits + kTtlBits; }
 
@@ -50,8 +50,8 @@ class HpvForwardJoinMsg : public HyParViewMsg {
 /// (sender's active view is empty) never is.
 class HpvNeighborMsg : public HyParViewMsg {
  public:
-  explicit HpvNeighborMsg(bool high_priority)
-      : high_priority(high_priority) {}
+  explicit HpvNeighborMsg(bool high_priority_in)
+      : high_priority(high_priority_in) {}
 
   uint64_t SizeBits() const override { return kAddressBits + 8; }
 
@@ -74,7 +74,8 @@ class HpvDisconnectMsg : public HyParViewMsg {
 /// views; the accepting node answers the origin directly.
 class HpvShuffleMsg : public HyParViewMsg {
  public:
-  HpvShuffleMsg(PeerAddress origin, int ttl) : origin(origin), ttl(ttl) {}
+  HpvShuffleMsg(PeerAddress origin_in, int ttl_in)
+      : origin(origin_in), ttl(ttl_in) {}
 
   uint64_t SizeBits() const override {
     return kAddressBits * (2 + sample.size()) + kTtlBits;
@@ -98,9 +99,11 @@ class HpvShuffleReplyMsg : public HyParViewMsg {
 /// (origin, version) with per-origin monotone versions.
 class PtGossipMsg : public HyParViewMsg {
  public:
-  PtGossipMsg(PeerAddress origin, uint64_t version,
-              std::shared_ptr<const ContentSummary> summary)
-      : origin(origin), version(version), summary(std::move(summary)) {}
+  PtGossipMsg(PeerAddress origin_in, uint64_t version_in,
+              std::shared_ptr<const ContentSummary> summary_in)
+      : origin(origin_in),
+        version(version_in),
+        summary(std::move(summary_in)) {}
 
   uint64_t SizeBits() const override {
     return kAddressBits + kVersionBits +
@@ -118,8 +121,8 @@ class PtGossipMsg : public HyParViewMsg {
 /// Plumtree lazy announcement to non-tree neighbors.
 class PtIHaveMsg : public HyParViewMsg {
  public:
-  PtIHaveMsg(PeerAddress origin, uint64_t version)
-      : origin(origin), version(version) {}
+  PtIHaveMsg(PeerAddress origin_in, uint64_t version_in)
+      : origin(origin_in), version(version_in) {}
 
   uint64_t SizeBits() const override { return kAddressBits + kVersionBits; }
 
@@ -131,8 +134,8 @@ class PtIHaveMsg : public HyParViewMsg {
 /// the missing (origin, version).
 class PtGraftMsg : public HyParViewMsg {
  public:
-  PtGraftMsg(PeerAddress origin, uint64_t version)
-      : origin(origin), version(version) {}
+  PtGraftMsg(PeerAddress origin_in, uint64_t version_in)
+      : origin(origin_in), version(version_in) {}
 
   uint64_t SizeBits() const override { return kAddressBits + kVersionBits; }
 

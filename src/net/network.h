@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "net/message.h"
 #include "net/topology.h"
@@ -114,13 +115,16 @@ class Network {
 
   Simulator* sim_;
   const Topology* topology_;
-  std::vector<Peer*> peers_;  // address -> live peer (nullptr = none)
-  mutable std::vector<TrafficCounters> counters_;  // address-indexed
+  // Entries written only by the lane owning that address (registration
+  // and delivery both run on the owner's lane).
+  LANE_CONFINED std::vector<Peer*> peers_;  // address -> live peer
+  LANE_CONFINED mutable std::vector<TrafficCounters>
+      counters_;  // address-indexed
   // Scalar totals, one slot per execution lane (+ control), folded on
   // read so lane events never write shared accumulators.
-  std::vector<std::array<uint64_t, kNumClasses>> total_bits_;
-  std::vector<uint64_t> messages_sent_;
-  std::vector<uint64_t> messages_undeliverable_;
+  LANE_CONFINED std::vector<std::array<uint64_t, kNumClasses>> total_bits_;
+  LANE_CONFINED std::vector<uint64_t> messages_sent_;
+  LANE_CONFINED std::vector<uint64_t> messages_undeliverable_;
 
   static TrafficCounters empty_counters_;
 };

@@ -39,8 +39,10 @@ struct ShardPlan {
   /// `lookahead` of virtual time between barriers.
   SimTime lookahead = kMaxSimTime;
 
-  /// Executor groups (<= num_lanes); lane_group[l] is the contiguous
-  /// group of lane l.
+  /// Executor groups (<= num_lanes); lane_group[l] is the group of lane
+  /// l. Any packing is legal (the planner emits contiguous blocks, but
+  /// the executor keeps explicit lane lists per group); determinism
+  /// never depends on it.
   int num_groups = 1;
   std::vector<int> lane_group;
 };

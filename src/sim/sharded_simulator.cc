@@ -10,11 +10,11 @@ ShardedSimulator::ShardedSimulator(Simulator* sim, Executor executor)
   assert(sim != nullptr && sim->sharded());
   const ShardPlan& plan = sim->shard_plan();
   groups_.resize(static_cast<size_t>(plan.num_groups));
-  for (auto& g : groups_) g = LaneRange{plan.num_lanes, 0};
+  // Ascending lane order within each group (l is ascending here), so
+  // the serial executor and a single-group dispatch both preserve the
+  // canonical lane iteration order.
   for (int l = 0; l < plan.num_lanes; ++l) {
-    LaneRange& g = groups_[static_cast<size_t>(plan.lane_group[l])];
-    g.begin = std::min(g.begin, l);
-    g.end = std::max(g.end, l + 1);
+    groups_[static_cast<size_t>(plan.lane_group[l])].push_back(l);
   }
   if (executor_ == Executor::kThreads && groups_.size() >= 2) {
     workers_.reserve(groups_.size() - 1);
@@ -27,16 +27,16 @@ ShardedSimulator::ShardedSimulator(Simulator* sim, Executor executor)
 ShardedSimulator::~ShardedSimulator() {
   if (!workers_.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       quit_ = true;
     }
-    cv_start_.notify_all();
+    cv_start_.NotifyAll();
     for (std::thread& w : workers_) w.join();
   }
 }
 
-void ShardedSimulator::RunLaneRange(const LaneRange& range, SimTime bound) {
-  for (int lane = range.begin; lane < range.end; ++lane) {
+void ShardedSimulator::RunLanes(const LaneList& lanes, SimTime bound) {
+  for (int lane : lanes) {
     if (sim_->LaneHasEventBefore(lane, bound)) {
       sim_->RunLaneUntil(lane, bound);
     }
@@ -48,18 +48,18 @@ void ShardedSimulator::WorkerLoop(size_t group_index) {
   for (;;) {
     SimTime bound;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock, [this, seen_generation]() {
+      MutexLock lock(&mu_);
+      cv_start_.Wait(&mu_, [this, seen_generation]() REQUIRES(mu_) {
         return quit_ || generation_ != seen_generation;
       });
       if (quit_) return;
       seen_generation = generation_;
       bound = window_bound_;
     }
-    RunLaneRange(groups_[group_index], bound);
+    RunLanes(groups_[group_index], bound);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) cv_done_.notify_one();
+      MutexLock lock(&mu_);
+      if (--pending_ == 0) cv_done_.NotifyOne();
     }
   }
 }
@@ -68,9 +68,9 @@ void ShardedSimulator::DispatchGroups(SimTime bound) {
   // Skip the pool handoff when at most one group has work this window —
   // the common case with sparse event populations.
   int busy = 0;
-  const LaneRange* only = nullptr;
-  for (const LaneRange& g : groups_) {
-    for (int lane = g.begin; lane < g.end; ++lane) {
+  const LaneList* only = nullptr;
+  for (const LaneList& g : groups_) {
+    for (int lane : g) {
       if (sim_->LaneHasEventBefore(lane, bound)) {
         ++busy;
         only = &g;
@@ -82,22 +82,22 @@ void ShardedSimulator::DispatchGroups(SimTime bound) {
   if (busy == 0) return;
   if (busy == 1 || workers_.empty()) {
     if (busy == 1) {
-      RunLaneRange(*only, bound);
+      RunLanes(*only, bound);
     } else {
-      for (const LaneRange& g : groups_) RunLaneRange(g, bound);
+      for (const LaneList& g : groups_) RunLanes(g, bound);
     }
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     window_bound_ = bound;
     pending_ = static_cast<int>(workers_.size());
     ++generation_;
   }
-  cv_start_.notify_all();
-  RunLaneRange(groups_[0], bound);
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this]() { return pending_ == 0; });
+  cv_start_.NotifyAll();
+  RunLanes(groups_[0], bound);
+  MutexLock lock(&mu_);
+  cv_done_.Wait(&mu_, [this]() REQUIRES(mu_) { return pending_ == 0; });
 }
 
 void ShardedSimulator::RunWindow(SimTime bound) {
@@ -106,7 +106,7 @@ void ShardedSimulator::RunWindow(SimTime bound) {
   if (executor_ == Executor::kThreads) {
     DispatchGroups(bound);
   } else {
-    for (const LaneRange& g : groups_) RunLaneRange(g, bound);
+    for (const LaneList& g : groups_) RunLanes(g, bound);
   }
   sim_->ExchangeCrossLane();
 }

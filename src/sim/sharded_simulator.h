@@ -25,12 +25,12 @@
 #ifndef FLOWERCDN_SIM_SHARDED_SIMULATOR_H_
 #define FLOWERCDN_SIM_SHARDED_SIMULATOR_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -61,34 +61,37 @@ class ShardedSimulator {
   int num_groups() const { return static_cast<int>(groups_.size()); }
 
  private:
-  struct LaneRange {
-    int begin = 0;
-    int end = 0;  // exclusive
-  };
+  /// Lanes of one executor group, in ascending lane order. An explicit
+  /// list, not a [min, max) range: ShardPlan::lane_group may pack lanes
+  /// into groups in any pattern, and compressing a non-contiguous group
+  /// to its bounding range would hand the same lane to two workers at
+  /// once (a data race found by tsan_stress_test's round-robin plan).
+  using LaneList = std::vector<int>;
 
   /// One window: control phase, lane phase, barrier. `bound` is the last
   /// event time included in the window.
   void RunWindow(SimTime bound);
-  void RunLaneRange(const LaneRange& range, SimTime bound);
+  void RunLanes(const LaneList& lanes, SimTime bound);
   void WorkerLoop(size_t group_index);
   void DispatchGroups(SimTime bound);
 
   Simulator* sim_;
   Executor executor_;
-  std::vector<LaneRange> groups_;
+  std::vector<LaneList> groups_;
 
   // Worker pool (kThreads with >= 2 groups only). Coordinator publishes
   // {window_bound_, generation_} under mu_; workers run their group and
   // decrement pending_. The mutex handoff is the happens-before edge for
-  // all lane state between phases.
+  // all lane state between phases. The GUARDED_BY contracts are enforced
+  // by clang -Wthread-safety (CI job `thread-safety`).
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  uint64_t generation_ = 0;
-  int pending_ = 0;
-  SimTime window_bound_ = 0;
-  bool quit_ = false;
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  int pending_ GUARDED_BY(mu_) = 0;
+  SimTime window_bound_ GUARDED_BY(mu_) = 0;
+  bool quit_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace flower

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 #include "sim/shard_plan.h"
@@ -211,19 +212,24 @@ class Simulator {
     EventFn fn;
   };
 
+  // Everything in a Lane is confined to the thread currently dispatching
+  // that lane's events: the ShardedSimulator runs each lane on exactly
+  // one worker per window, and the barrier's mutex handoff publishes the
+  // state before any cross-lane read (merge, NextEventTime, folds).
   struct Lane {
     explicit Lane(uint64_t seed) : rng(seed) {}
-    EventQueue queue;
-    SimTime now = 0;
-    uint64_t events_processed = 0;
-    Rng rng;
-    uint64_t next_post_seq = 0;
-    std::vector<CrossLanePost> outbox;
+    LANE_CONFINED EventQueue queue;
+    LANE_CONFINED SimTime now = 0;
+    LANE_CONFINED uint64_t events_processed = 0;
+    LANE_CONFINED Rng rng;
+    LANE_CONFINED uint64_t next_post_seq = 0;
+    LANE_CONFINED std::vector<CrossLanePost> outbox;
   };
 
   struct ShardState {
     ShardPlan plan;
     std::vector<std::unique_ptr<Lane>> lanes;
+    // Coordinator-only barrier scratch (ExchangeCrossLane).
     std::vector<CrossLanePost> exchange_scratch;
   };
 

@@ -92,6 +92,9 @@ std::vector<PeerAddress> SquirrelSystem::ParticipantAddresses() const {
   for (const auto& [node, peer] : nodes_) {
     if (peer->alive()) out.push_back(peer->address());
   }
+  // nodes_ is a hash map: return the harvest in address order so no
+  // caller can inherit bucket order (detlint rule unordered-iteration).
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/config.h"
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 #include "common/time_series.h"
 #include "common/types.h"
 #include "net/network.h"
@@ -253,9 +254,12 @@ class Metrics {
   std::array<uint64_t, static_cast<size_t>(ProviderKind::kNumKinds)>
       serves_by_kind_{};
 
-  // Lane mode (empty = plain single collector).
-  std::vector<std::unique_ptr<Metrics>> lanes_;
-  mutable std::unique_ptr<Metrics> folded_;
+  // Lane mode (empty = plain single collector). Each sub-collector is
+  // written only via Self() from its owning lane; folds run at barriers.
+  LANE_CONFINED std::vector<std::unique_ptr<Metrics>> lanes_;
+  // Scratch for Folded(): rebuilt on read bursts, which only happen in
+  // control context (observers, end of run) — never inside lane events.
+  LANE_CONFINED mutable std::unique_ptr<Metrics> folded_;
 };
 
 }  // namespace flower

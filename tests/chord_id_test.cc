@@ -76,7 +76,9 @@ TEST(IdSpaceTest, IntervalConsistencyProperty) {
       EXPECT_FALSE(open);
       EXPECT_TRUE(half);
     }
-    if (open && a != b) EXPECT_TRUE(half);
+    if (open && a != b) {
+      EXPECT_TRUE(half);
+    }
     // Distances are consistent with membership.
     if (a != b && x != a) {
       bool expect = s.ClockwiseDistance(a, x) < s.ClockwiseDistance(a, b);

@@ -1,0 +1,11 @@
+// detlint fixture: allow-missing-reason rule.
+#include <ctime>
+
+namespace fixture {
+
+// BAD: the waiver has no justification, so the underlying wall-clock
+// finding stays AND the naked allow() is itself reported.
+// detlint: allow(wall-clock)
+long NakedWaiver() { return time(nullptr); }
+
+}  // namespace fixture

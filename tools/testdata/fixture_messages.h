@@ -1,0 +1,62 @@
+// detlint fixture: msg-traffic-class rule (file name contains
+// "message", so the rule applies).
+#ifndef DETLINT_FIXTURE_MESSAGES_H_
+#define DETLINT_FIXTURE_MESSAGES_H_
+
+#include <cstdint>
+
+namespace fixture {
+
+enum class TrafficClass { kQuery, kGossip };
+
+// OK: declares both accounting members.
+class GoodMsg : public Message {
+ public:
+  uint64_t SizeBits() const override { return 64; }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kQuery;
+  }
+};
+
+// BAD: no SizeBits(), no traffic_class() — its bits are invisible to
+// the background-traffic metric.
+class UnaccountedMsg : public Message {
+ public:
+  int payload = 0;
+};
+
+// BAD: declares size but not the class of traffic it bills to.
+class HalfAccountedMsg : public Message {
+ public:
+  uint64_t SizeBits() const override { return 128; }
+};
+
+// OK: intermediate envelope — the obligation falls on concrete leaves.
+class EnvelopeMsg : public Message {
+ public:
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kGossip;
+  }
+};
+
+// OK: inherits traffic_class() from the envelope, declares SizeBits().
+class LeafMsg : public EnvelopeMsg {
+ public:
+  uint64_t SizeBits() const override { return 32; }
+};
+
+// BAD: leaf that inherits only traffic_class(); still missing SizeBits.
+class BareLeafMsg : public EnvelopeMsg {
+ public:
+  int hops = 0;
+};
+
+// OK: not a Message at all — rule does not apply.
+class Codec {
+ public:
+  uint64_t SizeBits() const { return 0; }
+};
+
+}  // namespace fixture
+
+#endif  // DETLINT_FIXTURE_MESSAGES_H_

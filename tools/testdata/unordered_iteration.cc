@@ -1,0 +1,101 @@
+// detlint fixture: unordered-iteration rule. Each BAD site below must
+// appear in expected_findings.txt; each OK site must not.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fixture {
+
+struct Peer {
+  int id;
+};
+
+struct Metrics {
+  void OnQuery(int) {}
+};
+
+struct World {
+  std::unordered_map<int, Peer> peers;
+  std::unordered_set<int> live;
+  std::map<int, Peer> ordered_peers;
+  std::vector<std::unordered_map<int, Peer>> partitions;
+};
+
+// BAD: RNG draw per element — bucket order decides draw attribution.
+void DrawPerPeer(World& w, flower::Rng* rng) {
+  for (auto& [id, peer] : w.peers) {
+    if (rng->Bernoulli(0.5)) peer.id = 0;
+  }
+}
+
+// BAD: metrics written in hash-bucket order.
+void CountPeers(World& w, Metrics* metrics) {
+  for (const auto& [id, peer] : w.peers) {
+    metrics->OnQuery(peer.id);
+  }
+}
+
+// BAD: builds an ordered result without sorting it afterwards.
+std::vector<int> HarvestUnsorted(const World& w) {
+  std::vector<int> out;
+  for (const auto& id : w.live) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+// BAD: nested partitions — the element bound from the outer loop is an
+// unordered map, and the inner harvest is never sorted.
+std::vector<int> HarvestPartitions(const World& w) {
+  std::vector<int> out;
+  for (const auto& part : w.partitions) {
+    for (const auto& [id, peer] : part) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+// OK: the canonical fix — harvest then sort in the same function.
+std::vector<int> HarvestSorted(const World& w) {
+  std::vector<int> out;
+  for (const auto& id : w.live) {
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// OK: std::map iterates in key order.
+std::vector<int> HarvestOrdered(const World& w) {
+  std::vector<int> out;
+  for (const auto& [id, peer] : w.ordered_peers) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+// OK: pure lookup/aggregation with no ordered output in the body.
+int CountLive(const World& w) {
+  int n = 0;
+  for (const auto& id : w.live) {
+    n += id;
+  }
+  return n;
+}
+
+// OK: waived with a justified allow comment.
+std::vector<int> HarvestWaived(const World& w) {
+  std::vector<int> out;
+  // detlint: allow(unordered-iteration) — order folded away by caller's sort
+  for (const auto& id : w.live) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace fixture

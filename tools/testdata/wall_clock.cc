@@ -1,0 +1,39 @@
+// detlint fixture: wall-clock rule.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+struct Query {
+  long submit_time(int) const { return 0; }
+};
+
+// BAD: steady_clock read inside the simulation.
+double ElapsedMs() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// BAD: C time and ambient entropy.
+long Seeds() {
+  long s = time(nullptr);
+  s += static_cast<long>(clock());
+  s += std::rand();
+  std::random_device rd;
+  s += static_cast<long>(rd());
+  return s;
+}
+
+// OK: method named *time( is not the libc time() call.
+long QueryTime(const Query& q) {
+  return q.submit_time(0);
+}
+
+// OK: waived — diagnostics-only timing.
+// detlint: allow(wall-clock) — diagnostics-only wall timing
+long Waived() { return time(nullptr); }
+
+}  // namespace fixture
