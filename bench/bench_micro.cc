@@ -28,6 +28,8 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "legacy_event_queue.h"
+#include "sim/calendar_queue.h"
+#include "sim/engine_queue.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
@@ -209,10 +211,16 @@ namespace {
 // --- Engine microbenchmark suite (no google-benchmark needed) -----------------
 //
 // Measures the simulation engine's raw event throughput — push/pop,
-// push/cancel/pop, and a steady-state pop-one-push-one loop — for the
-// pooled EventQueue and the legacy shared_ptr/std::function queue it
-// replaced, plus end-to-end Simulator dispatch. `json[=PATH]` writes
-// BENCH_engine.json, the perf-trajectory file CI uploads.
+// push/cancel/pop, and steady-state pop-one-push-one loops at several
+// warm-queue depths — for three engines: the legacy
+// shared_ptr/std::function queue, the pooled 4-ary heap EventQueue
+// (`sim_engine=heap`), and the ladder CalendarQueue
+// (`sim_engine=calendar`); plus end-to-end Simulator dispatch for the
+// two production engines. The steady_64/steady_512 suites chart the
+// crossover: at small live sets the heap's shallow sift beats the
+// ladder's bucket machinery, at paper-scale sets the O(1) calendar
+// wins. `json[=PATH]` writes BENCH_engine.json, the perf-trajectory
+// file CI uploads, including one geomean summary row per engine.
 
 /// The size class of the hot scheduling closures (message delivery
 /// captures this+addresses+sizes+the message pointer, ~40 bytes): big
@@ -243,6 +251,9 @@ std::vector<SimTime> MakeTimes(int64_t n, SimTime range) {
 /// loop does: the pooled queue invokes the callback in its slot
 /// (RunNextIfBefore), the legacy queue moves the std::function out.
 inline bool DispatchOne(EventQueue& q, SimTime* t) {
+  return q.RunNextIfBefore(kMaxSimTime, [t](SimTime when) { *t = when; });
+}
+inline bool DispatchOne(CalendarQueue& q, SimTime* t) {
   return q.RunNextIfBefore(kMaxSimTime, [t](SimTime when) { *t = when; });
 }
 inline bool DispatchOne(bench::LegacyEventQueue& q, SimTime* t) {
@@ -278,6 +289,10 @@ struct HandleOf<EventQueue> {
   using type = EventHandle;
 };
 template <>
+struct HandleOf<CalendarQueue> {
+  using type = EventHandle;
+};
+template <>
 struct HandleOf<bench::LegacyEventQueue> {
   using type = bench::LegacyEventHandle;
 };
@@ -305,24 +320,26 @@ double SuitePushCancelPop(int64_t n, uint64_t* sink) {
   return MsBetween(start, std::chrono::steady_clock::now());
 }
 
-/// Steady state: a warm queue of 16384 events (a paper-scale pending set); each op dispatches the
-/// earliest and pushes a replacement — the pool's slot-reuse sweet spot,
-/// and the shape of a simulation in its main phase.
-template <typename Queue>
+/// Steady state: a warm queue of Depth pending events; each op
+/// dispatches the earliest and pushes a replacement — the pool's
+/// slot-reuse sweet spot, and the shape of a simulation in its main
+/// phase. Depth=16384 is a paper-scale pending set (where the calendar's
+/// O(1) amortized ops pay off); 64 and 512 chart the small-warm-queue
+/// crossover against the heap's shallow O(log n) sift.
+template <typename Queue, int64_t Depth>
 double SuiteSteadyState(int64_t n, uint64_t* sink) {
-  constexpr int64_t kDepth = 16384;
-  const std::vector<SimTime> times = MakeTimes(n + kDepth, 10000);
+  const std::vector<SimTime> times = MakeTimes(n + Depth, 10000);
   HotCapture cap;
   cap.sink = sink;
   const auto start = std::chrono::steady_clock::now();
   Queue q;
-  for (int64_t i = 0; i < kDepth; ++i) {
+  for (int64_t i = 0; i < Depth; ++i) {
     q.Push(times[static_cast<size_t>(i)], [cap]() { *cap.sink += cap.d; });
   }
   SimTime t = 0;
   for (int64_t i = 0; i < n; ++i) {
     DispatchOne(q, &t);
-    q.Push(t + 1 + times[static_cast<size_t>(kDepth + i)],
+    q.Push(t + 1 + times[static_cast<size_t>(Depth + i)],
            [cap]() { *cap.sink += cap.d; });
   }
   return MsBetween(start, std::chrono::steady_clock::now());
@@ -359,11 +376,14 @@ double SuiteDeliveryLegacy(int64_t n, uint64_t* sink) {
   return MsBetween(start, std::chrono::steady_clock::now());
 }
 
+/// Slot-pool engines (heap and calendar) move the unique_ptr straight
+/// into the slot-stored closure — one allocation (the message itself).
+template <typename Queue>
 double SuiteDeliveryPooled(int64_t n, uint64_t* sink) {
   constexpr int64_t kDepth = 16384;
   const std::vector<SimTime> times = MakeTimes(n + kDepth, 10000);
   const auto start = std::chrono::steady_clock::now();
-  EventQueue q;
+  Queue q;
   auto send = [&q, sink](SimTime at) {
     auto msg = std::make_unique<FakeMsg>();
     q.Push(at, [m = std::move(msg), sink]() { *sink += m->payload[0]; });
@@ -379,27 +399,34 @@ double SuiteDeliveryPooled(int64_t n, uint64_t* sink) {
   return MsBetween(start, std::chrono::steady_clock::now());
 }
 
-/// End-to-end Simulator dispatch (pooled engine only: the Simulator is
-/// the production wiring around the queue).
-double SuiteSimDispatch(int64_t n, uint64_t* sink) {
+/// End-to-end Simulator dispatch (production engines only: the
+/// Simulator is the production wiring around the queue).
+double SuiteSimDispatch(int64_t n, uint64_t* sink, SimEngine engine) {
   HotCapture cap;
   cap.sink = sink;
   const auto start = std::chrono::steady_clock::now();
-  Simulator sim(1);
+  Simulator sim(1, engine);
   for (int64_t i = 0; i < n; ++i) {
     sim.Schedule(i % 100000, [cap]() { *cap.sink += cap.a; });
   }
   sim.Run();
   return MsBetween(start, std::chrono::steady_clock::now());
 }
+double SuiteSimDispatchHeap(int64_t n, uint64_t* sink) {
+  return SuiteSimDispatch(n, sink, SimEngine::kHeap);
+}
+double SuiteSimDispatchCalendar(int64_t n, uint64_t* sink) {
+  return SuiteSimDispatch(n, sink, SimEngine::kCalendar);
+}
 
 struct EngineRecord {
   std::string suite;
-  std::string engine;  // "pooled" | "legacy"
+  std::string engine;  // "legacy" | "pooled" (heap) | "calendar"
   int64_t events = 0;
   double wall_ms = 0;
   double events_per_sec = 0;
-  double speedup_vs_legacy = 0;  // pooled records only; 0 = n/a
+  double speedup_vs_legacy = 0;  // pooled/calendar records only; 0 = n/a
+  double speedup_vs_pooled = 0;  // calendar records only; 0 = n/a
 };
 
 /// Best-of-`reps` wall time for one suite body.
@@ -441,6 +468,9 @@ void WriteEngineJson(const std::string& path,
     if (r.speedup_vs_legacy > 0) {
       std::fprintf(f, ",\"speedup_vs_legacy\":%.2f", r.speedup_vs_legacy);
     }
+    if (r.speedup_vs_pooled > 0) {
+      std::fprintf(f, ",\"speedup_vs_pooled\":%.2f", r.speedup_vs_pooled);
+    }
     std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -474,11 +504,11 @@ int RunEngineBench(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("Engine microbenchmark: pooled EventQueue vs legacy "
+  std::printf("Engine microbenchmark: legacy vs pooled heap vs calendar "
               "(events=%lld, best of %d)\n",
               static_cast<long long>(events), reps);
-  std::printf("  %-16s %-8s %-12s %-14s %-10s\n", "suite", "engine",
-              "wall_ms", "events/sec", "speedup");
+  std::printf("  %-16s %-9s %-12s %-14s %-10s %-10s\n", "suite", "engine",
+              "wall_ms", "events/sec", "vs_legacy", "vs_pooled");
 
   uint64_t sink = 0;
   std::vector<EngineRecord> records;
@@ -486,47 +516,98 @@ int RunEngineBench(int argc, char** argv) {
     const char* name;
     double (*legacy)(int64_t, uint64_t*);
     double (*pooled)(int64_t, uint64_t*);
+    double (*calendar)(int64_t, uint64_t*);
   };
   const Suite suites[] = {
       {"push_pop", &SuitePushPop<bench::LegacyEventQueue>,
-       &SuitePushPop<EventQueue>},
+       &SuitePushPop<EventQueue>, &SuitePushPop<CalendarQueue>},
       {"push_cancel_pop", &SuitePushCancelPop<bench::LegacyEventQueue>,
-       &SuitePushCancelPop<EventQueue>},
-      {"steady_state", &SuiteSteadyState<bench::LegacyEventQueue>,
-       &SuiteSteadyState<EventQueue>},
-      {"message_delivery", &SuiteDeliveryLegacy, &SuiteDeliveryPooled},
+       &SuitePushCancelPop<EventQueue>, &SuitePushCancelPop<CalendarQueue>},
+      {"steady_64", &SuiteSteadyState<bench::LegacyEventQueue, 64>,
+       &SuiteSteadyState<EventQueue, 64>,
+       &SuiteSteadyState<CalendarQueue, 64>},
+      {"steady_512", &SuiteSteadyState<bench::LegacyEventQueue, 512>,
+       &SuiteSteadyState<EventQueue, 512>,
+       &SuiteSteadyState<CalendarQueue, 512>},
+      {"steady_state", &SuiteSteadyState<bench::LegacyEventQueue, 16384>,
+       &SuiteSteadyState<EventQueue, 16384>,
+       &SuiteSteadyState<CalendarQueue, 16384>},
+      {"message_delivery", &SuiteDeliveryLegacy,
+       &SuiteDeliveryPooled<EventQueue>, &SuiteDeliveryPooled<CalendarQueue>},
   };
 
-  double speedup_product = 1.0;
+  const auto print_row = [](const EngineRecord& r) {
+    std::printf("  %-16s %-9s %-12s %-14s %-10s %-10s\n", r.suite.c_str(),
+                r.engine.c_str(), bench::Fmt(r.wall_ms, 2).c_str(),
+                bench::Fmt(r.events_per_sec, 0).c_str(),
+                r.speedup_vs_legacy > 0
+                    ? (bench::Fmt(r.speedup_vs_legacy, 2) + "x").c_str()
+                    : "-",
+                r.speedup_vs_pooled > 0
+                    ? (bench::Fmt(r.speedup_vs_pooled, 2) + "x").c_str()
+                    : "-");
+  };
+
+  double pooled_product = 1.0;
+  double calendar_legacy_product = 1.0;
+  double calendar_pooled_product = 1.0;
   for (const Suite& suite : suites) {
     EngineRecord legacy =
         MeasureSuite(suite.name, "legacy", events, reps, &sink, suite.legacy);
     EngineRecord pooled =
         MeasureSuite(suite.name, "pooled", events, reps, &sink, suite.pooled);
+    EngineRecord calendar = MeasureSuite(suite.name, "calendar", events,
+                                         reps, &sink, suite.calendar);
     pooled.speedup_vs_legacy =
         legacy.wall_ms > 0 ? legacy.wall_ms / pooled.wall_ms : 0;
-    speedup_product *= pooled.speedup_vs_legacy;
-    std::printf("  %-16s %-8s %-12s %-14s %-10s\n", legacy.suite.c_str(),
-                "legacy", bench::Fmt(legacy.wall_ms, 2).c_str(),
-                bench::Fmt(legacy.events_per_sec, 0).c_str(), "-");
-    std::printf("  %-16s %-8s %-12s %-14s %-10s\n", pooled.suite.c_str(),
-                "pooled", bench::Fmt(pooled.wall_ms, 2).c_str(),
-                bench::Fmt(pooled.events_per_sec, 0).c_str(),
-                (bench::Fmt(pooled.speedup_vs_legacy, 2) + "x").c_str());
+    calendar.speedup_vs_legacy =
+        legacy.wall_ms > 0 ? legacy.wall_ms / calendar.wall_ms : 0;
+    calendar.speedup_vs_pooled =
+        pooled.wall_ms > 0 ? pooled.wall_ms / calendar.wall_ms : 0;
+    pooled_product *= pooled.speedup_vs_legacy;
+    calendar_legacy_product *= calendar.speedup_vs_legacy;
+    calendar_pooled_product *= calendar.speedup_vs_pooled;
+    print_row(legacy);
+    print_row(pooled);
+    print_row(calendar);
     records.push_back(legacy);
     records.push_back(pooled);
+    records.push_back(calendar);
   }
-  EngineRecord dispatch = MeasureSuite("sim_dispatch", "pooled", events,
-                                       reps, &sink, &SuiteSimDispatch);
-  std::printf("  %-16s %-8s %-12s %-14s %-10s\n", "sim_dispatch", "pooled",
-              bench::Fmt(dispatch.wall_ms, 2).c_str(),
-              bench::Fmt(dispatch.events_per_sec, 0).c_str(), "-");
-  records.push_back(dispatch);
+  EngineRecord dispatch_heap = MeasureSuite("sim_dispatch", "pooled", events,
+                                            reps, &sink, &SuiteSimDispatchHeap);
+  EngineRecord dispatch_cal = MeasureSuite(
+      "sim_dispatch", "calendar", events, reps, &sink,
+      &SuiteSimDispatchCalendar);
+  dispatch_cal.speedup_vs_pooled = dispatch_heap.wall_ms > 0
+                                       ? dispatch_heap.wall_ms /
+                                             dispatch_cal.wall_ms
+                                       : 0;
+  print_row(dispatch_heap);
+  print_row(dispatch_cal);
+  records.push_back(dispatch_heap);
+  records.push_back(dispatch_cal);
 
-  const double geomean_speedup = std::pow(
-      speedup_product, 1.0 / static_cast<double>(std::size(suites)));
-  std::printf("\n  geomean speedup pooled vs legacy: %sx\n",
-              bench::Fmt(geomean_speedup, 2).c_str());
+  const double n_suites = static_cast<double>(std::size(suites));
+  EngineRecord geo_pooled;
+  geo_pooled.suite = "geomean";
+  geo_pooled.engine = "pooled";
+  geo_pooled.speedup_vs_legacy = std::pow(pooled_product, 1.0 / n_suites);
+  EngineRecord geo_calendar;
+  geo_calendar.suite = "geomean";
+  geo_calendar.engine = "calendar";
+  geo_calendar.speedup_vs_legacy =
+      std::pow(calendar_legacy_product, 1.0 / n_suites);
+  geo_calendar.speedup_vs_pooled =
+      std::pow(calendar_pooled_product, 1.0 / n_suites);
+  records.push_back(geo_pooled);
+  records.push_back(geo_calendar);
+  std::printf("\n  geomean speedup pooled vs legacy:   %sx\n",
+              bench::Fmt(geo_pooled.speedup_vs_legacy, 2).c_str());
+  std::printf("  geomean speedup calendar vs legacy: %sx\n",
+              bench::Fmt(geo_calendar.speedup_vs_legacy, 2).c_str());
+  std::printf("  geomean speedup calendar vs pooled: %sx\n",
+              bench::Fmt(geo_calendar.speedup_vs_pooled, 2).c_str());
   if (!json_path.empty()) {
     WriteEngineJson(json_path, records);
     std::printf("  wrote %s\n", json_path.c_str());

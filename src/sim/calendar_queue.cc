@@ -1,0 +1,256 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flower {
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void CalendarQueue::SizeRung(size_t n, SimTime span, SimTime* width,
+                             size_t* count) {
+  assert(span >= 1);
+  const size_t buckets =
+      std::min(NextPow2(std::max<size_t>(n, 1)), kMaxBuckets);
+  SimTime w = (span + static_cast<SimTime>(buckets) - 1) /
+              static_cast<SimTime>(buckets);
+  if (w < 1) w = 1;
+  *width = w;
+  *count = static_cast<size_t>((span + w - 1) / w);
+}
+
+std::vector<CalendarQueue::Item> CalendarQueue::AcquireBucket() const {
+  Ladder& l = ladder_;
+  if (l.bucket_pool.empty()) return {};
+  std::vector<Item> bucket = std::move(l.bucket_pool.back());
+  l.bucket_pool.pop_back();
+  return bucket;
+}
+
+void CalendarQueue::Place(const Item& item, SimTime t) const {
+  Ladder& l = ladder_;
+  if (t < l.bottom_end) {
+    // Inside the span dispatch already reached (including same-time
+    // pushes from a firing callback and pushes below the dispatch
+    // point): binary-insert into the sorted bottom. Entries before
+    // bottom_pos carry strictly smaller (time, seq) keys — seq grows
+    // monotonically — so the insertion point is always at or after it.
+    const auto pos = std::upper_bound(
+        l.bottom.begin() + static_cast<std::ptrdiff_t>(l.bottom_pos),
+        l.bottom.end(), item,
+        [](const Item& a, const Item& b) { return Earlier(a, b); });
+    l.bottom.insert(pos, item);
+    return;
+  }
+  if (t < l.top_start) {
+    // Innermost rung first: the finest geometry that covers t wins.
+    for (size_t i = l.rungs.size(); i-- > 0;) {
+      Rung& rung = l.rungs[i];
+      if (t >= rung.end()) continue;
+      const size_t idx =
+          static_cast<size_t>((t - rung.start) / rung.width);
+      assert(idx >= rung.cur && idx < rung.buckets.size());
+      rung.buckets[idx].push_back(item);
+      return;
+    }
+    // No rung covers t (the ladder drained while top still holds later
+    // events): top takes it; the next spawn recomputes bounds from
+    // actual content.
+  }
+  l.top.push_back(item);
+  if (t < l.top_min) l.top_min = t;
+  if (t > l.top_max) l.top_max = t;
+}
+
+void CalendarQueue::SpillBucket(std::vector<Item>* bucket, SimTime start,
+                                SimTime span) const {
+  Ladder& l = ladder_;
+  SimTime width;
+  size_t count;
+  SizeRung(bucket->size(), span, &width, &count);
+  assert(width < span && "spill must refine the geometry");
+  Rung rung;
+  if (!l.rung_pool.empty()) {
+    rung = std::move(l.rung_pool.back());
+    l.rung_pool.pop_back();
+  }
+  rung.start = start;
+  rung.width = width;
+  rung.cur = 0;
+  while (rung.buckets.size() < count) rung.buckets.push_back(AcquireBucket());
+  for (const Item& item : *bucket) {
+    rung.buckets[static_cast<size_t>((item.Time() - start) / width)]
+        .push_back(item);
+  }
+  l.rungs.push_back(std::move(rung));
+}
+
+void CalendarQueue::SpawnRungFromTop() const {
+  Ladder& l = ladder_;
+  assert(l.rungs.empty() && !l.top.empty());
+  // Skim cancelled entries and recompute the span in one pass, so the
+  // rung geometry reflects the *live* population observed right now —
+  // this spawn boundary is where the calendar "resizes".
+  size_t live_count = 0;
+  SimTime lo = kMaxSimTime;
+  SimTime hi = -1;
+  for (const Item& item : l.top) {
+    if (!ItemLive(item)) continue;
+    l.top[live_count++] = item;
+    const SimTime t = item.Time();
+    if (t < lo) lo = t;
+    if (t > hi) hi = t;
+  }
+  l.top.resize(live_count);
+  if (live_count == 0) {
+    l.top_min = kMaxSimTime;
+    l.top_max = -1;
+    return;  // caller loops and reports an empty queue
+  }
+  SimTime width;
+  size_t count;
+  SizeRung(live_count, hi - lo + 1, &width, &count);
+  Rung rung;
+  if (!l.rung_pool.empty()) {
+    rung = std::move(l.rung_pool.back());
+    l.rung_pool.pop_back();
+  }
+  rung.start = lo;
+  rung.width = width;
+  rung.cur = 0;
+  while (rung.buckets.size() < count) rung.buckets.push_back(AcquireBucket());
+  for (const Item& item : l.top) {
+    rung.buckets[static_cast<size_t>((item.Time() - lo) / width)].push_back(
+        item);
+  }
+  l.top.clear();
+  l.top_min = kMaxSimTime;
+  l.top_max = -1;
+  l.top_start = rung.end();
+  l.rungs.push_back(std::move(rung));
+}
+
+void CalendarQueue::RetireInnermostRung() const {
+  Ladder& l = ladder_;
+  Rung rung = std::move(l.rungs.back());
+  l.rungs.pop_back();
+  // Recycle storage, capped so a one-off giant rung cannot pin memory.
+  for (std::vector<Item>& bucket : rung.buckets) {
+    if (l.bucket_pool.size() >= 2 * kMaxBuckets) break;
+    bucket.clear();
+    l.bucket_pool.push_back(std::move(bucket));
+  }
+  rung.buckets.clear();
+  rung.cur = 0;
+  if (l.rung_pool.size() < 16) l.rung_pool.push_back(std::move(rung));
+}
+
+bool CalendarQueue::EnsureFront() const {
+  Ladder& l = ladder_;
+  for (;;) {
+    // Skim stale (cancelled) fronts lazily, exactly like the heap skims
+    // its root.
+    while (l.bottom_pos < l.bottom.size() &&
+           !ItemLive(l.bottom[l.bottom_pos])) {
+      ++l.bottom_pos;
+    }
+    if (l.bottom_pos < l.bottom.size()) return true;
+    l.bottom.clear();
+    l.bottom_pos = 0;
+
+    // Walk to the innermost rung with an undrained non-empty bucket,
+    // retiring exhausted child rungs on the way out.
+    while (!l.rungs.empty()) {
+      Rung& rung = l.rungs.back();
+      while (rung.cur < rung.buckets.size() &&
+             rung.buckets[rung.cur].empty()) {
+        ++rung.cur;
+      }
+      if (rung.cur < rung.buckets.size()) break;
+      RetireInnermostRung();
+    }
+    if (l.rungs.empty()) {
+      if (l.top.empty()) return false;
+      SpawnRungFromTop();
+      continue;
+    }
+
+    Rung& rung = l.rungs.back();
+    // Everything earlier than this bucket is already in bottom (or
+    // fired): later pushes below this edge binary-insert into bottom.
+    l.bottom_end = rung.BucketStart(rung.cur);
+    std::vector<Item> bucket = std::move(rung.buckets[rung.cur]);
+    const SimTime bucket_start = l.bottom_end;
+    const SimTime bucket_width = rung.width;
+    ++rung.cur;
+    // Skim before deciding to spill: cancelled entries must neither
+    // force subdivision nor get sorted.
+    bucket.erase(
+        std::remove_if(bucket.begin(), bucket.end(),
+                       [this](const Item& item) { return !ItemLive(item); }),
+        bucket.end());
+    if (bucket.empty()) {
+      l.bucket_pool.push_back(std::move(bucket));
+      continue;
+    }
+    if (bucket.size() > kSpillThreshold && bucket_width > 1) {
+      // Sustained occupancy skew: subdivide this span with a finer
+      // child rung instead of one big sort. (`rung` is invalidated by
+      // the push_back inside.)
+      SpillBucket(&bucket, bucket_start, bucket_width);
+      bucket.clear();
+      l.bucket_pool.push_back(std::move(bucket));
+      continue;
+    }
+    // Small bucket (or already at 1 ms granularity, where the sort is
+    // pure seq order): becomes the new bottom.
+    std::sort(bucket.begin(), bucket.end(),
+              [](const Item& a, const Item& b) { return Earlier(a, b); });
+    l.bucket_pool.push_back(std::move(l.bottom));
+    l.bottom = std::move(bucket);
+    l.bottom_pos = 0;
+    l.bottom_end = bucket_start + bucket_width;
+  }
+}
+
+EventHandle CalendarQueue::Push(SimTime t, EventFn fn) {
+  assert(t >= 0);
+  const uint32_t index = AllocSlot();
+  const uint64_t seq = next_seq_++;
+  Slot& slot = SlotAt(index);
+  slot.fn = std::move(fn);
+  slot.seq = seq;
+  Place(Item::Make(t, seq, index), t);
+  ++live_;
+  return MakeHandle(index, seq);
+}
+
+SimTime CalendarQueue::NextTime() const {
+  const bool has_front = EnsureFront();
+  assert(has_front);
+  (void)has_front;
+  return ladder_.bottom[ladder_.bottom_pos].Time();
+}
+
+EventFn CalendarQueue::Pop(SimTime* t) {
+  const bool has_front = EnsureFront();
+  assert(has_front);
+  (void)has_front;
+  const Item item = ladder_.bottom[ladder_.bottom_pos];
+  ++ladder_.bottom_pos;
+  EventFn fn = std::move(SlotAt(item.slot).fn);
+  FreeSlot(item.slot);  // invalidates the seq: handles go stale (fired)
+  --live_;
+  *t = item.Time();
+  return fn;
+}
+
+}  // namespace flower

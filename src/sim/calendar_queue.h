@@ -1,0 +1,156 @@
+// Ladder calendar queue — the `sim_engine=calendar` engine: O(1)
+// amortized push/pop for the simulator's workload shape (a large live
+// set of pending timers with strong temporal locality), vs the 4-ary
+// heap's O(log n) comparison tree (event_queue.h).
+//
+// Structure (Brown '88 calendar queue + the ladder refinement of Tang,
+// Goh & Thng '05):
+//  - TOP: an unsorted array of far-future events, with their observed
+//    [min, max] time span.
+//  - RUNGS: a stack of bucket arrays. Rung 0 is spawned lazily from TOP
+//    when dispatch first reaches it, sized by what TOP actually holds
+//    (bucket width ~ span / live count, capped) — the "lazy resize":
+//    bucket geometry always reflects the event population measured at
+//    the spawn boundary, not a guess made earlier. A drained bucket
+//    whose (post-skim) population is still large spills into a child
+//    rung with geometrically finer buckets, so sustained occupancy skew
+//    is subdivided exactly where it occurs and only when dispatch
+//    reaches it.
+//  - BOTTOM: the current bucket, sorted by the shared 128-bit
+//    (time, seq) key and consumed front to back. Events pushed at times
+//    before the next undrained bucket (including same-time pushes from
+//    inside a firing callback) binary-insert here, which preserves the
+//    exact FIFO tie-break: pop order is the identical (time, seq) total
+//    order the heap engine produces, so runs are bit-identical across
+//    engines.
+//
+// Sorting costs O(k log k) per bucket of k events, but k is bounded by
+// the spill threshold (or the bucket width is already 1 ms, where the
+// sort is pure seq order), so the per-event cost is a small constant:
+// each event is touched ~once per ladder level (push into top,
+// distribute into a bucket, sort into bottom) instead of O(log n) sift
+// steps per operation. Bucket arrays, rung shells and the bottom buffer
+// are recycled through free pools, so a warm queue allocates nothing —
+// the same discipline as the slot slabs.
+//
+// Cancellation, handles, slot reuse and teardown are the shared
+// EventPool protocol (event_pool.h): cancel frees the slot immediately,
+// the stale ordering entry is skimmed when dispatch meets it (bucket
+// drain, rung spawn, or the bottom front).
+#ifndef FLOWERCDN_SIM_CALENDAR_QUEUE_H_
+#define FLOWERCDN_SIM_CALENDAR_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/event_fn.h"
+#include "sim/event_pool.h"
+
+namespace flower {
+
+class CalendarQueue : public EventPool {
+ public:
+  CalendarQueue() = default;
+  ~CalendarQueue() = default;
+
+  /// Schedules fn at absolute time t. Requires t >= 0. Times before the
+  /// current dispatch point are legal (they pop next), same as the heap.
+  EventHandle Push(SimTime t, EventFn fn);
+
+  bool empty() const { return live_size() == 0; }
+
+  /// Time of the earliest live event. Requires !empty().
+  SimTime NextTime() const;
+
+  /// Pops the earliest live event: removes it and returns its callback
+  /// (without running it). Requires !empty(). Reports the event time via
+  /// *t.
+  EventFn Pop(SimTime* t);
+
+  /// Dispatch fast path; contract identical to
+  /// EventQueue::RunNextIfBefore (the Simulator is engine-agnostic).
+  template <typename BeforeFn>
+  bool RunNextIfBefore(SimTime bound, BeforeFn&& before) {
+    if (!EnsureFront()) return false;
+    const Item item = ladder_.bottom[ladder_.bottom_pos];
+    if (item.Time() > bound) return false;
+    ++ladder_.bottom_pos;
+    Slot& slot = SlotAt(item.slot);
+    // Stale the seq first: handles read "fired" from here on, so a
+    // Cancel from inside the callback cannot double-free the slot.
+    slot.seq = kFreeSeq;
+    --live_;
+    before(item.Time());
+    // Invoke+destroy in place; slabs are stable and bottom is not
+    // referenced across the call, so pushes during it are safe.
+    slot.fn.InvokeAndReset();
+    RecycleSlot(item.slot);
+    return true;
+  }
+
+  /// Diagnostics: rungs currently in the ladder (depth of subdivision).
+  size_t num_rungs() const { return ladder_.rungs.size(); }
+
+ private:
+  /// A drained bucket larger than this (after skimming cancelled
+  /// entries) spills into a finer child rung instead of being sorted —
+  /// unless its width is already 1 ms, where finer buckets cannot exist
+  /// and the sort is the pure FIFO seq order.
+  static constexpr size_t kSpillThreshold = 64;
+  /// Cap on buckets per rung (bounds transient memory; deeper skew is
+  /// handled by spilling, not wider arrays).
+  static constexpr size_t kMaxBuckets = 4096;
+
+  struct Rung {
+    SimTime start = 0;  // left edge of bucket 0
+    SimTime width = 1;  // bucket width, >= 1 ms
+    size_t cur = 0;     // next undrained bucket
+    std::vector<std::vector<Item>> buckets;
+
+    SimTime BucketStart(size_t i) const {
+      return start + width * static_cast<SimTime>(i);
+    }
+    SimTime end() const { return BucketStart(buckets.size()); }
+  };
+
+  /// The whole ordering structure. Mutable as one unit: draining,
+  /// sorting, spawning and skimming are logically const — the live
+  /// event set and its (time, seq) order never change, only their
+  /// physical arrangement (same contract as the heap's mutable heap_).
+  struct Ladder {
+    std::vector<Rung> rungs;  // [0] coarsest ... back() innermost
+    std::vector<Item> top;    // unsorted, far future
+    SimTime top_start = 0;    // pushes with t >= this go to top
+    SimTime top_min = kMaxSimTime;
+    SimTime top_max = -1;
+    std::vector<Item> bottom;  // sorted by key, consumed front to back
+    size_t bottom_pos = 0;
+    SimTime bottom_end = 0;  // pushes with t < this binary-insert here
+    // Recycled storage (amortized zero-alloc once warm).
+    std::vector<std::vector<Item>> bucket_pool;
+    std::vector<Rung> rung_pool;
+  };
+
+  /// Routes one ordering entry into bottom / a rung / top.
+  void Place(const Item& item, SimTime t) const;
+  /// Makes bottom[bottom_pos] a live minimum entry: skims stale fronts,
+  /// drains / spills / sorts buckets, spawns rungs from top. Returns
+  /// false iff no live event exists.
+  bool EnsureFront() const;
+  void SpawnRungFromTop() const;
+  void SpillBucket(std::vector<Item>* bucket, SimTime start,
+                   SimTime span) const;
+  void RetireInnermostRung() const;
+  std::vector<Item> AcquireBucket() const;
+  /// Bucket geometry for n events over `span` ms: ~1 event per bucket,
+  /// clamped to [1, kMaxBuckets] buckets of integral >= 1 ms width.
+  static void SizeRung(size_t n, SimTime span, SimTime* width,
+                       size_t* count);
+
+  mutable Ladder ladder_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_SIM_CALENDAR_QUEUE_H_

@@ -1,8 +1,8 @@
 // Priority queue of timed events with O(log n) push/pop and O(1)
-// cancellation. Ties on time break by insertion sequence, which makes the
-// whole simulation deterministic.
+// cancellation — the `sim_engine=heap` engine. Ties on time break by
+// insertion sequence, which makes the whole simulation deterministic.
 //
-// Engine layout (the simulator's hottest data structure):
+// Engine layout (built on the shared slot pool, see event_pool.h):
 //  - Events live in slab-allocated slot pools with a free list: a Push
 //    costs no heap allocation once the pool is warm, and the callback is
 //    SBO-stored in its slot (event_fn.h). Slabs never move, so a
@@ -11,65 +11,32 @@
 //    items {128-bit (time, seq) key, slot} — shallower than a binary
 //    heap, one branchless compare per ordering decision, and
 //    cache-friendlier than shared_ptr-carrying nodes.
-//  - An EventHandle is a POD {slot, seq} ticket. A slot remembers the
-//    seq of its current occupant; a handle (or heap item) whose seq no
-//    longer matches is stale — fired, cancelled, or the slot was reused.
-//    seq is unique per push for the queue's lifetime, so there is no
-//    ABA window.
-//  - Cancellation destroys the callback and frees the slot immediately;
-//    the heap skims the stale item lazily. Because handles hold no
-//    owning pointers, the old shared_ptr-cycle teardown hazard (closures
-//    owning handles back into the queue) cannot exist by construction.
+//  - Cancellation destroys the callback and frees the slot immediately
+//    (EventHandle, event_pool.h); the heap skims the stale item lazily.
 //  - The dispatch fast path is RunNextIfBefore: one skim, pop, invoke
 //    the callback in its slot (no move, no temporary), then recycle the
 //    slot. Pop (move the callback out) remains for callers that need
 //    the callable itself.
 //
-// Handles must not outlive their queue: everything in this codebase that
-// stores one lives inside the owning Simulator's scope.
+// The O(1)-amortized alternative for large live sets is the ladder
+// calendar queue (calendar_queue.h, `sim_engine=calendar`); both pop in
+// the identical (time, seq) total order.
 #ifndef FLOWERCDN_SIM_EVENT_QUEUE_H_
 #define FLOWERCDN_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "common/types.h"
 #include "sim/event_fn.h"
+#include "sim/event_pool.h"
 
 namespace flower {
 
-class EventQueue;
-
-/// Handle to a scheduled event; allows cancellation. Default-constructed
-/// handles are inert. Copyable POD — all copies go stale together once
-/// the event fires or is cancelled.
-class EventHandle {
- public:
-  EventHandle() = default;
-
-  /// Cancels the event if it has not fired yet. Idempotent.
-  void Cancel();
-
-  /// True if the event is still scheduled (not fired, not cancelled).
-  bool pending() const;
-
- private:
-  friend class EventQueue;
-  EventHandle(EventQueue* queue, uint32_t slot, uint64_t seq)
-      : queue_(queue), slot_(slot), seq_(seq) {}
-
-  EventQueue* queue_ = nullptr;
-  uint32_t slot_ = 0;
-  uint64_t seq_ = 0;
-};
-
-class EventQueue {
+class EventQueue : public EventPool {
  public:
   EventQueue() = default;
   ~EventQueue() = default;
-  EventQueue(const EventQueue&) = delete;
-  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedules fn at absolute time t. Requires t >= 0.
   EventHandle Push(SimTime t, EventFn fn);
@@ -106,72 +73,11 @@ class EventQueue {
     // so pushes during the call are safe.
     slot.fn.InvokeAndReset();
     // Only now may the slot be reused.
-    slot.next_free = free_head_;
-    free_head_ = item.slot;
+    RecycleSlot(item.slot);
     return true;
   }
 
-  /// Number of live (neither fired nor cancelled) events.
-  size_t live_size() const { return live_; }
-
-  /// Events cancelled over the queue's lifetime (engine counter).
-  uint64_t events_cancelled() const { return cancelled_; }
-
-  /// Slots currently pooled (diagnostics: peak concurrent events,
-  /// rounded up to whole slabs).
-  size_t pool_slots() const { return slabs_.size() * kSlabSlots; }
-
  private:
-  friend class EventHandle;
-
-  static constexpr uint32_t kNoSlot = 0xffffffffu;
-  /// Occupancy sentinel: seq values start at 0 and only count up, so no
-  /// live event ever carries this.
-  static constexpr uint64_t kFreeSeq = ~uint64_t{0};
-  static constexpr uint32_t kSlabBits = 8;
-  static constexpr uint32_t kSlabSlots = 1u << kSlabBits;  // 256 per slab
-
-  /// One pooled event. `seq` identifies the current occupant (kFreeSeq
-  /// when the slot is free).
-  struct Slot {
-    EventFn fn;
-    uint64_t seq = kFreeSeq;
-    uint32_t next_free = kNoSlot;
-  };
-
-  /// POD heap entry; the callback stays in the slot. The sort key packs
-  /// (time, seq) into one 128-bit integer — time in the high 64 bits
-  /// (Push asserts t >= 0, so the unsigned compare is order-preserving),
-  /// seq below breaking ties FIFO — so heap ordering is a single
-  /// branchless compare, and total (seq is unique).
-  struct Item {
-    unsigned __int128 key;
-    uint32_t slot;
-
-    static Item Make(SimTime time, uint64_t seq, uint32_t slot) {
-      return Item{(static_cast<unsigned __int128>(static_cast<uint64_t>(time))
-                   << 64) |
-                      seq,
-                  slot};
-    }
-    SimTime Time() const {
-      return static_cast<SimTime>(static_cast<uint64_t>(key >> 64));
-    }
-    uint64_t Seq() const { return static_cast<uint64_t>(key); }
-  };
-  static bool Earlier(const Item& a, const Item& b) { return a.key < b.key; }
-
-  Slot& SlotAt(uint32_t index) {
-    return slabs_[index >> kSlabBits][index & (kSlabSlots - 1)];
-  }
-  const Slot& SlotAt(uint32_t index) const {
-    return slabs_[index >> kSlabBits][index & (kSlabSlots - 1)];
-  }
-
-  bool ItemLive(const Item& item) const {
-    return SlotAt(item.slot).seq == item.Seq();
-  }
-
   // 4-ary implicit heap over heap_: children of i at 4i+1..4i+4.
   void SiftUp(size_t index) const;
   void SiftDown(size_t index) const;
@@ -183,18 +89,9 @@ class EventQueue {
     while (!heap_.empty() && !ItemLive(heap_[0])) PopRoot();
   }
 
-  uint32_t AllocSlot();
-  void FreeSlot(uint32_t index);
-
   // Skimming mutates only the physical heap (dropping entries that are
   // already dead), so const observers may do it without a const_cast.
   mutable std::vector<Item> heap_;
-  std::vector<std::unique_ptr<Slot[]>> slabs_;
-  uint32_t next_unused_slot_ = 0;
-  uint32_t free_head_ = kNoSlot;
-  uint64_t next_seq_ = 0;
-  size_t live_ = 0;
-  uint64_t cancelled_ = 0;
 };
 
 }  // namespace flower

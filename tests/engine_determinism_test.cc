@@ -1,0 +1,167 @@
+// Golden determinism tests for the scheduling-engine knob
+// (`sim_engine=heap|calendar`, src/sim/engine_queue.h): unlike shards,
+// the engine choice is NOT a different deterministic schedule — both
+// engines dispatch the identical (time, seq) total order, so every
+// output byte must match the heap engine's, in serial mode, under
+// shards=2/4 with either lane executor, under churn, and across reruns.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/experiment.h"
+#include "common/config.h"
+#include "test_util.h"
+
+namespace flower {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct SinkOutput {
+  std::string text;
+  std::string json;
+  RunResult result;
+};
+
+SinkOutput RunWithSinks(const SimConfig& config, const std::string& tag) {
+  SinkOutput out;
+  const std::string text_path = TempPath("engine_" + tag + ".txt");
+  const std::string json_path = TempPath("engine_" + tag + ".json");
+  {
+    std::FILE* text_file = std::fopen(text_path.c_str(), "w");
+    EXPECT_NE(text_file, nullptr);
+    TextSummarySink text(text_file);
+    JsonResultSink json(json_path);
+    out.result = Experiment(config)
+                     .WithSystem(config.system)
+                     .AddSink(&text)
+                     .AddSink(&json)
+                     .Run();
+    json.Flush();
+    std::fclose(text_file);
+  }
+  out.text = ReadFile(text_path);
+  out.json = ReadFile(json_path);
+  return out;
+}
+
+SimConfig EngineConfig() {
+  SimConfig c = TinyConfig();
+  c.duration = 1 * kHour;
+  return c;
+}
+
+TEST(EngineDeterminismGolden, CalendarMatchesHeapSerial) {
+  SimConfig heap_cfg = EngineConfig();
+  SinkOutput heap = RunWithSinks(heap_cfg, "heap");
+
+  SimConfig cal_cfg = heap_cfg;
+  cal_cfg.sim_engine = "calendar";
+  SinkOutput cal = RunWithSinks(cal_cfg, "cal");
+
+  EXPECT_FALSE(heap.json.empty());
+  EXPECT_EQ(heap.text, cal.text) << "engine choice must not change a byte";
+  EXPECT_EQ(heap.json, cal.json);
+  EXPECT_EQ(heap.result.events_processed, cal.result.events_processed);
+
+  // Run-to-run determinism of the calendar engine itself.
+  SinkOutput again = RunWithSinks(cal_cfg, "cal_again");
+  EXPECT_EQ(cal.text, again.text);
+  EXPECT_EQ(cal.json, again.json);
+}
+
+TEST(EngineDeterminismGolden, CalendarMatchesHeapAcrossShardMatrix) {
+  // shards in {2, 4} x executor in {serial, threads}: the calendar
+  // engine drives every lane queue and must reproduce the heap bytes at
+  // each matrix point (which are themselves one schedule, pinned by
+  // ShardedDeterminismGolden).
+  SimConfig base = EngineConfig();
+  for (int shards : {2, 4}) {
+    for (const char* executor : {"serial", "threads"}) {
+      SimConfig heap_cfg = base;
+      heap_cfg.shards = shards;
+      heap_cfg.shard_executor = executor;
+      SimConfig cal_cfg = heap_cfg;
+      cal_cfg.sim_engine = "calendar";
+      const std::string tag =
+          "s" + std::to_string(shards) + "_" + executor;
+      SinkOutput heap = RunWithSinks(heap_cfg, "heap_" + tag);
+      SinkOutput cal = RunWithSinks(cal_cfg, "cal_" + tag);
+      EXPECT_EQ(heap.text, cal.text) << "matrix point " << tag;
+      EXPECT_EQ(heap.json, cal.json) << "matrix point " << tag;
+      EXPECT_EQ(heap.result.events_processed, cal.result.events_processed);
+      EXPECT_EQ(heap.result.events_by_lane, cal.result.events_by_lane);
+    }
+  }
+}
+
+TEST(EngineDeterminismGolden, CalendarMatchesHeapUnderChurn) {
+  // Churn cancels timers en masse (session death), the hardest path for
+  // lazy skimming; replication adds periodic cross-peer traffic.
+  SimConfig heap_cfg = EngineConfig();
+  heap_cfg.duration = 2 * kHour;
+  heap_cfg.churn_enabled = true;
+  heap_cfg.churn_mean_session = 30 * kMinute;
+  heap_cfg.churn_mean_downtime = 10 * kMinute;
+  heap_cfg.active_replication = true;
+  heap_cfg.replication_period = 30 * kMinute;
+  SinkOutput heap = RunWithSinks(heap_cfg, "churn_heap");
+  EXPECT_GT(heap.result.churn_failures + heap.result.churn_leaves, 0u);
+
+  SimConfig cal_cfg = heap_cfg;
+  cal_cfg.sim_engine = "calendar";
+  SinkOutput cal = RunWithSinks(cal_cfg, "churn_cal");
+  EXPECT_EQ(heap.text, cal.text);
+  EXPECT_EQ(heap.json, cal.json);
+  EXPECT_EQ(heap.result.events_processed, cal.result.events_processed);
+
+  SimConfig cal_sharded = cal_cfg;
+  cal_sharded.shards = 2;
+  SimConfig heap_sharded = heap_cfg;
+  heap_sharded.shards = 2;
+  SinkOutput hs = RunWithSinks(heap_sharded, "churn_heap_s2");
+  SinkOutput cs = RunWithSinks(cal_sharded, "churn_cal_s2");
+  EXPECT_EQ(hs.json, cs.json) << "sharded churn must match too";
+}
+
+TEST(EngineDeterminismGolden, SimEngineKeyValidatesFailFast) {
+  SimConfig c;
+  EXPECT_EQ(c.sim_engine, "heap") << "default engine must stay heap";
+
+  Status s = c.Apply("sim_engine", "calendar");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(c.sim_engine, "calendar");
+  s = c.Apply("sim_engine", "heap");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(c.sim_engine, "heap");
+
+  // Unknown values die with the accepted list in the message and leave
+  // the config untouched (the shared UnknownEnumValue contract).
+  s = c.Apply("sim_engine", "splay");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("accepted: heap, calendar"), std::string::npos)
+      << s.ToString();
+  EXPECT_EQ(c.sim_engine, "heap") << "a rejected value must not stick";
+
+  // The engine is invisible in the config line: it changes no output
+  // byte, so trajectory diffs across engines must stay clean.
+  SimConfig cal;
+  cal.sim_engine = "calendar";
+  EXPECT_EQ(SimConfig().ToString(), cal.ToString());
+  EXPECT_EQ(cal.ToString().find("engine"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flower
