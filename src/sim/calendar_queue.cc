@@ -54,7 +54,7 @@ void CalendarQueue::Place(const Item& item, SimTime t) const {
     // Innermost rung first: the finest geometry that covers t wins.
     for (size_t i = l.rungs.size(); i-- > 0;) {
       Rung& rung = l.rungs[i];
-      if (t >= rung.end()) continue;
+      if (t >= rung.end) continue;
       const size_t idx =
           static_cast<size_t>((t - rung.start) / rung.width);
       assert(idx >= rung.cur && idx < rung.buckets.size());
@@ -84,6 +84,7 @@ void CalendarQueue::SpillBucket(std::vector<Item>* bucket, SimTime start,
   }
   rung.start = start;
   rung.width = width;
+  rung.end = start + span;  // true span, NOT count * width (see Rung::end)
   rung.cur = 0;
   while (rung.buckets.size() < count) rung.buckets.push_back(AcquireBucket());
   for (const Item& item : *bucket) {
@@ -125,6 +126,7 @@ void CalendarQueue::SpawnRungFromTop() const {
   }
   rung.start = lo;
   rung.width = width;
+  rung.end = hi + 1;  // true span, NOT count * width (see Rung::end)
   rung.cur = 0;
   while (rung.buckets.size() < count) rung.buckets.push_back(AcquireBucket());
   for (const Item& item : l.top) {
@@ -134,7 +136,7 @@ void CalendarQueue::SpawnRungFromTop() const {
   l.top.clear();
   l.top_min = kMaxSimTime;
   l.top_max = -1;
-  l.top_start = rung.end();
+  l.top_start = rung.end;
   l.rungs.push_back(std::move(rung));
 }
 
@@ -189,7 +191,10 @@ bool CalendarQueue::EnsureFront() const {
     l.bottom_end = rung.BucketStart(rung.cur);
     std::vector<Item> bucket = std::move(rung.buckets[rung.cur]);
     const SimTime bucket_start = l.bottom_end;
-    const SimTime bucket_width = rung.width;
+    // Clamped: the last bucket of a rung whose width does not divide the
+    // span is narrower than `width` — its coverage must not reach past
+    // the rung into the parent's next bucket.
+    const SimTime bucket_end = rung.BucketEnd(rung.cur);
     ++rung.cur;
     // Skim before deciding to spill: cancelled entries must neither
     // force subdivision nor get sorted.
@@ -201,11 +206,11 @@ bool CalendarQueue::EnsureFront() const {
       l.bucket_pool.push_back(std::move(bucket));
       continue;
     }
-    if (bucket.size() > kSpillThreshold && bucket_width > 1) {
+    if (bucket.size() > kSpillThreshold && bucket_end - bucket_start > 1) {
       // Sustained occupancy skew: subdivide this span with a finer
       // child rung instead of one big sort. (`rung` is invalidated by
       // the push_back inside.)
-      SpillBucket(&bucket, bucket_start, bucket_width);
+      SpillBucket(&bucket, bucket_start, bucket_end - bucket_start);
       bucket.clear();
       l.bucket_pool.push_back(std::move(bucket));
       continue;
@@ -217,7 +222,7 @@ bool CalendarQueue::EnsureFront() const {
     l.bucket_pool.push_back(std::move(l.bottom));
     l.bottom = std::move(bucket);
     l.bottom_pos = 0;
-    l.bottom_end = bucket_start + bucket_width;
+    l.bottom_end = bucket_end;
   }
 }
 

@@ -40,6 +40,7 @@
 #ifndef FLOWERCDN_SIM_CALENDAR_QUEUE_H_
 #define FLOWERCDN_SIM_CALENDAR_QUEUE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -105,13 +106,24 @@ class CalendarQueue : public EventPool {
   struct Rung {
     SimTime start = 0;  // left edge of bucket 0
     SimTime width = 1;  // bucket width, >= 1 ms
-    size_t cur = 0;     // next undrained bucket
+    // Exclusive right edge of the span this rung was spilled from. The
+    // bucket count is ceil(span / width), so the raw bucket grid
+    // (BucketStart(buckets.size())) overshoots `end` whenever width does
+    // not divide the span — routing and the last bucket must clamp to
+    // `end`, or boundary-time pushes land here and fire before older
+    // same-time events parked in the parent's next bucket, breaking the
+    // (time, seq) FIFO tie-break.
+    SimTime end = 0;
+    size_t cur = 0;  // next undrained bucket
     std::vector<std::vector<Item>> buckets;
 
     SimTime BucketStart(size_t i) const {
       return start + width * static_cast<SimTime>(i);
     }
-    SimTime end() const { return BucketStart(buckets.size()); }
+    // Exclusive right edge of bucket i, clamped to the true span.
+    SimTime BucketEnd(size_t i) const {
+      return std::min(BucketStart(i + 1), end);
+    }
   };
 
   /// The whole ordering structure. Mutable as one unit: draining,
@@ -144,7 +156,9 @@ class CalendarQueue : public EventPool {
   void RetireInnermostRung() const;
   std::vector<Item> AcquireBucket() const;
   /// Bucket geometry for n events over `span` ms: ~1 event per bucket,
-  /// clamped to [1, kMaxBuckets] buckets of integral >= 1 ms width.
+  /// clamped to [1, kMaxBuckets] buckets of integral >= 1 ms width. Note
+  /// count * width >= span with equality only when width divides span —
+  /// rung coverage is bounded by Rung::end, never by the raw grid.
   static void SizeRung(size_t n, SimTime span, SimTime* width,
                        size_t* count);
 

@@ -169,6 +169,68 @@ TEST(CalendarQueueTest, SameTimeFifoSurvivesBucketRolloverAndSpill) {
   EXPECT_EQ(order, expected);
 }
 
+TEST(CalendarQueueTest, BoundaryPushFifoWhenChildWidthDoesNotDivideSpan) {
+  // Regression: SizeRung picks ceil(span/buckets) widths, so a spilled
+  // child rung's raw bucket grid (count * width) overshoots the parent
+  // bucket's span whenever width does not divide it. Routing by that
+  // grid would steal a boundary-time push into the child — which drains
+  // entirely before the parent's next bucket — firing it ahead of OLDER
+  // same-time events parked there and inverting the (time, seq) FIFO
+  // tie-break. Geometry forced here: 3 anchors spanning [0, 804) spawn
+  // a 4-bucket width-201 rung; 65 live events in bucket [402, 603)
+  // exceed kSpillThreshold and spill at width 2 = ceil(201/128), which
+  // does not divide 201 (raw grid would cover [402, 604)); the boundary
+  // push at t=603 comes from inside a firing callback while the child
+  // rung is live. Run in lockstep with the heap engine, which is the
+  // ordering oracle.
+  CalendarQueue cal;
+  EventQueue heap;
+  std::vector<int> cal_order;
+  std::vector<int> heap_order;
+  auto record = [](std::vector<int>* v, int id) {
+    return [v, id]() { v->push_back(id); };
+  };
+  auto push_both = [&](SimTime t, int id) {
+    cal.Push(t, record(&cal_order, id));
+    heap.Push(t, record(&heap_order, id));
+  };
+  push_both(0, 0);
+  push_both(400, 1);
+  push_both(803, 2);
+  SimTime t;
+  cal.Pop(&t)();  // spawns the rung: NextPow2(3)=4 buckets, width 201
+  heap.Pop(&t)();
+  ASSERT_EQ(cal_order, std::vector<int>{0});
+  // Older events at the boundary time, parked in the parent's bucket 3.
+  push_both(603, 100);
+  push_both(603, 101);
+  // 65 live events inside bucket 2 [402, 603): the first fires earliest
+  // and pushes the boundary event while the child rung is still live.
+  cal.Push(402, [&]() {
+    cal_order.push_back(200);
+    cal.Push(603, record(&cal_order, 300));
+  });
+  heap.Push(402, [&]() {
+    heap_order.push_back(200);
+    heap.Push(603, record(&heap_order, 300));
+  });
+  for (int i = 1; i < 65; ++i) {
+    push_both(static_cast<SimTime>(402 + i * 3), 200 + i);
+  }
+  while (!cal.empty()) cal.Pop(&t)();
+  while (!heap.empty()) heap.Pop(&t)();
+  ASSERT_EQ(cal_order.size(), 71u);
+  EXPECT_EQ(cal_order, heap_order);
+  auto pos = [&](int id) {
+    return std::find(cal_order.begin(), cal_order.end(), id) -
+           cal_order.begin();
+  };
+  // The callback-pushed boundary event has the highest seq at t=603: it
+  // must fire after both older same-time events.
+  EXPECT_LT(pos(100), pos(300));
+  EXPECT_LT(pos(101), pos(300));
+}
+
 TEST(CalendarQueueTest, SameTimeFifoSurvivesSlotChurn) {
   CalendarQueue q;
   // Scramble the free list so later pushes reuse interior slots, then
