@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "net/fault_injector.h"
 #include "net/network.h"
 #include "net/topology.h"
 #include "sim/sharded_simulator.h"
@@ -126,6 +127,9 @@ void CollectSeries(const Metrics& metrics, RunResult* result) {
   result->plumtree_eager_deliveries = metrics.plumtree_eager_deliveries();
   result->plumtree_lazy_recoveries = metrics.plumtree_lazy_recoveries();
   result->plumtree_duplicates = metrics.plumtree_duplicates();
+  result->queries_timed_out = metrics.queries_timed_out();
+  result->query_retries = metrics.query_retries();
+  result->suspicions_confirmed = metrics.suspicions_confirmed();
   result->final_hit_ratio = metrics.FinalHitRatio();
   result->cumulative_hit_ratio = metrics.CumulativeHitRatio();
   result->mean_lookup_ms = metrics.MeanLookupLatency();
@@ -191,6 +195,15 @@ Result<RunResult> Experiment::TryRun() {
     sim.EnableSharding(MakeLocalityShardPlan(topology, config_.shards));
   }
   Network network(&sim, &topology);
+  // The fault injector derives its per-lane streams from the seed (no
+  // master-RNG draw), so constructing and attaching it here leaves the
+  // static world identical; with every fault_* key off it is inactive and
+  // the network never consults it.
+  Result<FaultPlan> fault_plan = FaultPlan::FromConfig(config_);
+  if (!fault_plan.ok()) return fault_plan.status();
+  FaultInjector fault_injector(std::move(fault_plan).value(), &sim,
+                               &topology);
+  network.AttachFaultInjector(&fault_injector);
   Metrics metrics(config_);
   if (sharded) metrics.EnableLanes(topology.num_localities());
 
@@ -298,6 +311,17 @@ Result<RunResult> Experiment::TryRun() {
   result.system_name = system->name();
   result.label = label_;
   result.gossip_protocol = config_.gossip_protocol;
+  // Fault/hardening block: emitted by sinks only when the subsystem was
+  // on (injector active or a hardening knob set), so default records
+  // stay byte-identical.
+  result.faults_enabled = fault_injector.active() ||
+                          config_.query_timeout > 0 ||
+                          config_.suspicion_keepalive_misses > 0;
+  result.injected_drops = fault_injector.injected_drops();
+  result.injected_duplicates = fault_injector.injected_duplicates();
+  result.partition_drops = fault_injector.partition_drops();
+  result.bounces_suppressed = fault_injector.bounces_suppressed();
+  result.silent_crashes = fault_injector.silent_crashes();
   CollectSeries(metrics, &result);
   result.background_bps_by_window = sampler.samples();
   std::vector<PeerAddress> peers = system->ParticipantAddresses();

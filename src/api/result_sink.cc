@@ -36,6 +36,19 @@ std::string FormatRunSummary(const RunResult& r) {
   if (r.replica_declines > 0) {
     os << " replica_declines=" << r.replica_declines;
   }
+  // Fault-injection / hardening segment, only when some fault_* or
+  // hardening knob is on: default summaries must stay byte-identical to
+  // pre-fault-layer builds.
+  if (r.faults_enabled) {
+    os << " success=" << r.QuerySuccessRate()
+       << " drops=" << r.injected_drops
+       << " dups=" << r.injected_duplicates
+       << " partition_drops=" << r.partition_drops
+       << " silent=" << r.silent_crashes
+       << " timeouts=" << r.queries_timed_out
+       << " retries=" << r.query_retries
+       << " suspicions=" << r.suspicions_confirmed;
+  }
   // Non-default membership protocol only: flower summaries must stay
   // byte-identical to pre-subsystem builds.
   if (r.gossip_protocol != "flower") {
@@ -154,6 +167,20 @@ void JsonResultSink::Write(const SimConfig& config, const RunResult& r) {
     }
     os << "]";
   }
+  // Fault-injection / hardening record, emitted only when some fault_*
+  // or hardening knob is on so default records stay byte-identical to
+  // pre-fault-layer builds.
+  if (r.faults_enabled) {
+    os << ",\"query_success_rate\":" << r.QuerySuccessRate()
+       << ",\"injected_drops\":" << r.injected_drops
+       << ",\"injected_duplicates\":" << r.injected_duplicates
+       << ",\"partition_drops\":" << r.partition_drops
+       << ",\"bounces_suppressed\":" << r.bounces_suppressed
+       << ",\"silent_crashes\":" << r.silent_crashes
+       << ",\"queries_timed_out\":" << r.queries_timed_out
+       << ",\"query_retries\":" << r.query_retries
+       << ",\"suspicions_confirmed\":" << r.suspicions_confirmed;
+  }
   // Membership-subsystem record, emitted only for non-default protocols
   // so flower records stay byte-identical to pre-subsystem builds.
   if (r.gossip_protocol != "flower") {
@@ -210,7 +237,11 @@ constexpr const char* kCsvHeader =
     "stale_redirects_peer_summary,stale_redirects_dir_index,"
     "dir_index_evictions,dir_summary_fallthroughs,"
     "replica_declines,churn_failures,churn_leaves,directory_promotions,"
-    "events_processed,events_cancelled";
+    "events_processed,events_cancelled,"
+    // Fault-layer columns: CSV headers are fixed per file, so these are
+    // unconditional (all zero on a reliable network).
+    "query_success_rate,injected_drops,injected_duplicates,partition_drops,"
+    "silent_crashes,queries_timed_out,query_retries,suspicions_confirmed";
 
 /// CSV-quotes a field when it contains a comma or quote.
 std::string CsvField(const std::string& s) {
@@ -242,7 +273,11 @@ void CsvResultSink::Write(const SimConfig& config, const RunResult& r) {
      << "," << r.dir_index_evictions << "," << r.dir_summary_fallthroughs
      << "," << r.replica_declines << "," << r.churn_failures << ","
      << r.churn_leaves << "," << r.directory_promotions << ","
-     << r.events_processed << "," << r.events_cancelled;
+     << r.events_processed << "," << r.events_cancelled << ","
+     << r.QuerySuccessRate() << "," << r.injected_drops << ","
+     << r.injected_duplicates << "," << r.partition_drops << ","
+     << r.silent_crashes << "," << r.queries_timed_out << ","
+     << r.query_retries << "," << r.suspicions_confirmed;
   rows_.push_back(os.str());
   dirty_ = true;
 }

@@ -73,6 +73,28 @@ struct RunResult {
   uint64_t churn_leaves = 0;
   uint64_t directory_promotions = 0;
 
+  // Fault-injection / hardening statistics (src/net/fault_injector.h,
+  // query_timeout, suspicion_keepalive_misses). Sinks emit them only when
+  // `faults_enabled` is set, so default records stay byte-identical to
+  // pre-fault-layer builds.
+  bool faults_enabled = false;
+  /// Messages dropped by the per-class loss model.
+  uint64_t injected_drops = 0;
+  /// Messages duplicated in flight (a copy was actually materialized).
+  uint64_t injected_duplicates = 0;
+  /// Messages swallowed by an active partition window.
+  uint64_t partition_drops = 0;
+  /// Undeliverable bounces suppressed because the destination crashed
+  /// silently.
+  uint64_t bounces_suppressed = 0;
+  /// Churn crash-failures that went dark silently.
+  uint64_t silent_crashes = 0;
+  /// Client-side query timeouts fired / pipeline retries driven by them.
+  uint64_t queries_timed_out = 0;
+  uint64_t query_retries = 0;
+  /// Keepalive-ack suspicion verdicts (directory declared silently dead).
+  uint64_t suspicions_confirmed = 0;
+
   // Scalable membership statistics (src/gossip/). Sinks emit them only
   // when gossip_protocol != "flower", so default records stay
   // byte-identical to pre-subsystem builds.
@@ -138,6 +160,16 @@ struct RunResult {
     double sum = 0;
     for (size_t i = end - n; i < end; ++i) sum += s[i];
     return sum / static_cast<double>(n);
+  }
+
+  /// Fraction of submitted queries that were answered by anything at all
+  /// (peer, directory or origin server) — the availability number of the
+  /// fault experiments. 1.0 on a reliable network; with retries enabled
+  /// it should stay at 1.0 under loss while latency degrades instead.
+  double QuerySuccessRate() const {
+    return queries_submitted > 0 ? static_cast<double>(queries_served) /
+                                       static_cast<double>(queries_submitted)
+                                 : 1.0;
   }
 
   /// Fraction of lookups resolved faster than `ms`.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "cache/eviction_policy.h"
+#include "net/fault_injector.h"
 
 namespace flower {
 
@@ -37,8 +38,10 @@ bool ParseBool(const std::string& v, bool* out) {
   return false;
 }
 
+}  // namespace
+
 // Accepts "500", "500ms", "30s", "30min", "24h".
-bool ParseTime(const std::string& v, SimTime* out) {
+bool ParseTimeString(const std::string& v, SimTime* out) {
   size_t i = 0;
   while (i < v.size() && (isdigit(v[i]) || v[i] == '-')) ++i;
   if (i == 0) return false;
@@ -59,6 +62,12 @@ bool ParseTime(const std::string& v, SimTime* out) {
   }
   *out = num * mult;
   return true;
+}
+
+namespace {
+
+bool ParseTime(const std::string& v, SimTime* out) {
+  return ParseTimeString(v, out);
 }
 
 // Uniform fail-fast diagnostic for enum-valued keys: name the offending
@@ -254,6 +263,70 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
   BOOL_KEY("active_replication", active_replication)
   INT_KEY("replication_top_objects", replication_top_objects)
   TIME_KEY("replication_period", replication_period)
+  if (key == "fault_loss" || key == "fault_duplicate") {
+    // Validate the spec here so a sweep typo dies at parse time, not
+    // mid-run; the FaultPlan re-parses it when the injector is built.
+    std::array<double, FaultPlan::kNumClasses> probs;
+    Status s = ParseClassProbSpec(key, value, &probs);
+    if (!s.ok()) return s;
+    (key == "fault_loss" ? fault_loss : fault_duplicate) = value;
+    return Status::Ok();
+  }
+  if (key == "fault_partitions") {
+    std::vector<PartitionWindow> windows;
+    Status s = ParsePartitionSpec(value, &windows);
+    if (!s.ok()) return s;
+    fault_partitions = value;
+    return Status::Ok();
+  }
+  if (key == "fault_delay_jitter" || key == "fault_delay_spike") {
+    if (!ParseTime(value, &t) || t < 0) {
+      return Status::InvalidArgument(key + " wants a time >= 0");
+    }
+    (key == "fault_delay_jitter" ? fault_delay_jitter : fault_delay_spike) = t;
+    return Status::Ok();
+  }
+  if (key == "fault_delay_spike_probability" ||
+      key == "fault_silent_crash_probability") {
+    if (!ParseDouble(value, &d) || d < 0.0 || d > 1.0) {
+      return Status::InvalidArgument(key +
+                                     " wants a probability in [0, 1]");
+    }
+    (key == "fault_delay_spike_probability" ? fault_delay_spike_probability
+                                            : fault_silent_crash_probability) =
+        d;
+    return Status::Ok();
+  }
+  if (key == "query_timeout") {
+    if (!ParseTime(value, &t) || t < 0) {
+      return Status::InvalidArgument("query_timeout wants a time >= 0");
+    }
+    query_timeout = t;
+    return Status::Ok();
+  }
+  if (key == "query_max_retries") {
+    if (!ParseInt(value, &i) || i < 0) {
+      return Status::InvalidArgument(
+          "query_max_retries wants an integer >= 0");
+    }
+    query_max_retries = static_cast<int>(i);
+    return Status::Ok();
+  }
+  if (key == "query_backoff_base") {
+    if (!ParseDouble(value, &d) || d < 1.0) {
+      return Status::InvalidArgument("query_backoff_base must be >= 1");
+    }
+    query_backoff_base = d;
+    return Status::Ok();
+  }
+  if (key == "suspicion_keepalive_misses") {
+    if (!ParseInt(value, &i) || i < 0) {
+      return Status::InvalidArgument(
+          "suspicion_keepalive_misses wants an integer >= 0");
+    }
+    suspicion_keepalive_misses = static_cast<int>(i);
+    return Status::Ok();
+  }
   if (key == "replication_admission_headroom") {
     if (!ParseDouble(value, &d) || d < 0.0 || d >= 1.0) {
       return Status::InvalidArgument(
@@ -321,6 +394,30 @@ std::string SimConfig::ToString() const {
   // executor changes any output byte, so neither is printed (a shards=2
   // and a shards=4 trajectory must diff clean).
   if (shards > 1) os << " sharded=on";
+  // Fault-injection / hardening knobs, non-default only (the default
+  // line must not move).
+  if (!fault_loss.empty()) os << " fault_loss=" << fault_loss;
+  if (!fault_duplicate.empty()) os << " fault_dup=" << fault_duplicate;
+  if (fault_delay_jitter > 0) {
+    os << " fault_jitter=" << fault_delay_jitter << "ms";
+  }
+  if (fault_delay_spike_probability > 0 && fault_delay_spike > 0) {
+    os << " fault_spike=" << fault_delay_spike << "ms/p="
+       << fault_delay_spike_probability;
+  }
+  if (!fault_partitions.empty()) {
+    os << " fault_partitions=" << fault_partitions;
+  }
+  if (fault_silent_crash_probability > 0) {
+    os << " fault_silent=" << fault_silent_crash_probability;
+  }
+  if (query_timeout > 0) {
+    os << " query_timeout=" << query_timeout << "ms/r=" << query_max_retries
+       << "/b=" << query_backoff_base;
+  }
+  if (suspicion_keepalive_misses > 0) {
+    os << " suspicion=" << suspicion_keepalive_misses;
+  }
   return os.str();
 }
 

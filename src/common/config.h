@@ -203,6 +203,48 @@ struct SimConfig {
   /// replication-induced evictions. Ignored by unbounded stores.
   double replication_admission_headroom = 0.1;
 
+  // --- Fault injection (src/net/fault_injector.h; all defaults off) ---------
+  /// Per-traffic-class message loss probability: a bare probability
+  /// ("0.05", every class) or comma-separated "class:prob" pairs with
+  /// TrafficClassName names ("query:0.05,push:0.1"). Empty = no loss.
+  std::string fault_loss;
+  /// Per-traffic-class duplication probability; same spec as fault_loss.
+  /// Only messages implementing Message::Duplicate() are copied.
+  std::string fault_duplicate;
+  /// Uniform extra delivery delay in [0, fault_delay_jitter] added per
+  /// message. Jitter only ever adds latency, so the sharded engine's
+  /// conservative lookahead stays sound.
+  SimTime fault_delay_jitter = 0;
+  /// With this probability a delivery additionally waits fault_delay_spike
+  /// (a congestion burst). Both must be > 0 to take effect.
+  double fault_delay_spike_probability = 0;
+  SimTime fault_delay_spike = 0;
+  /// Scheduled partition windows: ";"-separated "A|B@START-END" cuts where
+  /// each side is a locality id, "*" (everyone else) or an "n"-prefixed
+  /// node list ("n5,n7"), e.g. "0|1@30min-1h;n5,n7|*@10min-20min".
+  /// Messages crossing a cut during its window are dropped.
+  std::string fault_partitions;
+  /// Probability that a churn crash-failure goes dark *silently*: the peer
+  /// is unregistered but senders get no undeliverable bounce, defeating
+  /// bounce-based failure detection (requires churn_enabled).
+  double fault_silent_crash_probability = 0;
+
+  // --- Query hardening (timeout/retry; 0 = off, the paper's model) ----------
+  /// Client-side query timeout: a pending query unanswered for this long
+  /// is retried with exponential backoff (stage-aware: re-pick a contact,
+  /// re-route via the D-ring) and finally sent to the origin server after
+  /// query_max_retries attempts. 0 disables timeouts (bounce-driven
+  /// failure handling only, the seed behavior).
+  SimTime query_timeout = 0;
+  /// Retries before falling back to the origin server.
+  int query_max_retries = 3;
+  /// Timeout of attempt k is query_timeout * query_backoff_base^k.
+  double query_backoff_base = 2.0;
+  /// After this many consecutive unacknowledged keepalives a content peer
+  /// suspects its directory has silently crashed and starts replacement
+  /// (keepalives request acks only when this is > 0). 0 = off.
+  int suspicion_keepalive_misses = 0;
+
   // --- Metrics -------------------------------------------------------------
   SimTime metrics_window = 30 * kMinute;
 
@@ -216,6 +258,11 @@ struct SimConfig {
   /// Pretty-prints the configuration.
   std::string ToString() const;
 };
+
+/// Parses a duration with the config time suffixes ("500", "500ms",
+/// "30s", "30min", "24h"). Shared with spec parsers layered above the
+/// config (fault plans).
+bool ParseTimeString(const std::string& v, SimTime* out);
 
 }  // namespace flower
 

@@ -1,5 +1,8 @@
 #include "core/churn.h"
 
+#include "net/fault_injector.h"
+#include "net/network.h"
+
 namespace flower {
 
 namespace {
@@ -54,6 +57,10 @@ bool ChurnManager::IsBlackedOut(NodeId node) const {
 void ChurnManager::Tick(int lane, Rng* rng) {
   Simulator* sim = system_->context()->sim;
   const bool sharded = sim->sharded();
+  // Silent-crash draws come from the injector's own lane streams (not the
+  // churn streams), so enabling fault_silent_crash_probability perturbs
+  // no churn decision, and disabling it leaves the injector unconsulted.
+  FaultInjector* injector = system_->context()->network->fault_injector();
   const double p_death = static_cast<double>(kTick) /
                          static_cast<double>(config_.churn_mean_session);
   SimTime blackout_end = sim->Now() + static_cast<SimTime>(rng->Exponential(
@@ -68,6 +75,11 @@ void ChurnManager::Tick(int lane, Rng* rng) {
     if (!rng->Bernoulli(p_death)) continue;
     blackout[peer->node()] = blackout_end;
     if (rng->Bernoulli(config_.churn_fail_probability)) {
+      // A silent crash unregisters the peer like any crash, but marks the
+      // address so in-flight senders never get the undeliverable bounce.
+      if (injector != nullptr && injector->DrawSilentCrash()) {
+        injector->MarkSilent(peer->address());
+      }
       peer->Fail();
       ++failures_;
     } else {
@@ -83,6 +95,9 @@ void ChurnManager::Tick(int lane, Rng* rng) {
     blackout[dir->node()] = blackout_end;
     ++directory_deaths_;
     if (rng->Bernoulli(config_.churn_fail_probability)) {
+      if (injector != nullptr && injector->DrawSilentCrash()) {
+        injector->MarkSilent(dir->address());
+      }
       dir->FailAbruptly();
       ++failures_;
     } else {

@@ -72,6 +72,70 @@ void ContentPeer::RequestObject(ObjectId object) {
   pq.submit = now;
   pending_[object] = pq;
   ContinueQuery(object);
+  // Armed after the first hop is sent; when query_timeout is 0 (default)
+  // this schedules nothing, so the event-seq stream is untouched.
+  auto it = pending_.find(object);
+  if (it != pending_.end()) ArmQueryTimeout(object, &it->second);
+}
+
+// --- Timeout + retry (query_timeout > 0) -------------------------------------
+
+void ContentPeer::ArmQueryTimeout(ObjectId object, PendingQuery* pq) {
+  const SimConfig& cfg = *ctx_->config;
+  if (cfg.query_timeout <= 0) return;
+  // Exponential backoff: attempt k waits query_timeout * base^k.
+  double scale = 1.0;
+  for (int k = 0; k < pq->attempts; ++k) scale *= cfg.query_backoff_base;
+  SimTime wait =
+      static_cast<SimTime>(static_cast<double>(cfg.query_timeout) * scale);
+  pq->timeout = ctx_->sim->Schedule(
+      wait, [this, object]() { OnQueryTimeout(object); });
+}
+
+void ContentPeer::OnQueryTimeout(ObjectId object) {
+  if (!alive_) return;
+  auto it = pending_.find(object);
+  if (it == pending_.end()) return;
+  PendingQuery* pq = &it->second;
+  ctx_->metrics->OnQueryTimeout();
+  const SimConfig& cfg = *ctx_->config;
+  if (pq->attempts >= cfg.query_max_retries) {
+    // Retries exhausted: the origin server always answers (it never
+    // churns), so keep re-asking it under backoff until the serve (or a
+    // duplicate of it) gets through even on a lossy link.
+    ++pq->attempts;
+    pq->stage = QueryStage::kToServer;
+    ctx_->network->Send(this, site_->server_addr,
+                        MakeQuery(object, pq->submit, QueryStage::kToServer));
+  } else {
+    ++pq->attempts;
+    ctx_->metrics->OnQueryRetry();
+    switch (pq->stage) {
+      case QueryStage::kPeerDirect:
+        // The contact never answered (lost message or silent crash):
+        // evict it from the view and move to the next candidate.
+        if (!pq->tried.empty()) membership_->OnContactDead(pq->tried.back());
+        ContinueQuery(object);
+        break;
+      case QueryStage::kToDirectory:
+        // The directory went dark without a bounce: start replacement and
+        // route this query around it.
+        OnDirectoryUnreachable();
+        SendViaDRing(object, pq);
+        break;
+      case QueryStage::kViaDRing:
+      case QueryStage::kToServer:
+      default:
+        SendViaDRing(object, pq);
+        break;
+    }
+  }
+  it = pending_.find(object);
+  if (it != pending_.end()) ArmQueryTimeout(object, &it->second);
+}
+
+void ContentPeer::CancelPendingTimeouts() {
+  for (auto& [object, pq] : pending_) pq.timeout.Cancel();
 }
 
 void ContentPeer::ContinueQuery(ObjectId object) {
@@ -181,13 +245,19 @@ void ContentPeer::HandleIncomingQuery(std::unique_ptr<FlowerQueryMsg> query) {
 void ContentPeer::HandleServe(std::unique_ptr<ServeMsg> serve) {
   SimTime now = ctx_->sim->Now();
   SimTime distance = ctx_->network->Latency(serve->provider, address());
-  const Topology& topo = ctx_->network->topology();
-  Metrics::ProviderKind kind =
-      topo.LocalityOf(serve->provider) == topo.LocalityOf(node())
-          ? Metrics::ProviderKind::kLocalPeer
-          : Metrics::ProviderKind::kRemotePeer;
-  ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
-  pending_.erase(serve->object);
+  auto it = pending_.find(serve->object);
+  if (it != pending_.end()) {
+    const Topology& topo = ctx_->network->topology();
+    Metrics::ProviderKind kind =
+        topo.LocalityOf(serve->provider) == topo.LocalityOf(node())
+            ? Metrics::ProviderKind::kLocalPeer
+            : Metrics::ProviderKind::kRemotePeer;
+    ctx_->metrics->OnServed(now, !serve->from_server, distance, kind);
+    it->second.timeout.Cancel();
+    pending_.erase(it);
+  }
+  // else: a duplicated delivery, or a retry raced the original answer —
+  // the query was already counted served once; just keep the object.
   AddObject(serve->object, cost_model_.OnFetch(serve->object, distance));
   if (!serve->view_subset.empty()) {
     membership_->OnViewSeed(serve->view_subset);
@@ -323,8 +393,26 @@ void ContentPeer::MaybePush() {
 
 void ContentPeer::SendKeepalive() {
   if (!alive_ || !joined_ || !dir_pointer_.valid()) return;
-  ctx_->network->Send(this, dir_pointer_.addr,
-                      std::make_unique<KeepaliveMsg>());
+  const int suspicion = ctx_->config->suspicion_keepalive_misses;
+  if (suspicion > 0 && keepalive_awaiting_ack_) {
+    // The previous keepalive was never acknowledged. Bounce-based
+    // detection handles a clean crash; this path catches the *silent*
+    // one (and plain ack loss, which the threshold absorbs).
+    ++keepalive_misses_;
+    if (keepalive_misses_ >= suspicion) {
+      keepalive_misses_ = 0;
+      keepalive_awaiting_ack_ = false;
+      ctx_->metrics->OnSuspicionConfirmed();
+      OnDirectoryUnreachable();
+      if (!dir_pointer_.valid()) return;
+    }
+  }
+  auto ka = std::make_unique<KeepaliveMsg>();
+  if (suspicion > 0) {
+    ka->want_ack = true;
+    keepalive_awaiting_ack_ = true;
+  }
+  ctx_->network->Send(this, dir_pointer_.addr, std::move(ka));
 }
 
 // --- Directory failure handling (Sec 5.2) ------------------------------------------
@@ -345,6 +433,10 @@ void ContentPeer::OnDirectoryUnreachable() {
 
 void ContentPeer::HandleJoinDirectoryResp(const JoinDirectoryResp& resp) {
   replacing_directory_ = false;
+  // Suspicion state refers to the old directory; start clean with the
+  // replacement.
+  keepalive_misses_ = 0;
+  keepalive_awaiting_ack_ = false;
   if (resp.granted) {
     PeerAddress result =
         ctx_->system->PromoteReplacement(this, resp.dir_key);
@@ -420,6 +512,7 @@ void ContentPeer::Fail() {
   if (!alive_) return;
   gossip_timer_.Cancel();
   keepalive_timer_.Cancel();
+  CancelPendingTimeouts();
   membership_->Stop();
   alive_ = false;
   ctx_->network->UnregisterPeer(this);
@@ -428,6 +521,7 @@ void ContentPeer::Fail() {
 ContentPeer::PromotionState ContentPeer::PrepareForPromotion() {
   gossip_timer_.Cancel();
   keepalive_timer_.Cancel();
+  CancelPendingTimeouts();
   membership_->Stop();
   alive_ = false;
   ctx_->network->UnregisterPeer(this);
@@ -459,6 +553,11 @@ void ContentPeer::HandleMessage(MessagePtr msg) {
   if (auto* nf = dynamic_cast<NotFoundMsg*>(raw)) {
     msg.release();
     HandleNotFound(std::unique_ptr<NotFoundMsg>(nf));
+    return;
+  }
+  if (dynamic_cast<KeepaliveAckMsg*>(raw) != nullptr) {
+    keepalive_misses_ = 0;
+    keepalive_awaiting_ack_ = false;
     return;
   }
   if (membership_->ConsumeMessage(msg)) return;
@@ -513,6 +612,10 @@ void ContentPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
     return;
   }
   if (dynamic_cast<KeepaliveMsg*>(raw) != nullptr) {
+    // Bounce-detected failure: the suspicion state was about this (now
+    // confirmed-dead) directory.
+    keepalive_misses_ = 0;
+    keepalive_awaiting_ack_ = false;
     OnDirectoryUnreachable();
     return;
   }
@@ -547,6 +650,9 @@ void ContentPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
     }
     return;
   }
+  // Anything else is deliberately dropped; the base logs it in debug
+  // builds so silently ignored bounces stay visible.
+  Peer::HandleUndeliverable(dest, std::move(msg));
 }
 
 }  // namespace flower

@@ -89,7 +89,8 @@ class ContentPeer : public Peer, public MembershipHost {
     SimTime submit = 0;
     QueryStage stage = QueryStage::kViaDRing;
     std::vector<PeerAddress> tried;  // peer-direct targets already tried
-    int attempts = 0;
+    int attempts = 0;     // timeout-driven retries so far
+    EventHandle timeout;  // armed only when query_timeout > 0
   };
 
   // Query pipeline.
@@ -100,6 +101,12 @@ class ContentPeer : public Peer, public MembershipHost {
   std::unique_ptr<FlowerQueryMsg> MakeQuery(ObjectId object,
                                             SimTime submit,
                                             QueryStage stage) const;
+
+  // Timeout + exponential-backoff retry (query_timeout > 0; the fault
+  // model's answer to lost messages and silent crashes).
+  void ArmQueryTimeout(ObjectId object, PendingQuery* pq);
+  void OnQueryTimeout(ObjectId object);
+  void CancelPendingTimeouts();
 
   // Incoming requests from other peers / directory redirects.
   void HandleIncomingQuery(std::unique_ptr<FlowerQueryMsg> query);
@@ -155,6 +162,11 @@ class ContentPeer : public Peer, public MembershipHost {
   std::map<ObjectId, PendingQuery> pending_;
   uint64_t queries_started_ = 0;
   uint64_t duplicate_queries_ = 0;
+
+  // Keepalive-ack suspicion (suspicion_keepalive_misses > 0): a silently
+  // crashed directory shows up as consecutive unacknowledged keepalives.
+  int keepalive_misses_ = 0;
+  bool keepalive_awaiting_ack_ = false;
 
   Simulator::PeriodicHandle gossip_timer_;
   Simulator::PeriodicHandle keepalive_timer_;

@@ -588,7 +588,7 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
     AddObjectsToEntry(push->sender, push->added, push->removed);
     return;
   }
-  if (dynamic_cast<KeepaliveMsg*>(raw) != nullptr) {
+  if (auto* ka = dynamic_cast<KeepaliveMsg*>(raw)) {
     if (dir_store_.Contains(raw->sender)) {
       dir_store_.Touch(raw->sender);
     } else if (!OverlayFull()) {
@@ -596,6 +596,12 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
       DirectoryStore::Delta delta;
       dir_store_.Admit(raw->sender, 0, ctx_->sim->Now(), &delta);
       ApplyDelta(delta);
+    }
+    if (ka->want_ack) {
+      // Suspicion protocol (suspicion_keepalive_misses > 0): the ack is
+      // the liveness signal a silently-crashed directory cannot fake.
+      ctx_->network->Send(this, raw->sender,
+                          std::make_unique<KeepaliveAckMsg>());
     }
     return;
   }

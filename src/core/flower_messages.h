@@ -70,6 +70,8 @@ class FlowerQueryMsg : public Message {
   /// already counted in SizeBits.
   bool claim_from_index = false;
 
+  FLOWER_DUPLICATE_AS_COPY(FlowerQueryMsg)
+
   std::unique_ptr<FlowerQueryMsg> Clone() const {
     auto c = std::make_unique<FlowerQueryMsg>(website, website_hash, object,
                                               client, client_loc, submit_time,
@@ -116,6 +118,8 @@ class ServeMsg : public Message {
   /// When a content peer serves a new client, it seeds the client's view
   /// with a subset of its own view (paper Sec 4.2).
   std::vector<ViewEntry> view_subset;
+
+  FLOWER_DUPLICATE_AS_COPY(ServeMsg)
 };
 
 /// A peer asked directly for an object it does not hold (Bloom false
@@ -134,6 +138,12 @@ class NotFoundMsg : public Message {
   /// Query context echoed back so the fallback can continue (set when a
   /// directory redirect fails and the directory must re-process).
   std::unique_ptr<FlowerQueryMsg> query;
+
+  MessagePtr Duplicate() const override {
+    auto d = std::make_unique<NotFoundMsg>(object, website_hash, stage);
+    if (query != nullptr) d->query = query->Clone();
+    return d;
+  }
 };
 
 /// Directory -> new content peer: you are admitted to the overlay; here are
@@ -155,6 +165,8 @@ class WelcomeMsg : public Message {
   uint64_t website_hash;
   LocalityId locality;
   std::vector<ViewEntry> contacts;
+
+  FLOWER_DUPLICATE_AS_COPY(WelcomeMsg)
 };
 
 /// The directory-peer entry every content peer maintains and gossips
@@ -180,6 +192,8 @@ class GossipRequestMsg : public Message {
   std::shared_ptr<const ContentSummary> own_summary;
   std::vector<ViewEntry> view_subset;
   DirectoryPointer dir_pointer;
+
+  FLOWER_DUPLICATE_AS_COPY(GossipRequestMsg)
 };
 
 /// The passive side's answer (same contents).
@@ -195,6 +209,8 @@ class GossipReplyMsg : public Message {
   std::shared_ptr<const ContentSummary> own_summary;
   std::vector<ViewEntry> view_subset;
   DirectoryPointer dir_pointer;
+
+  FLOWER_DUPLICATE_AS_COPY(GossipReplyMsg)
 };
 
 /// Content peer -> directory peer: delta of the content list since the last
@@ -209,15 +225,37 @@ class PushMsg : public Message {
 
   std::vector<ObjectId> added;
   std::vector<ObjectId> removed;
+
+  FLOWER_DUPLICATE_AS_COPY(PushMsg)
 };
 
 /// Content peer -> directory peer liveness signal (paper Sec 5.1).
 class KeepaliveMsg : public Message {
  public:
+  uint64_t SizeBits() const override { return want_ack ? 1 : 0; }
+  TrafficClass traffic_class() const override {
+    return TrafficClass::kKeepalive;
+  }
+
+  /// Set when suspicion_keepalive_misses > 0: the directory answers with
+  /// a KeepaliveAckMsg so a silently-crashed directory becomes visible
+  /// as consecutive missing acks. The flag bit only hits the wire when
+  /// set, so default runs account identical traffic.
+  bool want_ack = false;
+
+  FLOWER_DUPLICATE_AS_COPY(KeepaliveMsg)
+};
+
+/// Directory peer -> content peer: keepalive acknowledgement (only sent
+/// when the keepalive requested one).
+class KeepaliveAckMsg : public Message {
+ public:
   uint64_t SizeBits() const override { return 0; }
   TrafficClass traffic_class() const override {
     return TrafficClass::kKeepalive;
   }
+
+  FLOWER_DUPLICATE_AS_COPY(KeepaliveAckMsg)
 };
 
 /// Content peer -> directory peer: graceful goodbye, so the entry can be
@@ -228,6 +266,8 @@ class LeaveMsg : public Message {
   TrafficClass traffic_class() const override {
     return TrafficClass::kControl;
   }
+
+  FLOWER_DUPLICATE_AS_COPY(LeaveMsg)
 };
 
 /// Directory peer -> same-website neighbor directory: refreshed directory
@@ -251,6 +291,8 @@ class DirectorySummaryMsg : public Message {
   LocalityId from_loc;
   Key from_dir_id;
   std::shared_ptr<const ContentSummary> summary;
+
+  FLOWER_DUPLICATE_AS_COPY(DirectorySummaryMsg)
 };
 
 /// Voluntary directory leave: full directory state handed to the chosen
@@ -334,6 +376,8 @@ class ReplicationOfferMsg : public Message {
   }
 
   std::vector<ObjectId> objects;
+
+  FLOWER_DUPLICATE_AS_COPY(ReplicationOfferMsg)
 };
 
 /// Sibling directory -> offering directory: "send these to this member".
@@ -348,6 +392,8 @@ class ReplicationRequestMsg : public Message {
 
   std::vector<ObjectId> wanted;
   PeerAddress deposit_target = kInvalidAddress;
+
+  FLOWER_DUPLICATE_AS_COPY(ReplicationRequestMsg)
 };
 
 /// Holder content peer -> deposit target in the sibling overlay.
@@ -369,6 +415,8 @@ class ReplicaTransferMsg : public Message {
   ObjectId object;
   uint64_t website_hash;
   uint64_t object_size_bits;
+
+  FLOWER_DUPLICATE_AS_COPY(ReplicaTransferMsg)
 };
 
 /// Offering directory -> one of its holders: "transfer this object there".

@@ -473,6 +473,10 @@ void ChordNode::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
     HandleFindSuccessor(std::move(owned));
     return;
   }
+  // Other bounces (stabilization chatter to a dead peer) are dropped by
+  // design — RemoveDeadRef above already expunged the peer; the base
+  // logs the drop in debug builds.
+  Peer::HandleUndeliverable(dest, std::move(msg));
 }
 
 }  // namespace flower

@@ -1,0 +1,362 @@
+#include "net/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flower {
+
+namespace {
+
+// Stream-derivation tag for per-lane fault RNGs (same pattern as the
+// churn manager's kChurnLaneTag).
+constexpr uint64_t kFaultLaneTag = 0xfa17fa17fa17ull;
+
+int ClassIndexByName(const std::string& name) {
+  for (int c = 0; c < static_cast<int>(TrafficClass::kNumClasses); ++c) {
+    if (name == TrafficClassName(static_cast<TrafficClass>(c))) return c;
+  }
+  return -1;
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+Status ParseProb(const std::string& key, const std::string& v, double* out) {
+  char* end = nullptr;
+  double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || x < 0.0 || x > 1.0) {
+    return Status::InvalidArgument(key + " wants a probability in [0, 1], got \"" +
+                                   v + "\"");
+  }
+  *out = x;
+  return Status::Ok();
+}
+
+Status ParseSide(const std::string& spec, PartitionSide* out) {
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty partition side");
+  }
+  if (spec == "*") {
+    out->kind = PartitionSide::Kind::kRest;
+    return Status::Ok();
+  }
+  if (spec[0] == 'n') {
+    out->kind = PartitionSide::Kind::kNodes;
+    for (std::string tok : SplitOn(spec, ',')) {
+      if (!tok.empty() && tok[0] == 'n') tok = tok.substr(1);
+      char* end = nullptr;
+      long long id = std::strtoll(tok.c_str(), &end, 10);
+      if (end == tok.c_str() || *end != '\0' || id < 0) {
+        return Status::InvalidArgument("bad node id in partition side: \"" +
+                                       spec + "\"");
+      }
+      out->nodes.push_back(static_cast<PeerAddress>(id));
+    }
+    std::sort(out->nodes.begin(), out->nodes.end());
+    return Status::Ok();
+  }
+  char* end = nullptr;
+  long long loc = std::strtoll(spec.c_str(), &end, 10);
+  if (end == spec.c_str() || *end != '\0' || loc < 0) {
+    return Status::InvalidArgument(
+        "partition side wants a locality id, \"*\" or \"n<id,...>\", got \"" +
+        spec + "\"");
+  }
+  out->kind = PartitionSide::Kind::kLocality;
+  out->locality = static_cast<LocalityId>(loc);
+  return Status::Ok();
+}
+
+// Side membership; kRest is resolved by the caller (complement of the
+// other side).
+bool SideContains(const PartitionSide& side, PeerAddress addr,
+                  const Topology& topology) {
+  switch (side.kind) {
+    case PartitionSide::Kind::kLocality:
+      return topology.LocalityOf(static_cast<NodeId>(addr)) == side.locality;
+    case PartitionSide::Kind::kNodes:
+      return std::binary_search(side.nodes.begin(), side.nodes.end(), addr);
+    case PartitionSide::Kind::kRest:
+      return true;  // unreachable; handled by the caller
+  }
+  return false;
+}
+
+bool WindowCuts(const PartitionWindow& w, PeerAddress x, PeerAddress y,
+                const Topology& topology) {
+  bool x_in_a;
+  bool x_in_b;
+  bool y_in_a;
+  bool y_in_b;
+  if (w.a.kind == PartitionSide::Kind::kRest) {
+    x_in_b = SideContains(w.b, x, topology);
+    y_in_b = SideContains(w.b, y, topology);
+    x_in_a = !x_in_b;
+    y_in_a = !y_in_b;
+  } else if (w.b.kind == PartitionSide::Kind::kRest) {
+    x_in_a = SideContains(w.a, x, topology);
+    y_in_a = SideContains(w.a, y, topology);
+    x_in_b = !x_in_a;
+    y_in_b = !y_in_a;
+  } else {
+    x_in_a = SideContains(w.a, x, topology);
+    y_in_a = SideContains(w.a, y, topology);
+    x_in_b = SideContains(w.b, x, topology);
+    y_in_b = SideContains(w.b, y, topology);
+  }
+  return (x_in_a && y_in_b) || (x_in_b && y_in_a);
+}
+
+}  // namespace
+
+Status ParseClassProbSpec(const std::string& key, const std::string& spec,
+                          std::array<double, FaultPlan::kNumClasses>* out) {
+  out->fill(0.0);
+  if (spec.empty()) return Status::Ok();
+  if (spec.find(':') == std::string::npos) {
+    double p;
+    Status s = ParseProb(key, spec, &p);
+    if (!s.ok()) return s;
+    out->fill(p);
+    return Status::Ok();
+  }
+  for (const std::string& pair : SplitOn(spec, ',')) {
+    size_t colon = pair.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(key + " wants \"class:prob\" pairs, got \"" +
+                                     pair + "\"");
+    }
+    const std::string cls = pair.substr(0, colon);
+    if (cls == "*") {  // all classes; later pairs can override
+      double p;
+      Status s = ParseProb(key, pair.substr(colon + 1), &p);
+      if (!s.ok()) return s;
+      out->fill(p);
+      continue;
+    }
+    int ci = ClassIndexByName(cls);
+    if (ci < 0) {
+      return Status::InvalidArgument(key + ": unknown traffic class \"" + cls +
+                                     "\"");
+    }
+    Status s = ParseProb(key, pair.substr(colon + 1),
+                         &(*out)[static_cast<size_t>(ci)]);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status ParsePartitionSpec(const std::string& spec,
+                          std::vector<PartitionWindow>* out) {
+  out->clear();
+  if (spec.empty()) return Status::Ok();
+  for (const std::string& win : SplitOn(spec, ';')) {
+    if (win.empty()) continue;
+    size_t at = win.find('@');
+    if (at == std::string::npos) {
+      return Status::InvalidArgument(
+          "fault_partitions window wants \"A|B@START-END\", got \"" + win +
+          "\"");
+    }
+    const std::string sides = win.substr(0, at);
+    const std::string range = win.substr(at + 1);
+    size_t bar = sides.find('|');
+    if (bar == std::string::npos) {
+      return Status::InvalidArgument(
+          "fault_partitions window wants two \"|\"-separated sides, got \"" +
+          win + "\"");
+    }
+    PartitionWindow w;
+    Status s = ParseSide(sides.substr(0, bar), &w.a);
+    if (!s.ok()) return s;
+    s = ParseSide(sides.substr(bar + 1), &w.b);
+    if (!s.ok()) return s;
+    if (w.a.kind == PartitionSide::Kind::kRest &&
+        w.b.kind == PartitionSide::Kind::kRest) {
+      return Status::InvalidArgument(
+          "fault_partitions: both sides of \"" + win + "\" are \"*\"");
+    }
+    size_t dash = range.find('-');
+    if (dash == std::string::npos ||
+        !ParseTimeString(range.substr(0, dash), &w.start) ||
+        !ParseTimeString(range.substr(dash + 1), &w.end)) {
+      return Status::InvalidArgument(
+          "fault_partitions window wants a START-END time range, got \"" +
+          range + "\"");
+    }
+    if (w.end <= w.start) {
+      return Status::InvalidArgument(
+          "fault_partitions window \"" + win + "\" is empty (end <= start)");
+    }
+    out->push_back(std::move(w));
+  }
+  return Status::Ok();
+}
+
+Result<FaultPlan> FaultPlan::FromConfig(const SimConfig& config) {
+  FaultPlan plan;
+  Status s = ParseClassProbSpec("fault_loss", config.fault_loss, &plan.loss);
+  if (!s.ok()) return s;
+  s = ParseClassProbSpec("fault_duplicate", config.fault_duplicate,
+                         &plan.duplicate);
+  if (!s.ok()) return s;
+  s = ParsePartitionSpec(config.fault_partitions, &plan.partitions);
+  if (!s.ok()) return s;
+  if (config.fault_delay_jitter < 0) {
+    return Status::InvalidArgument("fault_delay_jitter must be >= 0");
+  }
+  plan.delay_jitter = config.fault_delay_jitter;
+  if (config.fault_delay_spike < 0) {
+    return Status::InvalidArgument("fault_delay_spike must be >= 0");
+  }
+  plan.delay_spike = config.fault_delay_spike;
+  if (config.fault_delay_spike_probability < 0 ||
+      config.fault_delay_spike_probability > 1) {
+    return Status::InvalidArgument(
+        "fault_delay_spike_probability wants a probability in [0, 1]");
+  }
+  plan.delay_spike_probability = config.fault_delay_spike_probability;
+  if (config.fault_silent_crash_probability < 0 ||
+      config.fault_silent_crash_probability > 1) {
+    return Status::InvalidArgument(
+        "fault_silent_crash_probability wants a probability in [0, 1]");
+  }
+  plan.silent_crash_probability = config.fault_silent_crash_probability;
+  return plan;
+}
+
+bool FaultPlan::AnyLoss() const {
+  for (double p : loss) {
+    if (p > 0) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::AnyDuplication() const {
+  for (double p : duplicate) {
+    if (p > 0) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::Active() const {
+  return AnyLoss() || AnyDuplication() || delay_jitter > 0 ||
+         (delay_spike_probability > 0 && delay_spike > 0) ||
+         !partitions.empty() || silent_crash_probability > 0;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, Simulator* sim,
+                             const Topology* topology)
+    : plan_(std::move(plan)), topology_(topology) {
+  assert(sim != nullptr && topology != nullptr);
+  active_ = plan_.Active();
+  lane_slots_ =
+      sim->sharded() ? static_cast<size_t>(sim->shard_plan().num_lanes) + 1
+                     : 1;
+  // Streams are derived per lane, and lanes == localities (shard-count
+  // invariant), so every shards >= 2 run sees the same draw sequences.
+  rngs_.reserve(lane_slots_);
+  const uint64_t seed = sim->seed();
+  for (size_t slot = 0; slot < lane_slots_; ++slot) {
+    rngs_.emplace_back(Mix64(seed ^ (kFaultLaneTag + slot)));
+  }
+  counters_.assign(lane_slots_, LaneCounters{});
+  silent_.assign(static_cast<size_t>(topology->num_nodes()), 0);
+}
+
+size_t FaultInjector::LaneSlot() const {
+  if (lane_slots_ == 1) return 0;
+  const int lane = CurrentSimLane();
+  return lane == Simulator::kControlLane ? 0
+                                         : static_cast<size_t>(lane) + 1;
+}
+
+bool FaultInjector::CutsLink(PeerAddress a, PeerAddress b,
+                             SimTime now) const {
+  for (const PartitionWindow& w : plan_.partitions) {
+    if (now < w.start || now >= w.end) continue;
+    if (WindowCuts(w, a, b, *topology_)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::DrawLoss(TrafficClass cls) {
+  const double p = plan_.loss[static_cast<size_t>(cls)];
+  if (p <= 0) return false;  // never draw when the class is lossless
+  if (!SelfRng().Bernoulli(p)) return false;
+  ++Self().injected_drops;
+  return true;
+}
+
+bool FaultInjector::DrawDuplicate(TrafficClass cls) {
+  const double p = plan_.duplicate[static_cast<size_t>(cls)];
+  if (p <= 0) return false;
+  return SelfRng().Bernoulli(p);
+}
+
+SimTime FaultInjector::DrawExtraDelay() {
+  SimTime extra = 0;
+  if (plan_.delay_jitter > 0) {
+    extra += SelfRng().UniformInt(0, plan_.delay_jitter);
+  }
+  if (plan_.delay_spike_probability > 0 && plan_.delay_spike > 0 &&
+      SelfRng().Bernoulli(plan_.delay_spike_probability)) {
+    extra += plan_.delay_spike;
+  }
+  return extra;
+}
+
+bool FaultInjector::DrawSilentCrash() {
+  const double p = plan_.silent_crash_probability;
+  if (p <= 0) return false;
+  if (!SelfRng().Bernoulli(p)) return false;
+  ++Self().silent_crashes;
+  return true;
+}
+
+void FaultInjector::MarkSilent(PeerAddress address) {
+  if (address < silent_.size()) silent_[address] = 1;
+}
+
+void FaultInjector::ClearSilent(PeerAddress address) {
+  if (address < silent_.size()) silent_[address] = 0;
+}
+
+bool FaultInjector::SuppressBounce(PeerAddress address) {
+  if (address >= silent_.size() || silent_[address] == 0) return false;
+  ++Self().bounces_suppressed;
+  return true;
+}
+
+uint64_t FaultInjector::Fold(uint64_t LaneCounters::* member) const {
+  uint64_t total = 0;
+  for (const LaneCounters& c : counters_) total += c.*member;
+  return total;
+}
+
+uint64_t FaultInjector::injected_drops() const {
+  return Fold(&LaneCounters::injected_drops);
+}
+uint64_t FaultInjector::injected_duplicates() const {
+  return Fold(&LaneCounters::injected_duplicates);
+}
+uint64_t FaultInjector::partition_drops() const {
+  return Fold(&LaneCounters::partition_drops);
+}
+uint64_t FaultInjector::bounces_suppressed() const {
+  return Fold(&LaneCounters::bounces_suppressed);
+}
+uint64_t FaultInjector::silent_crashes() const {
+  return Fold(&LaneCounters::silent_crashes);
+}
+
+}  // namespace flower

@@ -56,6 +56,9 @@ inline constexpr uint64_t kTtlBits = 8;
 /// per-origin message ids).
 inline constexpr uint64_t kVersionBits = 64;
 
+class Message;
+using MessagePtr = std::unique_ptr<Message>;
+
 class Message {
  public:
   virtual ~Message() = default;
@@ -67,11 +70,19 @@ class Message {
   /// Accounting class of this message.
   virtual TrafficClass traffic_class() const = 0;
 
+  /// Deep copy, used by the fault injector to deliver a duplicated
+  /// message. The default (nullptr) marks a message the network must not
+  /// duplicate — types that own move-only payloads opt out by keeping it.
+  virtual MessagePtr Duplicate() const { return nullptr; }
+
   /// Filled in by the network on delivery.
   PeerAddress sender = kInvalidAddress;
 };
 
-using MessagePtr = std::unique_ptr<Message>;
+/// Implements Duplicate() via the type's copy constructor. Use on message
+/// types whose members are all copyable.
+#define FLOWER_DUPLICATE_AS_COPY(T) \
+  MessagePtr Duplicate() const override { return std::make_unique<T>(*this); }
 
 }  // namespace flower
 

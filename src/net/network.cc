@@ -3,9 +3,26 @@
 #include <cassert>
 #include <memory>
 
+#include "common/logging.h"
+#include "net/fault_injector.h"
+
 namespace flower {
 
 TrafficCounters Network::empty_counters_;
+
+void Peer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
+  (void)dest;
+  (void)msg;
+#ifndef NDEBUG
+  // A dropped bounce is only safe for fire-and-forget traffic; anything
+  // carrying pending-query context must override this handler or be
+  // covered by the query-timeout path (see ISSUE audit). Surface the
+  // drop in debug builds so new message types cannot regress silently.
+  FLOWER_LOG(Debug) << "peer " << address_ << " dropped undeliverable "
+                    << TrafficClassName(msg->traffic_class())
+                    << " bounce for dest " << dest;
+#endif
+}
 
 uint64_t TrafficCounters::TotalSent() const {
   uint64_t t = 0;
@@ -48,6 +65,8 @@ void Network::RegisterPeer(Peer* peer, NodeId node) {
   peer->address_ = address;
   peer->node_ = node;
   peers_[address] = peer;
+  // A rebirth at a silently-crashed address is reachable again.
+  if (injector_ != nullptr) injector_->ClearSilent(address);
 }
 
 void Network::UnregisterPeer(Peer* peer) {
@@ -83,6 +102,38 @@ void Network::Send(Peer* from, PeerAddress to, MessagePtr msg) {
   msg->sender = sender;
   SimTime latency = Latency(sender, to);
 
+  // Fault-injection hooks. The entire block is skipped — no draw, no
+  // extra branch in the delivery path — when no active injector is
+  // attached, keeping default runs byte-identical to pre-fault builds.
+  if (injector_ != nullptr && injector_->active()) {
+    if (injector_->CutsLink(sender, to, sim_->Now())) {
+      // The message disappears inside the partition: the sender sees
+      // neither a delivery nor a bounce (sent-side accounting stands;
+      // the bits left the NIC).
+      injector_->CountPartitionDrop();
+      return;
+    }
+    if (injector_->DrawLoss(cls)) return;
+    latency += injector_->DrawExtraDelay();
+    if (injector_->DrawDuplicate(cls)) {
+      MessagePtr dup = msg->Duplicate();
+      // Move-only payload carriers return nullptr: the draw was made
+      // (stream layout is type-independent) but no copy materializes.
+      if (dup != nullptr) {
+        dup->sender = sender;
+        injector_->CountDuplicate();
+        DeliverAfter(sender, to, ci, bits,
+                     Latency(sender, to) + injector_->DrawExtraDelay(),
+                     std::move(dup));
+      }
+    }
+  }
+
+  DeliverAfter(sender, to, ci, bits, latency, std::move(msg));
+}
+
+void Network::DeliverAfter(PeerAddress sender, PeerAddress to, size_t ci,
+                           uint64_t bits, SimTime latency, MessagePtr msg) {
   // EventFn closures are move-only-friendly, so the message rides in the
   // closure directly — no shared_ptr holder allocation per send.
   RouteAfter(to, latency, [this, sender, to, ci, bits,
@@ -93,8 +144,12 @@ void Network::Send(Peer* from, PeerAddress to, MessagePtr msg) {
       dest->HandleMessage(std::move(m));
       return;
     }
-    // Destination offline: notify the sender after the return trip.
+    // Destination offline: notify the sender after the return trip —
+    // unless the destination crashed *silently*, in which case the
+    // message is swallowed and the sender must rely on timeouts or
+    // keepalive suspicion instead.
     ++messages_undeliverable_[LaneSlot()];
+    if (injector_ != nullptr && injector_->SuppressBounce(to)) return;
     SimTime back = Latency(to, sender);
     RouteAfter(sender, back, [this, sender, to, m = std::move(m)]() mutable {
       Peer* src = sender < peers_.size() ? peers_[sender] : nullptr;

@@ -24,6 +24,8 @@
 
 namespace flower {
 
+class FaultInjector;
+
 /// Interface implemented by every simulated peer.
 class Peer {
  public:
@@ -33,11 +35,12 @@ class Peer {
   virtual void HandleMessage(MessagePtr msg) = 0;
 
   /// Called when a message this peer sent could not be delivered (dest
-  /// offline). `dest` is the failed destination. Default: ignore.
-  virtual void HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
-    (void)dest;
-    (void)msg;
-  }
+  /// offline). `dest` is the failed destination. The default drops the
+  /// bounce — and, in debug builds, logs it, because a silently dropped
+  /// bounce for a message carrying pending-query context is a hang
+  /// waiting to happen (such messages must either override this or be
+  /// covered by the query-timeout path).
+  virtual void HandleUndeliverable(PeerAddress dest, MessagePtr msg);
 
   PeerAddress address() const { return address_; }
   NodeId node() const { return node_; }
@@ -83,7 +86,18 @@ class Network {
   /// runs after a full round trip instead. In sharded mode delivery is
   /// routed to the lane owning the destination node — cross-lane sends
   /// travel through the stamped window exchange.
+  ///
+  /// With an active fault injector attached, a send may additionally be
+  /// dropped (loss / partition window), duplicated, or delayed by jitter;
+  /// bounces to silently-crashed destinations are suppressed.
   void Send(Peer* from, PeerAddress to, MessagePtr msg);
+
+  /// Attaches a fault injector (nullptr detaches). The injector must
+  /// outlive the network; with no injector, or an inactive one, Send is
+  /// byte-identical to pre-fault-layer builds (no draws, no branches
+  /// taken).
+  void AttachFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   /// One-way latency between two peer addresses.
   SimTime Latency(PeerAddress a, PeerAddress b) const;
@@ -113,8 +127,14 @@ class Network {
   /// Schedules fn after `delay` on the lane owning `dest`.
   void RouteAfter(PeerAddress dest, SimTime delay, EventFn fn);
 
+  /// Schedules the delivery (or undeliverable bounce) of msg to `to`
+  /// after `latency`.
+  void DeliverAfter(PeerAddress sender, PeerAddress to, size_t ci,
+                    uint64_t bits, SimTime latency, MessagePtr msg);
+
   Simulator* sim_;
   const Topology* topology_;
+  FaultInjector* injector_ = nullptr;
   // Entries written only by the lane owning that address (registration
   // and delivery both run on the owner's lane).
   LANE_CONFINED std::vector<Peer*> peers_;  // address -> live peer

@@ -112,6 +112,10 @@ class Simulator {
   /// The scheduling engine every queue in this simulator uses.
   SimEngine engine() const { return engine_; }
 
+  /// The master seed (for deriving independent per-lane streams via
+  /// Mix64, the churn/fault-injector pattern — never reseed from rng()).
+  uint64_t seed() const { return seed_; }
+
   uint64_t events_processed() const;
   uint64_t events_cancelled() const;
 

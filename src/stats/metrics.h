@@ -121,6 +121,17 @@ class Metrics {
   /// A duplicate delta arrived (redundant tree edge, triggers PRUNE).
   void OnPlumtreeDuplicate() { ++Self().pt_duplicates_; }
 
+  // --- Query-hardening hooks (query_timeout / suspicion, src/core/) ------------
+
+  /// A pending query hit its client-side timeout (query_timeout > 0).
+  void OnQueryTimeout() { ++Self().queries_timed_out_; }
+  /// A timed-out query was re-driven down the pipeline (not yet the
+  /// final origin-server fallback).
+  void OnQueryRetry() { ++Self().query_retries_; }
+  /// Keepalive-ack suspicion crossed its miss threshold: a content peer
+  /// declared its directory silently dead and started replacement.
+  void OnSuspicionConfirmed() { ++Self().suspicions_confirmed_; }
+
   /// Serve counts by provider kind (diagnostics for Fig 8 analyses).
   uint64_t ServesBy(ProviderKind kind) const {
     return SumOverLanes(&Metrics::serves_by_kind_,
@@ -166,6 +177,15 @@ class Metrics {
   }
   uint64_t plumtree_duplicates() const {
     return SumScalar(&Metrics::pt_duplicates_);
+  }
+  uint64_t queries_timed_out() const {
+    return SumScalar(&Metrics::queries_timed_out_);
+  }
+  uint64_t query_retries() const {
+    return SumScalar(&Metrics::query_retries_);
+  }
+  uint64_t suspicions_confirmed() const {
+    return SumScalar(&Metrics::suspicions_confirmed_);
   }
 
   const RatioSeries& hit_series() const { return Folded().hit_series_; }
@@ -251,6 +271,9 @@ class Metrics {
   uint64_t pt_eager_deliveries_ = 0;
   uint64_t pt_lazy_recoveries_ = 0;
   uint64_t pt_duplicates_ = 0;
+  uint64_t queries_timed_out_ = 0;
+  uint64_t query_retries_ = 0;
+  uint64_t suspicions_confirmed_ = 0;
   std::array<uint64_t, static_cast<size_t>(ProviderKind::kNumKinds)>
       serves_by_kind_{};
 

@@ -1,8 +1,10 @@
 // Directory dynamicity (paper Sec 5): redirection failures, directory
-// crash + replacement race, voluntary leave with handoff.
+// crash + replacement race, voluntary leave with handoff, and silent
+// (bounce-less) crashes detected through keepalive-ack suspicion.
 #include <gtest/gtest.h>
 
 #include "core/flower_system.h"
+#include "net/fault_injector.h"
 #include "test_util.h"
 
 namespace flower {
@@ -130,6 +132,85 @@ TEST_F(DirectoryFailureTest, ReplacementRebuildsIndexFromPushes) {
   world_.sim()->RunFor(4 * world_.config().keepalive_period);
   size_t members_known = replacement->IndexSize();
   EXPECT_GE(members_known, 3u);
+}
+
+// A silently crashed directory sends no undeliverable bounces, so the
+// bounce-driven failure detector in the keepalive path never fires. The
+// keepalive-ack suspicion counter (suspicion_keepalive_misses) must take
+// over: members notice the missing acks, declare the directory dead and
+// race to replace it, after which queries resolve again.
+class SilentDirectoryCrashTest : public ::testing::Test {
+ protected:
+  static SimConfig SuspicionConfig() {
+    SimConfig c = TinyConfig();
+    c.suspicion_keepalive_misses = 2;
+    return c;
+  }
+
+  SilentDirectoryCrashTest()
+      : world_(SuspicionConfig()),
+        metrics_(world_.config()),
+        system_(world_.config(), world_.sim(), world_.network(),
+                world_.topology(), &metrics_) {
+    FaultPlan plan;
+    plan.silent_crash_probability = 1.0;
+    injector_ = std::make_unique<FaultInjector>(plan, world_.sim(),
+                                                world_.topology());
+    world_.network()->AttachFaultInjector(injector_.get());
+    system_.Setup();
+  }
+
+  TestWorld world_;
+  Metrics metrics_;
+  FlowerSystem system_;
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+TEST_F(SilentDirectoryCrashTest, SuspicionReplacesSilentlyCrashedDirectory) {
+  // Join a handful of members the usual way.
+  const auto& pool = system_.deployment().client_pools[0][0];
+  std::vector<NodeId> member_nodes;
+  for (size_t i = 0; i < 5; ++i) {
+    system_.SubmitQuery(pool[i], 0, system_.catalog().site(0).objects[i]);
+    world_.sim()->RunFor(kMinute);
+    member_nodes.push_back(pool[i]);
+  }
+
+  DirectoryPeer* dir = system_.FindDirectory(0, 0);
+  ASSERT_NE(dir, nullptr);
+  Key dir_key = dir->id();
+  // The directory goes dark: crashed AND silent, so keepalives simply
+  // vanish instead of bouncing.
+  injector_->MarkSilent(dir->address());
+  dir->FailAbruptly();
+  ASSERT_EQ(system_.FindDirectory(0, 0), nullptr);
+
+  // Two missed acks plus the re-join round trip; give it a few periods.
+  world_.sim()->RunFor(6 * world_.config().keepalive_period);
+
+  EXPECT_GT(injector_->bounces_suppressed(), 0u)
+      << "the silent crash must actually have swallowed bounces";
+  EXPECT_GT(metrics_.suspicions_confirmed(), 0u)
+      << "detection must come from ack suspicion, not bounces";
+
+  DirectoryPeer* replacement = system_.FindDirectory(0, 0);
+  ASSERT_NE(replacement, nullptr)
+      << "no replacement joined the D-ring after a silent crash";
+  EXPECT_EQ(replacement->id(), dir_key);
+  EXPECT_GE(system_.promotions(), 1u);
+
+  // Queries from a surviving member resolve again.
+  ContentPeer* survivor = nullptr;
+  for (NodeId n : member_nodes) {
+    if (n == replacement->node()) continue;
+    survivor = system_.FindContentPeer(n);
+    if (survivor != nullptr && survivor->alive()) break;
+  }
+  ASSERT_NE(survivor, nullptr);
+  ObjectId fresh = system_.catalog().site(0).objects[30];
+  system_.SubmitQuery(survivor->node(), 0, fresh);
+  world_.sim()->RunFor(kMinute);
+  EXPECT_EQ(survivor->content().count(fresh), 1u);
 }
 
 TEST_F(DirectoryFailureTest, VoluntaryLeaveHandsDirectoryOver) {

@@ -171,6 +171,70 @@ TEST(ShardedDeterminismGolden, ChurnAndReplicationStress) {
   EXPECT_EQ(s2.json, s2b.json);
 }
 
+// Satellite (ISSUE 9): cross-shard determinism with the fault-injection
+// layer fully lit up — loss, duplication, jitter, a partition window,
+// silent crashes under churn, plus query timeouts and keepalive-ack
+// suspicion. All injector draws come from per-lane derived streams, so
+// shards=2 and shards=4 must stay byte-identical across executors,
+// engines and reruns; shards=1 is the serial engine (own schedule,
+// asserted self-consistent only).
+TEST(ShardedDeterminismGolden, FaultInjectionStress) {
+  SimConfig base = ShardConfig();
+  base.duration = 2 * kHour;
+  base.churn_enabled = true;
+  base.churn_mean_session = 30 * kMinute;
+  base.churn_mean_downtime = 10 * kMinute;
+  base.fault_loss = "0.05";
+  base.fault_duplicate = "query:0.05,gossip:0.02";
+  base.fault_delay_jitter = 20;
+  base.fault_partitions = "0|*@30min-45min";
+  base.fault_silent_crash_probability = 0.5;
+  base.query_timeout = 5 * kSecond;
+  base.query_max_retries = 4;
+  base.suspicion_keepalive_misses = 2;
+
+  SimConfig one = base;
+  one.shards = 1;
+  SinkOutput s1 = RunWithSinks(one, "fault_s1");
+  SinkOutput s1b = RunWithSinks(one, "fault_s1_again");
+  EXPECT_EQ(s1.json, s1b.json) << "serial faulty run must be reproducible";
+  EXPECT_GT(s1.result.injected_drops, 0u);
+
+  SimConfig two = base;
+  two.shards = 2;
+  SinkOutput s2 = RunWithSinks(two, "fault_s2");
+
+  SimConfig four = base;
+  four.shards = 4;
+  SinkOutput s4 = RunWithSinks(four, "fault_s4");
+
+  EXPECT_EQ(s2.text, s4.text);
+  EXPECT_EQ(s2.json, s4.json);
+  EXPECT_EQ(s2.result.events_processed, s4.result.events_processed);
+  EXPECT_EQ(s2.result.events_by_lane, s4.result.events_by_lane);
+  EXPECT_GT(s2.result.injected_drops, 0u) << "loss must actually fire";
+  EXPECT_GT(s2.result.partition_drops, 0u) << "the window must cut traffic";
+  EXPECT_GT(s2.result.queries_timed_out, 0u);
+
+  // Executor independence with every fault dimension on.
+  SimConfig threads_cfg = two;
+  threads_cfg.shard_executor = "threads";
+  SinkOutput threads = RunWithSinks(threads_cfg, "fault_s2_threads");
+  EXPECT_EQ(s2.text, threads.text);
+  EXPECT_EQ(s2.json, threads.json);
+
+  // Engine independence (calendar queue vs. binary heap).
+  SimConfig cal_cfg = two;
+  cal_cfg.sim_engine = "calendar";
+  SinkOutput cal = RunWithSinks(cal_cfg, "fault_s2_calendar");
+  EXPECT_EQ(s2.text, cal.text);
+  EXPECT_EQ(s2.json, cal.json);
+
+  // Rerun determinism of the sharded faulty schedule.
+  SinkOutput s2b = RunWithSinks(two, "fault_s2_again");
+  EXPECT_EQ(s2.json, s2b.json);
+}
+
 TEST(ShardedDeterminismGolden, SquirrelShardsAreDeterministic) {
   SimConfig base = ShardConfig();
   base.system = "squirrel";

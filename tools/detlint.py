@@ -35,6 +35,18 @@ msg-traffic-class
     accounting with a ``TrafficClass`` is what keeps the paper's
     background-traffic metric honest as protocols are added.
 
+raw-prob-draw
+    A probability draw in lane-executed code (``src/net/``,
+    ``src/core/``) taken from the simulator's master RNG
+    (``rng()->Bernoulli(...)`` and friends) or from a raw
+    ``std::*_distribution``. Runtime draws must come from per-lane
+    streams derived from the master seed
+    (``Rng(Mix64(seed ^ (tag + slot)))`` — the churn-manager /
+    fault-injector pattern): a master-RNG draw perturbs every later
+    consumer of that stream and makes the schedule depend on lane
+    interleaving. Setup-phase draws that provably run before the
+    simulation starts may be allowlisted per line.
+
 Opt-out
 -------
 A finding can be waived per line with a justification::
@@ -66,14 +78,17 @@ import sys
 RULE_UNORDERED = "unordered-iteration"
 RULE_WALLCLOCK = "wall-clock"
 RULE_TRAFFIC = "msg-traffic-class"
+RULE_RAWPROB = "raw-prob-draw"
 RULE_BAD_ALLOW = "allow-missing-reason"
 
-ALL_RULES = (RULE_UNORDERED, RULE_WALLCLOCK, RULE_TRAFFIC, RULE_BAD_ALLOW)
+ALL_RULES = (RULE_UNORDERED, RULE_WALLCLOCK, RULE_TRAFFIC, RULE_RAWPROB,
+             RULE_BAD_ALLOW)
 
 RULE_HELP = {
     RULE_UNORDERED: "unordered-container iteration reaching an ordered output",
     RULE_WALLCLOCK: "wall-clock / ambient-entropy read inside the simulation",
     RULE_TRAFFIC: "Message subclass without SizeBits()/traffic_class()",
+    RULE_RAWPROB: "probability draw not from a lane-derived RNG stream",
     RULE_BAD_ALLOW: "detlint allow() comment without a justification",
 }
 
@@ -440,6 +455,45 @@ def check_wallclock(path, text, findings):
                 break
 
 
+# --- rule: raw-prob-draw ------------------------------------------------------
+
+# Draw methods with probabilistic semantics; Next() is excluded because
+# its one legitimate lane-scoped use is seed derivation at setup.
+RAWPROB_DRAWS = (r"Bernoulli|UniformDouble|UniformInt|Exponential|Index|"
+                 r"SampleIndices|WeightedIndex|Shuffle")
+RAWPROB_MASTER_RE = re.compile(
+    r"\brng\s*\(\s*\)\s*(?:->|\.)\s*(?:%s)\s*\(" % RAWPROB_DRAWS)
+RAWPROB_STD_RE = re.compile(
+    r"std\s*::\s*(?:bernoulli|uniform_real|uniform_int|discrete|geometric|"
+    r"poisson|exponential|normal)_distribution\b")
+
+
+def is_lane_scoped(path):
+    """Files whose code runs on simulation lanes: the network and the
+    protocol cores (plus the rule's own fixtures)."""
+    norm = path.replace(os.sep, "/")
+    return ("/net/" in norm or "/core/" in norm
+            or "raw_prob" in os.path.basename(norm))
+
+
+def check_rawprob(path, text, findings):
+    if not is_lane_scoped(path):
+        return
+    clean = strip_comments(text)
+    for i, linetext in enumerate(clean.split("\n"), start=1):
+        if RAWPROB_MASTER_RE.search(linetext):
+            findings.add(
+                path, i, RULE_RAWPROB,
+                "probability draw from the simulator's master RNG in "
+                "lane-executed code; derive a per-lane stream "
+                "(Rng(Mix64(seed ^ (tag + slot)))) instead")
+        elif RAWPROB_STD_RE.search(linetext):
+            findings.add(
+                path, i, RULE_RAWPROB,
+                "raw std::<...>_distribution bypasses the repo's seeded "
+                "lane-derived Rng streams")
+
+
 # --- rule: msg-traffic-class --------------------------------------------------
 
 CLASS_DECL_RE = re.compile(
@@ -585,6 +639,7 @@ def main(argv=None):
             nested |= names[dep][1]
         check_unordered_iteration(path, text, direct, nested, findings)
         check_wallclock(path, text, findings)
+        check_rawprob(path, text, findings)
     check_traffic_class(texts, findings)
 
     findings.filter_allowed(

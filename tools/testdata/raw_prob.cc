@@ -1,0 +1,51 @@
+// Fixture for the raw-prob-draw rule: probability draws in
+// lane-executed code must come from per-lane derived Rng streams, never
+// from the simulator's master RNG or raw std distributions.
+#include <random>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace flower {
+
+class LaneActor {
+ public:
+  explicit LaneActor(Simulator* sim) : sim_(sim) {
+    // BAD: runtime draw from the master stream — every later consumer
+    // of sim->rng() shifts, and the shift depends on lane interleaving.
+    if (sim_->rng()->Bernoulli(0.5)) count_ = 1;
+  }
+
+  void Tick() {
+    // BAD: same through an arrow chain.
+    double u = sim_->rng()->UniformDouble();
+    // BAD: raw std distribution, bypasses the Rng discipline entirely.
+    std::bernoulli_distribution coin(u);
+
+    // GOOD: a per-lane derived stream member.
+    if (lane_rngs_[0].Bernoulli(0.25)) ++count_;
+  }
+
+  // GOOD: draws through a stream the caller derived per lane (the
+  // churn-manager Tick(lane, rng) pattern).
+  void Sweep(Rng* rng) {
+    if (rng->Bernoulli(0.1)) ++count_;
+  }
+
+  void Seed() {
+    // GOOD: seed derivation via Next() at setup is the sanctioned use.
+    derived_seed_ = sim_->rng()->Next();
+    // GOOD: a justified waiver.
+    // detlint: allow(raw-prob-draw) — setup-phase draw before the run starts
+    setup_jitter_ = sim_->rng()->UniformInt(0, 10);
+  }
+
+ private:
+  Simulator* sim_;
+  Rng lane_rngs_[2] = {Rng(1), Rng(2)};
+  uint64_t derived_seed_ = 0;
+  int64_t setup_jitter_ = 0;
+  int count_ = 0;
+};
+
+}  // namespace flower
