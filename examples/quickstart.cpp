@@ -50,6 +50,8 @@ int main(int argc, char** argv) {
     std::printf("  engine           : %llu events in %.0f ms (%.0f ev/s)\n",
                 static_cast<unsigned long long>(r.events_processed),
                 r.wall_ms, r.EventsPerSec());
+    std::printf("  memory           : peak_rss_mb=%.1f\n",
+                static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0));
     return 0;
   }
   flower::RunResult flower_run = flower::Experiment(config)
@@ -85,5 +87,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(flower_run.events_processed),
               flower_run.wall_ms, flower_run.EventsPerSec(),
               squirrel_run.EventsPerSec());
+  // Peak RSS of the primary run (host-dependent like wall_ms, so it
+  // lives on its own maskable line, never in sinks).
+  std::printf("  memory           : peak_rss_mb=%.1f\n",
+              static_cast<double>(flower_run.peak_rss_bytes) /
+                  (1024.0 * 1024.0));
   return 0;
 }

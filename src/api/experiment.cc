@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/mem_stats.h"
 #include "net/fault_injector.h"
 #include "net/network.h"
 #include "net/topology.h"
@@ -307,6 +308,8 @@ Result<RunResult> Experiment::TryRun() {
   result.wall_ms =
       std::chrono::duration<double, std::milli>(wall_end - wall_start)
           .count();
+  // Same reproducibility rule as wall_ms: RunResult-only, never sinks.
+  result.peak_rss_bytes = MemStats::PeakRssBytes();
   result.system = system->key();
   result.system_name = system->name();
   result.label = label_;

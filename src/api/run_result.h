@@ -138,6 +138,11 @@ struct RunResult {
   /// returned RunResult; the engine microbenchmark (bench_micro engine)
   /// owns the wall-clock trajectory in BENCH_engine.json.
   double wall_ms = 0;
+  /// Peak resident set size of the process (MemStats::PeakRssBytes) at
+  /// the end of the run, 0 on platforms without procfs. Host-dependent
+  /// like wall_ms, so sinks deliberately do NOT write it; bench_scale
+  /// owns the peers-vs-RSS trajectory in BENCH_scale.json.
+  uint64_t peak_rss_bytes = 0;
 
   /// Simulation-engine throughput of this run (0 when too fast to time).
   double EventsPerSec() const {

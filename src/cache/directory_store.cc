@@ -27,14 +27,14 @@ DirectoryStore DirectoryStore::FromConfig(const SimConfig& config) {
 }
 
 const DirectoryStore::Entry* DirectoryStore::Find(PeerAddress peer) const {
-  auto it = entries_.find(peer);
-  return it == entries_.end() ? nullptr : &it->second;
+  size_t i = IndexOf(peer);
+  return i == kNpos ? nullptr : &entries_[i];
 }
 
 void DirectoryStore::Touch(PeerAddress peer) {
-  auto it = entries_.find(peer);
-  if (it == entries_.end()) return;
-  it->second.age = 0;
+  size_t i = IndexOf(peer);
+  if (i == kNpos) return;
+  entries_[i].age = 0;
   engine_.Touch(peer);
 }
 
@@ -42,15 +42,15 @@ void DirectoryStore::Probe(PeerAddress peer) { engine_.Touch(peer); }
 
 void DirectoryStore::SetEntryState(PeerAddress peer, int age,
                                    SimTime joined_at) {
-  auto it = entries_.find(peer);
-  if (it == entries_.end()) return;
-  it->second.age = age;
-  it->second.joined_at = joined_at;
+  size_t i = IndexOf(peer);
+  if (i == kNpos) return;
+  entries_[i].age = age;
+  entries_[i].joined_at = joined_at;
 }
 
 bool DirectoryStore::Admit(PeerAddress peer, int age, SimTime joined_at,
                            Delta* delta) {
-  if (entries_.count(peer) > 0) {
+  if (Contains(peer)) {
     Touch(peer);
     return true;
   }
@@ -63,30 +63,64 @@ bool DirectoryStore::Admit(PeerAddress peer, int age, SimTime joined_at,
   Entry entry;
   entry.age = age;
   entry.joined_at = joined_at;
-  entries_.emplace(peer, std::move(entry));
+  auto pos = std::lower_bound(addrs_.begin(), addrs_.end(), peer);
+  size_t i = static_cast<size_t>(pos - addrs_.begin());
+  addrs_.insert(pos, peer);
+  entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(i),
+                  std::move(entry));
+  return true;
+}
+
+bool DirectoryStore::HolderRef(ObjectSlot slot, PeerAddress peer) {
+  auto it = std::lower_bound(holder_slots_.begin(), holder_slots_.end(), slot);
+  size_t i = static_cast<size_t>(it - holder_slots_.begin());
+  if (it != holder_slots_.end() && *it == slot) {
+    std::vector<PeerAddress>& holders = holder_lists_[i];
+    auto pos = std::lower_bound(holders.begin(), holders.end(), peer);
+    assert(pos == holders.end() || *pos != peer);
+    holders.insert(pos, peer);
+    return false;
+  }
+  holder_slots_.insert(it, slot);
+  holder_lists_.insert(holder_lists_.begin() + static_cast<std::ptrdiff_t>(i),
+                       std::vector<PeerAddress>{peer});
+  return true;
+}
+
+bool DirectoryStore::HolderUnref(ObjectSlot slot, PeerAddress peer) {
+  size_t i = HolderIndexOf(slot);
+  if (i == kNpos) return false;
+  std::vector<PeerAddress>& holders = holder_lists_[i];
+  auto pos = std::lower_bound(holders.begin(), holders.end(), peer);
+  if (pos == holders.end() || *pos != peer) return false;
+  holders.erase(pos);
+  if (!holders.empty()) return false;
+  holder_slots_.erase(holder_slots_.begin() + static_cast<std::ptrdiff_t>(i));
+  holder_lists_.erase(holder_lists_.begin() + static_cast<std::ptrdiff_t>(i));
   return true;
 }
 
 void DirectoryStore::Update(PeerAddress peer,
-                            const std::vector<ObjectId>& add,
-                            const std::vector<ObjectId>& remove,
+                            const std::vector<ObjectSlot>& add,
+                            const std::vector<ObjectSlot>& remove,
                             Delta* delta) {
-  auto it = entries_.find(peer);
-  if (it == entries_.end()) return;
-  Entry& entry = it->second;
-  for (ObjectId o : add) {
-    if (entry.objects.insert(o).second) {
-      if (++holder_counts_[o] == 1) delta->new_ids.push_back(o);
-    }
+  size_t i = IndexOf(peer);
+  if (i == kNpos) return;
+  Entry& entry = entries_[i];
+  for (ObjectSlot slot : add) {
+    if (slot == kInvalidSlot) continue;  // foreign id, not in this site
+    auto pos = std::lower_bound(entry.objects.begin(), entry.objects.end(),
+                                slot);
+    if (pos != entry.objects.end() && *pos == slot) continue;
+    entry.objects.insert(pos, slot);
+    if (HolderRef(slot, peer)) delta->new_slots.push_back(slot);
   }
-  for (ObjectId o : remove) {
-    if (entry.objects.erase(o) > 0) {
-      auto hit = holder_counts_.find(o);
-      if (hit != holder_counts_.end() && --hit->second == 0) {
-        holder_counts_.erase(hit);
-        delta->orphaned_ids.push_back(o);
-      }
-    }
+  for (ObjectSlot slot : remove) {
+    auto pos = std::lower_bound(entry.objects.begin(), entry.objects.end(),
+                                slot);
+    if (pos == entry.objects.end() || *pos != slot) continue;
+    entry.objects.erase(pos);
+    if (HolderUnref(slot, peer)) delta->orphaned_slots.push_back(slot);
   }
   std::vector<PeerAddress> evicted;
   engine_.Resize(peer, FootprintBytes(entry.objects.size()), &evicted);
@@ -100,8 +134,8 @@ void DirectoryStore::Erase(PeerAddress peer, Delta* delta) {
 
 void DirectoryStore::AgeAll(int dead_age_limit, Delta* delta) {
   std::vector<PeerAddress> dead;
-  for (auto& [addr, entry] : entries_) {
-    if (++entry.age >= dead_age_limit) dead.push_back(addr);
+  for (size_t i = 0; i < addrs_.size(); ++i) {
+    if (++entries_[i].age >= dead_age_limit) dead.push_back(addrs_[i]);
   }
   for (PeerAddress addr : dead) Erase(addr, delta);
 }
@@ -140,16 +174,13 @@ void DirectoryStore::EraseSummariesFrom(PeerAddress addr) {
 }
 
 void DirectoryStore::DropPayload(PeerAddress peer, Delta* delta) {
-  auto it = entries_.find(peer);
-  assert(it != entries_.end() && "engine and payload map out of sync");
-  for (ObjectId o : it->second.objects) {
-    auto hit = holder_counts_.find(o);
-    if (hit != holder_counts_.end() && --hit->second == 0) {
-      holder_counts_.erase(hit);
-      delta->orphaned_ids.push_back(o);
-    }
+  size_t i = IndexOf(peer);
+  assert(i != kNpos && "engine and payload table out of sync");
+  for (ObjectSlot slot : entries_[i].objects) {
+    if (HolderUnref(slot, peer)) delta->orphaned_slots.push_back(slot);
   }
-  entries_.erase(it);
+  addrs_.erase(addrs_.begin() + static_cast<std::ptrdiff_t>(i));
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 void DirectoryStore::AbsorbEvictions(const std::vector<PeerAddress>& evicted,

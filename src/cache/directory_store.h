@@ -10,7 +10,7 @@
 // footprint (base record + bytes per claimed object id). Under a finite
 // `directory_index_capacity`, admitting or growing an entry can evict
 // policy-chosen victims (LRU on last probe, LFU on probe frequency, GDSF
-// on footprint); the store keeps `holder_counts_` — the object-id
+// on footprint); the store keeps the holder counts — the object
 // reference counts the directory summary is built from — consistent
 // through every admission, update, expiry and eviction, and reports what
 // changed (Delta) so the peer can refresh summaries and count metrics.
@@ -18,14 +18,25 @@
 // The store also owns the neighbor directory summaries, so the whole of
 // a directory peer's soft state lives behind one facade.
 //
+// Flyweight layout (the 100k-peer substrate): object claims are dense
+// per-site ObjectSlot handles (4 bytes, common/interner.h) held in
+// sorted vectors, and the entry table itself is two parallel sorted
+// vectors — no per-member or per-claim tree nodes. Slot order equals id
+// order within a site, so every iteration is byte-identical to the
+// id-keyed std::map/std::set state this replaced. The DirectoryPeer
+// converts ObjectId <-> ObjectSlot at its boundaries (queries arrive as
+// ids; Bloom summaries hash the original ids).
+//
 // With capacity 0 (the default) nothing is ever evicted and behavior is
 // bit-identical to the pre-refactor unbounded std::maps.
 #ifndef FLOWERCDN_CACHE_DIRECTORY_STORE_H_
 #define FLOWERCDN_CACHE_DIRECTORY_STORE_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <map>
 #include <memory>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "cache/keyed_store.h"
@@ -39,11 +50,16 @@ class ContentSummary;
 class DirectoryStore {
  public:
   /// One directory-index entry: the directory's view of one content peer
-  /// (paper Sec 3.3 — age, join time, object list).
+  /// (paper Sec 3.3 — age, join time, object list). `objects` holds the
+  /// claimed ObjectSlots in ascending order (== ascending ObjectId).
   struct Entry {
     int age = 0;
     SimTime joined_at = 0;
-    std::set<ObjectId> objects;
+    std::vector<ObjectSlot> objects;
+
+    bool Claims(ObjectSlot slot) const {
+      return std::binary_search(objects.begin(), objects.end(), slot);
+    }
   };
 
   /// A Bloom summary received from a same-website neighbor directory.
@@ -54,17 +70,20 @@ class DirectoryStore {
   };
 
   /// What a mutation changed, for summary-refresh bookkeeping and
-  /// metrics. `new_ids` are object ids whose holder count went 0 -> 1,
-  /// `orphaned_ids` ids whose count dropped to 0 (removal, expiry or
-  /// eviction), `evicted` the index entries removed for capacity (expiry
-  /// and explicit erases are NOT evictions).
+  /// metrics. `new_slots` are object slots whose holder count went
+  /// 0 -> 1, `orphaned_slots` slots whose count dropped to 0 (removal,
+  /// expiry or eviction), `evicted` the index entries removed for
+  /// capacity (expiry and explicit erases are NOT evictions).
   struct Delta {
-    std::vector<ObjectId> new_ids;
-    std::vector<ObjectId> orphaned_ids;
+    std::vector<ObjectSlot> new_slots;
+    std::vector<ObjectSlot> orphaned_slots;
     std::vector<PeerAddress> evicted;
   };
 
-  /// Accounted footprint of an entry claiming `num_objects` ids.
+  /// Accounted footprint of an entry claiming `num_objects` ids. Charged
+  /// at the original 8-bytes-per-id width — the slot is an in-memory
+  /// compression, not a change of what an index entry logically holds —
+  /// so bounded-index experiments keep their pre-flyweight capacities.
   static constexpr uint64_t kEntryBaseBytes = 64;
   static constexpr uint64_t kBytesPerObjectId = 8;
   static uint64_t FootprintBytes(size_t num_objects) {
@@ -92,14 +111,89 @@ class DirectoryStore {
 
   // --- Index entries ----------------------------------------------------------
 
-  bool Contains(PeerAddress peer) const { return entries_.count(peer) > 0; }
+  bool Contains(PeerAddress peer) const { return IndexOf(peer) != kNpos; }
   const Entry* Find(PeerAddress peer) const;
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const { return addrs_.size(); }
+  bool empty() const { return addrs_.empty(); }
+
+  /// Ascending-PeerAddress view of (address, entry) pairs, iterable like
+  /// the std::map this store once exposed (range-for with structured
+  /// bindings, begin()/end(), std::advance). The view borrows the
+  /// store: do not mutate while iterating.
+  class EntryView {
+   public:
+    class const_iterator {
+     public:
+      using iterator_category = std::random_access_iterator_tag;
+      using value_type = std::pair<PeerAddress, const Entry&>;
+      using difference_type = std::ptrdiff_t;
+      struct ArrowProxy {
+        value_type pair;
+        const value_type* operator->() const { return &pair; }
+      };
+      using pointer = ArrowProxy;
+      using reference = value_type;
+
+      const_iterator(const DirectoryStore* store, size_t i)
+          : store_(store), i_(i) {}
+      value_type operator*() const {
+        return {store_->addrs_[i_], store_->entries_[i_]};
+      }
+      ArrowProxy operator->() const { return ArrowProxy{**this}; }
+      const_iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      const_iterator operator++(int) {
+        const_iterator t = *this;
+        ++i_;
+        return t;
+      }
+      const_iterator& operator--() {
+        --i_;
+        return *this;
+      }
+      const_iterator operator--(int) {
+        const_iterator t = *this;
+        --i_;
+        return t;
+      }
+      const_iterator& operator+=(difference_type d) {
+        i_ = static_cast<size_t>(static_cast<difference_type>(i_) + d);
+        return *this;
+      }
+      friend const_iterator operator+(const_iterator a, difference_type d) {
+        a += d;
+        return a;
+      }
+      friend difference_type operator-(const const_iterator& a,
+                                       const const_iterator& b) {
+        return static_cast<difference_type>(a.i_) -
+               static_cast<difference_type>(b.i_);
+      }
+      bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+      bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+     private:
+      const DirectoryStore* store_;
+      size_t i_;
+    };
+
+    explicit EntryView(const DirectoryStore* store) : store_(store) {}
+    const_iterator begin() const { return const_iterator(store_, 0); }
+    const_iterator end() const {
+      return const_iterator(store_, store_->addrs_.size());
+    }
+    size_t size() const { return store_->addrs_.size(); }
+    bool empty() const { return store_->addrs_.empty(); }
+
+   private:
+    const DirectoryStore* store_;
+  };
 
   /// Entries in ascending PeerAddress order (the iteration order of the
   /// std::map this store replaced).
-  const std::map<PeerAddress, Entry>& entries() const { return entries_; }
+  EntryView entries() const { return EntryView(this); }
 
   /// Records a liveness contact with a resident entry (query, push or
   /// keepalive): resets its age and feeds the policy's recency/frequency
@@ -128,30 +222,45 @@ class DirectoryStore {
   /// policy-chosen victims — possibly the updated entry itself, when
   /// nothing else can make it fit. Ages are untouched (callers Touch()
   /// where a contact is implied). No-op when the peer is absent.
-  void Update(PeerAddress peer, const std::vector<ObjectId>& add,
-              const std::vector<ObjectId>& remove, Delta* delta);
+  void Update(PeerAddress peer, const std::vector<ObjectSlot>& add,
+              const std::vector<ObjectSlot>& remove, Delta* delta);
 
   /// Explicit removal (T_dead expiry, LeaveMsg, undeliverable client):
-  /// not counted as an eviction. Orphaned ids land in `*delta`.
+  /// not counted as an eviction. Orphaned slots land in `*delta`.
   void Erase(PeerAddress peer, Delta* delta);
 
   /// Algorithm 6 active behavior: ages every entry, then erases those
   /// reaching `dead_age_limit` (expiry, not eviction — the expired
-  /// entries' orphaned ids land in `*delta`).
+  /// entries' orphaned slots land in `*delta`).
   void AgeAll(int dead_age_limit, Delta* delta);
 
   // --- Holder counts (summary source) ----------------------------------------
 
-  /// True when at least one index entry claims `object`.
-  bool AnyHolder(ObjectId object) const {
-    return holder_counts_.count(object) > 0;
+  /// True when at least one index entry claims `slot`.
+  bool AnyHolder(ObjectSlot slot) const {
+    return HolderIndexOf(slot) != kNpos;
   }
 
-  /// Object id -> number of index entries claiming it, ordered by id.
-  /// Directory summaries are built from exactly this map, so eviction
-  /// consistency here is what keeps rebuilt summaries honest.
-  const std::map<ObjectId, int>& holder_counts() const {
-    return holder_counts_;
+  /// Object slots with at least one claiming entry, ascending (== the
+  /// ascending-ObjectId order of the map this replaced). Directory
+  /// summaries are built from exactly this list, so eviction consistency
+  /// here is what keeps rebuilt summaries honest.
+  const std::vector<ObjectSlot>& holder_slots() const {
+    return holder_slots_;
+  }
+  /// Number of index entries claiming holder_slots()[i] (> 0).
+  int holder_count_at(size_t i) const {
+    return static_cast<int>(holder_lists_[i].size());
+  }
+
+  /// The index entries claiming `slot`, ascending by address (== the
+  /// order a scan of entries() would discover them in), or nullptr when
+  /// no entry claims it. This inverted index is what keeps query
+  /// redirection O(log holders) instead of O(index entries) — the scan
+  /// it replaces dominated the event loop at 100k peers.
+  const std::vector<PeerAddress>* HoldersOf(ObjectSlot slot) const {
+    size_t i = HolderIndexOf(slot);
+    return i == kNpos ? nullptr : &holder_lists_[i];
   }
 
   // --- Neighbor summaries -----------------------------------------------------
@@ -186,16 +295,43 @@ class DirectoryStore {
   const CacheStats& stats() const { return engine_.stats(); }
 
  private:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  size_t IndexOf(PeerAddress peer) const {
+    auto it = std::lower_bound(addrs_.begin(), addrs_.end(), peer);
+    if (it == addrs_.end() || *it != peer) return kNpos;
+    return static_cast<size_t>(it - addrs_.begin());
+  }
+  size_t HolderIndexOf(ObjectSlot slot) const {
+    auto it =
+        std::lower_bound(holder_slots_.begin(), holder_slots_.end(), slot);
+    if (it == holder_slots_.end() || *it != slot) return kNpos;
+    return static_cast<size_t>(it - holder_slots_.begin());
+  }
+
+  /// Records that `peer` claims `slot`; true when the slot went 0 -> 1
+  /// holders.
+  bool HolderRef(ObjectSlot slot, PeerAddress peer);
+  /// Drops `peer`'s claim on `slot`; true when the last holder left
+  /// (slot removed).
+  bool HolderUnref(ObjectSlot slot, PeerAddress peer);
+
   /// Detaches an entry's payload after the engine dropped it: releases
-  /// its holder counts into `delta->orphaned_ids` and erases the Entry.
+  /// its holder counts into `delta->orphaned_slots` and erases the
+  /// Entry.
   void DropPayload(PeerAddress peer, Delta* delta);
 
   /// Folds engine-reported evictions into `delta`, dropping payloads.
   void AbsorbEvictions(const std::vector<PeerAddress>& evicted, Delta* delta);
 
-  KeyedStore<PeerAddress> engine_;       // footprint accounting + policy
-  std::map<PeerAddress, Entry> entries_; // payloads, keyed like the engine
-  std::map<ObjectId, int> holder_counts_;
+  KeyedStore<PeerAddress> engine_;  // footprint accounting + policy
+  // Entry table: addrs_ ascending, entries_ parallel (the payloads).
+  std::vector<PeerAddress> addrs_;
+  std::vector<Entry> entries_;
+  // Inverted holder index: holder_slots_ ascending, holder_lists_
+  // parallel (each list the claiming addresses, ascending).
+  std::vector<ObjectSlot> holder_slots_;
+  std::vector<std::vector<PeerAddress>> holder_lists_;
   std::map<Key, NeighborSummary> summaries_;
   uint64_t summary_bytes_ = 0;  // total footprint of summaries_
 };

@@ -12,10 +12,19 @@
 // an Rng, and with capacity 0 (unlimited) the engine is behaviorally a
 // plain std::map (sorted iteration, no evictions), so unbounded runs
 // reproduce the seed's RNG draws and metric values bit-identically.
+//
+// Storage is flat (two parallel sorted vectors, ~12 bytes per resident
+// vs ~64 bytes per red-black-tree node): at 100k peers the per-peer
+// content stores dominate RSS, so the resident set must cost bytes, not
+// pointers. Iteration order (ascending keys) is identical to the map it
+// replaced; inserts/erases are O(n) memmoves, which is cheap at the
+// tens-to-hundreds of residents a peer store actually holds.
 #ifndef FLOWERCDN_CACHE_KEYED_STORE_H_
 #define FLOWERCDN_CACHE_KEYED_STORE_H_
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -269,30 +278,35 @@ class KeyedStore {
   /// capacity check still applies after admission.)
   using AdmissionHook = std::function<bool(const K& key, uint64_t size_bytes)>;
 
-  /// capacity_bytes == 0 means unlimited storage.
+  /// capacity_bytes == 0 means unlimited storage. The Unbounded policy
+  /// is stateless (no OnInsert/OnAccess bookkeeping, never a victim), so
+  /// it is represented by a null policy_ — one fewer heap chunk per peer
+  /// store, which the 100k-peer runs feel.
   explicit KeyedStore(CachePolicy policy = CachePolicy::kUnbounded,
                       uint64_t capacity_bytes = 0)
       : policy_kind_(policy),
         capacity_bytes_(capacity_bytes),
-        policy_(MakeKeyedEvictionPolicy<K>(policy)) {}
+        policy_(policy == CachePolicy::kUnbounded
+                    ? nullptr
+                    : MakeKeyedEvictionPolicy<K>(policy)) {}
 
   KeyedStore(KeyedStore&&) = default;
   KeyedStore& operator=(KeyedStore&&) = default;
 
   // --- Residency --------------------------------------------------------------
 
-  bool Contains(const K& key) const { return entries_.count(key) > 0; }
+  bool Contains(const K& key) const { return IndexOf(key) != kNpos; }
 
   /// std::set-compatible spelling (0 or 1), kept so call sites and tests
   /// read the same as with the old `std::set` state.
-  size_t count(const K& key) const { return entries_.count(key); }
+  size_t count(const K& key) const { return Contains(key) ? 1 : 0; }
 
   /// Records an access to a resident key (policy recency/frequency
   /// bookkeeping). No-op when the key is absent.
   void Touch(const K& key) {
-    if (entries_.count(key) == 0) return;
+    if (IndexOf(key) == kNpos) return;
     ++stats_.hits;
-    policy_->OnAccess(key);
+    if (policy_ != nullptr) policy_->OnAccess(key);
   }
 
   /// Makes `key` resident with the given size. Returns true if the key
@@ -306,8 +320,7 @@ class KeyedStore {
   /// `cost` feeds the GDSF priority (1 = plain GDSF).
   bool Insert(const K& key, uint64_t size_bytes,
               std::vector<K>* evicted = nullptr, double cost = 1.0) {
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    if (IndexOf(key) != kNpos) {
       Touch(key);
       return true;
     }
@@ -322,7 +335,7 @@ class KeyedStore {
       }
       while (bytes_used_ + size_bytes + reserved_bytes_ > capacity_bytes_) {
         K victim;
-        if (!policy_->ChooseVictim(&victim)) {
+        if (policy_ == nullptr || !policy_->ChooseVictim(&victim)) {
           // Unbounded on a full bounded store: nothing may leave, so the
           // newcomer is turned away instead.
           ++stats_.admission_rejects;
@@ -331,10 +344,10 @@ class KeyedStore {
         Evict(victim, evicted);
       }
     }
-    entries_[key] = size_bytes;
+    InsertSorted(key, size_bytes);
     bytes_used_ += size_bytes;
     ++stats_.insertions;
-    policy_->OnInsert(key, size_bytes, cost);
+    if (policy_ != nullptr) policy_->OnInsert(key, size_bytes, cost);
     return true;
   }
 
@@ -346,11 +359,11 @@ class KeyedStore {
   /// appended to `*evicted`). Returns true when `key` is still resident
   /// afterwards; false when it is absent or was evicted by the resize.
   bool Resize(const K& key, uint64_t new_size, std::vector<K>* evicted) {
-    auto it = entries_.find(key);
-    if (it == entries_.end()) return false;
-    bytes_used_ = bytes_used_ - it->second + new_size;
-    it->second = new_size;
-    policy_->OnResize(key, new_size);
+    size_t i = IndexOf(key);
+    if (i == kNpos) return false;
+    bytes_used_ = bytes_used_ - sizes_[i] + new_size;
+    sizes_[i] = SizeRep(new_size);
+    if (policy_ != nullptr) policy_->OnResize(key, new_size);
     if (!bounded()) return true;
     if (new_size + reserved_bytes_ > capacity_bytes_) {
       // Hopeless alone (mirrors Insert's oversized-object rejection):
@@ -361,7 +374,7 @@ class KeyedStore {
     }
     while (bytes_used_ + reserved_bytes_ > capacity_bytes_) {
       K victim;
-      if (!policy_->ChooseVictim(&victim)) victim = key;
+      if (policy_ == nullptr || !policy_->ChooseVictim(&victim)) victim = key;
       Evict(victim, evicted);
       if (victim == key) return false;
     }
@@ -370,18 +383,18 @@ class KeyedStore {
 
   /// Explicitly removes a key (not counted as an eviction).
   bool Erase(const K& key) {
-    auto it = entries_.find(key);
-    if (it == entries_.end()) return false;
-    bytes_used_ -= it->second;
-    policy_->OnRemove(key);
-    entries_.erase(it);
+    size_t i = IndexOf(key);
+    if (i == kNpos) return false;
+    bytes_used_ -= sizes_[i];
+    if (policy_ != nullptr) policy_->OnRemove(key);
+    EraseAt(i);
     return true;
   }
 
   // --- Introspection ----------------------------------------------------------
 
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
   uint64_t bytes_used() const { return bytes_used_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   uint64_t reserved_bytes() const { return reserved_bytes_; }
@@ -400,7 +413,7 @@ class KeyedStore {
     if (!bounded()) return;
     while (bytes_used_ + reserved_bytes_ > capacity_bytes_) {
       K victim;
-      if (!policy_->ChooseVictim(&victim)) break;
+      if (policy_ == nullptr || !policy_->ChooseVictim(&victim)) break;
       Evict(victim, evicted);
     }
   }
@@ -409,15 +422,82 @@ class KeyedStore {
 
   /// Resident keys in ascending order (matches the iteration order of
   /// the std::set / std::map state this engine replaced).
-  std::vector<K> Keys() const {
-    std::vector<K> out;
-    out.reserve(entries_.size());
-    for (const auto& [key, size] : entries_) out.push_back(key);
-    return out;
-  }
+  std::vector<K> Keys() const { return keys_; }
 
-  /// key -> size_bytes, ordered by key.
-  const std::map<K, uint64_t>& entries() const { return entries_; }
+  /// Ascending-ordered view of (key, size_bytes) pairs, iterable like
+  /// the std::map this engine once exposed (range-for with structured
+  /// bindings, begin()/end(), std::advance). Pairs materialize by value
+  /// on dereference; the view borrows the store, so it must not outlive
+  /// it or span mutations.
+  class EntryView {
+   public:
+    class const_iterator {
+     public:
+      using iterator_category = std::random_access_iterator_tag;
+      using value_type = std::pair<K, uint64_t>;
+      using difference_type = std::ptrdiff_t;
+      /// operator-> support for a by-value dereference.
+      struct ArrowProxy {
+        value_type pair;
+        const value_type* operator->() const { return &pair; }
+      };
+      using pointer = ArrowProxy;
+      using reference = value_type;
+
+      const_iterator(const KeyedStore* store, size_t i)
+          : store_(store), i_(i) {}
+      value_type operator*() const {
+        return {store_->keys_[i_], store_->sizes_[i_]};
+      }
+      ArrowProxy operator->() const { return ArrowProxy{**this}; }
+      const_iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      const_iterator operator++(int) {
+        const_iterator t = *this;
+        ++i_;
+        return t;
+      }
+      const_iterator& operator--() {
+        --i_;
+        return *this;
+      }
+      const_iterator& operator+=(difference_type d) {
+        i_ = static_cast<size_t>(static_cast<difference_type>(i_) + d);
+        return *this;
+      }
+      friend const_iterator operator+(const_iterator a, difference_type d) {
+        a += d;
+        return a;
+      }
+      friend difference_type operator-(const const_iterator& a,
+                                       const const_iterator& b) {
+        return static_cast<difference_type>(a.i_) -
+               static_cast<difference_type>(b.i_);
+      }
+      bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+      bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+     private:
+      const KeyedStore* store_;
+      size_t i_;
+    };
+
+    explicit EntryView(const KeyedStore* store) : store_(store) {}
+    const_iterator begin() const { return const_iterator(store_, 0); }
+    const_iterator end() const {
+      return const_iterator(store_, store_->keys_.size());
+    }
+    size_t size() const { return store_->keys_.size(); }
+    bool empty() const { return store_->keys_.empty(); }
+
+   private:
+    const KeyedStore* store_;
+  };
+
+  /// key -> size_bytes pairs, ordered by key.
+  EntryView entries() const { return EntryView(this); }
 
   void set_admission_hook(AdmissionHook hook) {
     admission_hook_ = std::move(hook);
@@ -452,20 +532,57 @@ class KeyedStore {
   }
 
  private:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  /// Accounted sizes are stored as u32 (4 bytes/resident instead of 8):
+  /// every size in the system — object bytes, index-entry footprints —
+  /// is far below 4 GiB. The assert guards the representation; the
+  /// public API stays uint64_t.
+  static uint32_t SizeRep(uint64_t size_bytes) {
+    assert(size_bytes <= 0xffffffffull && "entry size exceeds u32 storage");
+    return static_cast<uint32_t>(size_bytes);
+  }
+
+  /// Index of `key` in the sorted key vector, kNpos when absent.
+  size_t IndexOf(const K& key) const {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end() || key < *it) return kNpos;
+    return static_cast<size_t>(it - keys_.begin());
+  }
+
+  void InsertSorted(const K& key, uint64_t size_bytes) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    size_t i = static_cast<size_t>(it - keys_.begin());
+    keys_.insert(it, key);
+    sizes_.insert(sizes_.begin() + static_cast<std::ptrdiff_t>(i),
+                  SizeRep(size_bytes));
+  }
+
+  void EraseAt(size_t i) {
+    keys_.erase(keys_.begin() + static_cast<std::ptrdiff_t>(i));
+    sizes_.erase(sizes_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
   void Evict(const K& victim, std::vector<K>* evicted) {
-    auto vit = entries_.find(victim);
-    bytes_used_ -= vit->second;
+    size_t i = IndexOf(victim);
+    assert(i != kNpos && "evicting a non-resident key");
+    bytes_used_ -= sizes_[i];
     ++stats_.evictions;
-    stats_.bytes_evicted += vit->second;
-    policy_->OnRemove(victim);
-    entries_.erase(vit);
+    stats_.bytes_evicted += sizes_[i];
+    if (policy_ != nullptr) policy_->OnRemove(victim);
+    EraseAt(i);
     if (evicted != nullptr) evicted->push_back(victim);
   }
 
   CachePolicy policy_kind_;
   uint64_t capacity_bytes_;
+  /// Null for the stateless Unbounded policy (see constructor).
   std::unique_ptr<KeyedEvictionPolicy<K>> policy_;
-  std::map<K, uint64_t> entries_;  // key -> size_bytes
+  // Flat sorted storage: keys_ ascending, sizes_ parallel (key ->
+  // size_bytes). Replaces a std::map whose ~48-byte node overhead
+  // dominated per-peer RSS at scale.
+  std::vector<K> keys_;
+  std::vector<uint32_t> sizes_;
   uint64_t bytes_used_ = 0;
   uint64_t reserved_bytes_ = 0;  // capacity carved out (SetReservedBytes)
   CacheStats stats_;

@@ -336,6 +336,14 @@ Status SimConfig::Apply(const std::string& key, const std::string& value) {
     return Status::Ok();
   }
   TIME_KEY("metrics_window", metrics_window)
+  if (key == "metrics_max_points") {
+    if (!ParseInt(value, &i) || i < 0) {
+      return Status::InvalidArgument(
+          "metrics_max_points wants an integer >= 0");
+    }
+    metrics_max_points = static_cast<size_t>(i);
+    return Status::Ok();
+  }
 
 #undef INT_KEY
 #undef DOUBLE_KEY
@@ -417,6 +425,9 @@ std::string SimConfig::ToString() const {
   }
   if (suspicion_keepalive_misses > 0) {
     os << " suspicion=" << suspicion_keepalive_misses;
+  }
+  if (metrics_max_points > 0) {
+    os << " metrics_max_points=" << metrics_max_points;
   }
   return os.str();
 }

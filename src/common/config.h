@@ -247,6 +247,11 @@ struct SimConfig {
 
   // --- Metrics -------------------------------------------------------------
   SimTime metrics_window = 30 * kMinute;
+  /// Cap on stored cells per metric time series (0 = unbounded, the
+  /// byte-identical default). When a long run would exceed the cap, the
+  /// series coalesces adjacent windows pairwise (decimation), keeping
+  /// memory O(metrics_max_points) instead of O(duration/metrics_window).
+  size_t metrics_max_points = 0;
 
   /// Applies a "key=value" override; returns an error for unknown keys or
   /// malformed values. Times accept suffixes ms, s, min, h.

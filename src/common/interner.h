@@ -1,0 +1,83 @@
+// Flyweight handle tables: map a fixed universe of sparse values (64-bit
+// object-id hashes, string keys) onto dense uint32 handles so per-peer
+// containers and message payloads carry 4-byte slots instead of 8-byte
+// ids or heap strings.
+//
+// Determinism contract: handles are assigned in ASCENDING VALUE ORDER
+// (Build sorts and dedups). That makes handle order isomorphic to value
+// order — a sorted handle-keyed container iterates its members in
+// exactly the order the value-keyed container it replaced did, so
+// flyweighting a sorted map/set changes no iteration-dependent byte of
+// output. This is why the table is built once from the full universe
+// (a website's object catalog is static for a run) instead of interning
+// incrementally: first-come handle assignment would break the
+// isomorphism.
+//
+// Wire-size accounting is unaffected by interning: messages that carry
+// handles still charge the original id width (kObjectIdBits) in their
+// SizeBits(), because the handle is an in-memory compression, not a
+// protocol change.
+#ifndef FLOWERCDN_COMMON_INTERNER_H_
+#define FLOWERCDN_COMMON_INTERNER_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flower {
+
+template <typename T>
+class Interner {
+ public:
+  using Handle = uint32_t;
+  static constexpr Handle kInvalidHandle = 0xffffffffu;
+
+  Interner() = default;
+
+  /// Builds the table from the value universe: sorts, dedups, and
+  /// assigns handle h to the h-th smallest distinct value. Replaces any
+  /// previous contents.
+  void Build(std::vector<T> values) {
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    assert(values.size() < kInvalidHandle);
+    values_ = std::move(values);
+  }
+
+  /// Dense handle of `value`, kInvalidHandle when it is not in the
+  /// universe. O(log n).
+  Handle HandleOf(const T& value) const {
+    auto it = std::lower_bound(values_.begin(), values_.end(), value);
+    if (it == values_.end() || value < *it) return kInvalidHandle;
+    return static_cast<Handle>(it - values_.begin());
+  }
+
+  /// Original value behind a handle. O(1).
+  const T& ValueOf(Handle h) const {
+    assert(h < values_.size());
+    return values_[h];
+  }
+
+  bool Contains(const T& value) const {
+    return HandleOf(value) != kInvalidHandle;
+  }
+
+  /// Number of distinct values (handles are exactly [0, size())).
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+ private:
+  std::vector<T> values_;  // ascending; index == handle
+};
+
+/// The object-id table of one website: ObjectId (Fnv1a64 of the object
+/// URL) -> dense per-site slot. Slot order == id order within the site.
+using ObjectIdTable = Interner<ObjectId>;
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_COMMON_INTERNER_H_

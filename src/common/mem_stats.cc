@@ -1,0 +1,34 @@
+#include "common/mem_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace flower {
+namespace {
+
+// Reads one "Vm...: <kB> kB" field from /proc/self/status. Returns 0 if
+// the file or the field is missing (non-Linux hosts).
+uint64_t ReadStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      unsigned long long v = 0;  // NOLINT(runtime/int) — sscanf format
+      if (std::sscanf(line + field_len + 1, "%llu", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+uint64_t MemStats::PeakRssBytes() { return ReadStatusKb("VmHWM") * 1024; }
+
+uint64_t MemStats::CurrentRssBytes() { return ReadStatusKb("VmRSS") * 1024; }
+
+}  // namespace flower

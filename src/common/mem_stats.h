@@ -1,0 +1,28 @@
+// Process memory probes for the scale benchmarks: peak and current
+// resident set size read from /proc/self/status (VmHWM / VmRSS). Both
+// return 0 on platforms without procfs, so callers can print or record
+// the numbers unconditionally. Like wall_ms, RSS is a property of the
+// host — it never feeds events, RNG draws or metrics, and sinks must
+// not write it (BENCH_*.json trajectories stay byte-identical).
+#ifndef FLOWERCDN_COMMON_MEM_STATS_H_
+#define FLOWERCDN_COMMON_MEM_STATS_H_
+
+#include <cstdint>
+
+namespace flower {
+
+class MemStats {
+ public:
+  /// High-water-mark resident set size of this process in bytes
+  /// (VmHWM), or 0 when the platform does not expose it.
+  static uint64_t PeakRssBytes();
+
+  /// Current resident set size in bytes (VmRSS), or 0 when unsupported.
+  /// Snapshot this after setup and subtract from PeakRssBytes() to get
+  /// the marginal footprint of a run.
+  static uint64_t CurrentRssBytes();
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_COMMON_MEM_STATS_H_

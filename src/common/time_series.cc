@@ -4,13 +4,28 @@
 
 namespace flower {
 
-TimeSeries::TimeSeries(SimTime window) : window_(window) {
+TimeSeries::TimeSeries(SimTime window, size_t max_windows)
+    : window_(window), max_windows_(max_windows) {
   assert(window > 0);
+}
+
+void TimeSeries::Coalesce() {
+  decim_ *= 2;
+  std::vector<Window> coarse((windows_.size() + 1) / 2);
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    coarse[i / 2].sum += windows_[i].sum;
+    coarse[i / 2].count += windows_[i].count;
+  }
+  windows_ = std::move(coarse);
 }
 
 void TimeSeries::Add(SimTime t, double value) {
   assert(t >= 0);
   size_t idx = static_cast<size_t>(t / window_);
+  if (max_windows_ > 0) {
+    while (idx / decim_ >= max_windows_) Coalesce();
+    idx /= decim_;
+  }
   if (idx >= windows_.size()) windows_.resize(idx + 1);
   windows_[idx].sum += value;
   windows_[idx].count += 1;
@@ -18,12 +33,17 @@ void TimeSeries::Add(SimTime t, double value) {
 
 void TimeSeries::Merge(const TimeSeries& other) {
   assert(other.window_ == window_);
-  if (other.windows_.size() > windows_.size()) {
-    windows_.resize(other.windows_.size());
-  }
+  // Reconcile to the coarser factor (factors are powers of two, so the
+  // finer series coalesces cleanly onto the coarser grid).
+  while (decim_ < other.decim_) Coalesce();
   for (size_t i = 0; i < other.windows_.size(); ++i) {
-    windows_[i].sum += other.windows_[i].sum;
-    windows_[i].count += other.windows_[i].count;
+    size_t idx = static_cast<size_t>(i * other.decim_ / decim_);
+    if (idx >= windows_.size()) windows_.resize(idx + 1);
+    windows_[idx].sum += other.windows_[i].sum;
+    windows_[idx].count += other.windows_[i].count;
+  }
+  if (max_windows_ > 0) {
+    while (windows_.size() > max_windows_) Coalesce();
   }
 }
 
@@ -53,8 +73,8 @@ double TimeSeries::TailMean(size_t n) const {
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
-RatioSeries::RatioSeries(SimTime window)
-    : trials_(window), successes_(window) {}
+RatioSeries::RatioSeries(SimTime window, size_t max_windows)
+    : trials_(window, max_windows), successes_(window, max_windows) {}
 
 void RatioSeries::Add(SimTime t, bool success) {
   trials_.Add(t, 1.0);

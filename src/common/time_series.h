@@ -13,27 +13,45 @@ namespace flower {
 /// Accumulates (time, value) samples into fixed-width time windows and
 /// exposes per-window mean / sum / count. Used to regenerate the paper's
 /// Figures 5-8(a), which plot a metric against simulation time.
+///
+/// Memory contract: unbounded mode (`max_windows == 0`, the default)
+/// stores one 16-byte cell per touched base window — O(duration /
+/// window). Bounded mode (`max_windows > 0`, the `metrics_max_points`
+/// config key) caps storage at `max_windows` cells: whenever a sample
+/// would land past the cap, adjacent windows are coalesced pairwise
+/// (the decimation factor doubles), so stored cells cover
+/// `decimation()` base windows each and memory stays O(max_windows)
+/// regardless of run length. Sums and counts are exact at the coarser
+/// granularity; per-base-window resolution is what decimation trades
+/// away.
 class TimeSeries {
  public:
-  explicit TimeSeries(SimTime window);
+  explicit TimeSeries(SimTime window, size_t max_windows = 0);
 
   void Add(SimTime t, double value);
 
   /// Adds `other`'s per-window sums and counts into this series (same
-  /// window width required). Used to fold per-shard collectors into one
-  /// result; folding in a fixed lane order keeps the floating-point sums
-  /// deterministic.
+  /// base window width required). Used to fold per-shard collectors into
+  /// one result; folding in a fixed lane order keeps the floating-point
+  /// sums deterministic. Differing decimation factors are reconciled to
+  /// the coarser of the two.
   void Merge(const TimeSeries& other);
 
-  /// Drops all samples (window width kept).
-  void Clear() { windows_.clear(); }
+  /// Drops all samples (window width and cap kept; decimation resets).
+  void Clear() {
+    windows_.clear();
+    decim_ = 1;
+  }
 
-  /// Number of windows touched so far (index of last + 1).
+  /// Number of stored cells so far (each spans `decimation()` windows).
   size_t NumWindows() const { return windows_.size(); }
 
   SimTime window() const { return window_; }
+  /// Base windows coalesced per stored cell (1 in unbounded mode).
+  uint64_t decimation() const { return decim_; }
+  size_t max_windows() const { return max_windows_; }
   SimTime WindowStart(size_t i) const {
-    return static_cast<SimTime>(i) * window_;
+    return static_cast<SimTime>(i * decim_) * window_;
   }
 
   double WindowMean(size_t i) const;
@@ -50,14 +68,21 @@ class TimeSeries {
     uint64_t count = 0;
   };
 
+  /// Halves resolution: doubles decim_ and coalesces cell pairs.
+  void Coalesce();
+
   SimTime window_;
+  size_t max_windows_;
+  uint64_t decim_ = 1;
   std::vector<Window> windows_;
 };
 
 /// Tracks a ratio (successes / trials) per time window, e.g. hit ratio.
+/// Same memory contract as TimeSeries (two cells per window; both
+/// sub-series decimate in lockstep under `max_windows`).
 class RatioSeries {
  public:
-  explicit RatioSeries(SimTime window);
+  explicit RatioSeries(SimTime window, size_t max_windows = 0);
 
   void Add(SimTime t, bool success);
 

@@ -20,6 +20,17 @@ using SimTime = int64_t;
 /// Identifier of a cacheable object (hash of its URL).
 using ObjectId = uint64_t;
 
+/// Dense per-website flyweight handle of an object: the object's index
+/// in its site's ascending-ObjectId table (common/interner.h, built by
+/// the WebsiteCatalog). Slots are 4 bytes where ids are 8, and slot
+/// order equals id order within a site, so slot-keyed sorted containers
+/// iterate identically to the id-keyed ones they replace. Slots are
+/// only meaningful relative to one website's table.
+using ObjectSlot = uint32_t;
+
+inline constexpr ObjectSlot kInvalidSlot =
+    std::numeric_limits<ObjectSlot>::max();
+
 /// Index of a website in the simulated universe W.
 using WebsiteId = uint32_t;
 

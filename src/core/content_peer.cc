@@ -350,8 +350,9 @@ void ContentPeer::AddObject(ObjectId object, double cost) {
     // the query pipeline and are counted (OnStaleRedirect).
     ctx_->metrics->OnCacheEvictions(evicted.size());
     for (ObjectId victim : evicted) {
-      DropDelta(&push_delta_, victim);  // never pushed: add+remove cancel
-      push_removed_.push_back(victim);
+      ObjectSlot vslot = site_->SlotOf(victim);
+      DropDelta(&push_delta_, vslot);  // never pushed: add+remove cancel
+      push_removed_.push_back(vslot);
     }
     summary_dirty_ = true;
     content_changes_ += evicted.size();
@@ -363,15 +364,16 @@ void ContentPeer::AddObject(ObjectId object, double cost) {
   // An evict-then-refetch within one push window must not ship the object
   // in both lists: the directory applies additions before removals, so the
   // pair would net out to a (wrong) removal of a held object.
-  DropDelta(&push_removed_, object);
+  const ObjectSlot slot = site_->SlotOf(object);
+  DropDelta(&push_removed_, slot);
   summary_dirty_ = true;
   ++content_changes_;
-  push_delta_.push_back(object);
+  push_delta_.push_back(slot);
   MaybePush();
 }
 
-void ContentPeer::DropDelta(std::vector<ObjectId>* delta, ObjectId object) {
-  delta->erase(std::remove(delta->begin(), delta->end(), object),
+void ContentPeer::DropDelta(std::vector<ObjectSlot>* delta, ObjectSlot slot) {
+  delta->erase(std::remove(delta->begin(), delta->end(), slot),
                delta->end());
 }
 
@@ -453,8 +455,13 @@ void ContentPeer::HandleJoinDirectoryResp(const JoinDirectoryResp& resp) {
   }
   if (dir_pointer_.valid()) {
     // Re-introduce ourselves to the (new) directory with a full push.
+    // Cache keys are ascending ObjectIds, so the slot list is ascending
+    // too (slot order == id order within a site).
     auto push = std::make_unique<PushMsg>();
-    push->added = content_.Objects();
+    push->added.reserve(content_.size());
+    for (ObjectId o : content_.Objects()) {
+      push->added.push_back(site_->SlotOf(o));
+    }
     ctx_->network->Send(this, dir_pointer_.addr, std::move(push));
     push_delta_.clear();
     push_removed_.clear();
@@ -593,7 +600,7 @@ void ContentPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
     // that still describe the current content (and are not queued
     // already), so added/removed never contradict each other.
     for (auto it = push->added.rbegin(); it != push->added.rend(); ++it) {
-      if (!content_.Contains(*it)) continue;
+      if (!content_.Contains(site_->IdAtSlot(*it))) continue;
       if (std::find(push_delta_.begin(), push_delta_.end(), *it) !=
           push_delta_.end()) {
         continue;
@@ -601,7 +608,7 @@ void ContentPeer::HandleUndeliverable(PeerAddress dest, MessagePtr msg) {
       push_delta_.insert(push_delta_.begin(), *it);
     }
     for (auto it = push->removed.rbegin(); it != push->removed.rend(); ++it) {
-      if (content_.Contains(*it)) continue;
+      if (content_.Contains(site_->IdAtSlot(*it))) continue;
       if (std::find(push_removed_.begin(), push_removed_.end(), *it) !=
           push_removed_.end()) {
         continue;

@@ -124,7 +124,7 @@ class ContentPeer : public Peer, public MembershipHost {
   /// `cost` is the GDSF retrieval-cost term (the measured transfer
   /// distance under `cache_cost=distance`, 1 otherwise).
   void AddObject(ObjectId object, double cost = 1.0);
-  static void DropDelta(std::vector<ObjectId>* delta, ObjectId object);
+  static void DropDelta(std::vector<ObjectSlot>* delta, ObjectSlot slot);
   void MaybePush();
   void SendKeepalive();
 
@@ -149,8 +149,10 @@ class ContentPeer : public Peer, public MembershipHost {
   ContentStore content_;
   /// EWMA of observed refetch costs per object (cache_cost=distance).
   RefetchCostModel cost_model_;
-  std::vector<ObjectId> push_delta_;    // additions since the last push
-  std::vector<ObjectId> push_removed_;  // evictions since the last push
+  // Pending push delta, slot-encoded like the PushMsg it will ride
+  // (convert via site_->SlotOf / IdAtSlot at the cache boundary).
+  std::vector<ObjectSlot> push_delta_;    // additions since the last push
+  std::vector<ObjectSlot> push_removed_;  // evictions since the last push
   std::shared_ptr<const ContentSummary> summary_;  // current snapshot
   bool summary_dirty_ = true;
   uint64_t content_changes_ = 0;  // inserts + evictions, monotone

@@ -87,7 +87,9 @@ void DirectoryPeer::InstallHandoff(const DirectoryHandoffMsg& handoff) {
   // Neighbors already have a recent summary of this index (sent by our
   // predecessor); start counting changes from here.
   std::set<ObjectId> distinct;
-  for (const auto& [o, c] : dir_store_.holder_counts()) distinct.insert(o);
+  for (ObjectSlot slot : dir_store_.holder_slots()) {
+    distinct.insert(site_->IdAtSlot(slot));
+  }
   for (const auto& [o, size] : content_.entries()) distinct.insert(o);
   ids_in_last_sent_summary_ = distinct.size();
   new_ids_since_summary_ = 0;
@@ -98,7 +100,7 @@ bool DirectoryPeer::OverlayFull() const {
          ctx_->config->max_content_overlay_size;
 }
 
-const std::set<ObjectId>* DirectoryPeer::IndexObjectsOf(
+const std::vector<ObjectSlot>* DirectoryPeer::IndexObjectsOf(
     PeerAddress addr) const {
   const DirectoryStore::Entry* entry = dir_store_.Find(addr);
   return entry == nullptr ? nullptr : &entry->objects;
@@ -166,7 +168,7 @@ void DirectoryPeer::MaybeAdmitClient(const FlowerQueryMsg& query) {
     ApplyDelta(delta);
     return;  // bounded index refused the entry: treat like a full overlay
   }
-  dir_store_.Update(query.client, {query.object}, {}, &delta);
+  dir_store_.Update(query.client, {site_->SlotOf(query.object)}, {}, &delta);
   ApplyDelta(delta);
   if (!dir_store_.Contains(query.client)) return;  // evicted by its own grow
   MaybeRefreshNeighborSummaries();
@@ -233,13 +235,23 @@ void DirectoryPeer::ServeFromOwnContent(const FlowerQueryMsg& query) {
 
 bool DirectoryPeer::RedirectToIndexHolder(
     std::unique_ptr<FlowerQueryMsg>& query) {
-  std::vector<PeerAddress> holders;
-  for (const auto& [addr, entry] : dir_store_.entries()) {
-    if (addr == query->client) continue;
-    if (entry.objects.count(query->object) > 0) holders.push_back(addr);
+  const ObjectSlot slot = site_->SlotOf(query->object);
+  // The store's inverted index lists holders ascending by address — the
+  // same order (minus the querying client) a scan of the entries would
+  // produce, so the draw below is byte-compatible with the O(entries)
+  // scan this replaces.
+  const std::vector<PeerAddress>* all = dir_store_.HoldersOf(slot);
+  if (all == nullptr) return false;
+  auto self_pos = std::lower_bound(all->begin(), all->end(), query->client);
+  const bool client_holds = self_pos != all->end() && *self_pos == query->client;
+  const size_t num_holders = all->size() - (client_holds ? 1 : 0);
+  if (num_holders == 0) return false;
+  size_t pick = rng_.Index(num_holders);
+  if (client_holds &&
+      pick >= static_cast<size_t>(self_pos - all->begin())) {
+    ++pick;
   }
-  if (holders.empty()) return false;
-  PeerAddress target = holders[rng_.Index(holders.size())];
+  PeerAddress target = (*all)[pick];
   dir_store_.Probe(target);  // answering a redirect is a usefulness signal
   query->stage = QueryStage::kDirRedirect;
   query->claim_from_index = true;
@@ -290,16 +302,18 @@ void DirectoryPeer::RedirectToServer(std::unique_ptr<FlowerQueryMsg> query) {
 // --- Index maintenance ----------------------------------------------------------------
 
 void DirectoryPeer::ApplyDelta(const DirectoryStore::Delta& delta) {
-  for (ObjectId o : delta.new_ids) NoteNewObjectId(o);
-  for (ObjectId o : delta.orphaned_ids) NoteRemovedObjectId(o);
+  for (ObjectSlot s : delta.new_slots) NoteNewObjectId(site_->IdAtSlot(s));
+  for (ObjectSlot s : delta.orphaned_slots) {
+    NoteRemovedObjectId(site_->IdAtSlot(s));
+  }
   if (!delta.evicted.empty()) {
     ctx_->metrics->OnDirIndexEvictions(delta.evicted.size());
   }
 }
 
 void DirectoryPeer::AddObjectsToEntry(PeerAddress peer,
-                                      const std::vector<ObjectId>& add,
-                                      const std::vector<ObjectId>& remove) {
+                                      const std::vector<ObjectSlot>& add,
+                                      const std::vector<ObjectSlot>& remove) {
   if (!dir_store_.Contains(peer)) {
     // Unknown pusher: admit it if there is room (this happens while a
     // promoted directory rebuilds its index from pushes, Sec 5.2).
@@ -369,7 +383,11 @@ std::shared_ptr<const ContentSummary> DirectoryPeer::BuildIndexSummary() {
       ctx_->config->num_objects_per_website,
       ctx_->config->summary_bits_per_object,
       ctx_->config->summary_num_hashes);
-  for (const auto& [o, c] : dir_store_.holder_counts()) s->Add(o);
+  // Bloom filters hash the original 64-bit ids, so summaries built from
+  // the slot-encoded index stay bit-identical to pre-flyweight builds.
+  for (ObjectSlot slot : dir_store_.holder_slots()) {
+    s->Add(site_->IdAtSlot(slot));
+  }
   for (const auto& [o, size] : content_.entries()) s->Add(o);
   return s;
 }
@@ -428,7 +446,7 @@ void DirectoryPeer::AddOwnObject(ObjectId object, double cost) {
     ctx_->metrics->OnCacheEvictions(evicted.size());
   }
   if (!inserted) return;
-  if (!dir_store_.AnyHolder(object)) {
+  if (!dir_store_.AnyHolder(site_->SlotOf(object))) {
     NoteNewObjectId(object);
     MaybeRefreshNeighborSummaries();
   }
@@ -484,7 +502,7 @@ void DirectoryPeer::LeaveGracefully() {
       wire.addr = addr;
       wire.age = entry.age;
       wire.joined_at = entry.joined_at;
-      wire.objects.assign(entry.objects.begin(), entry.objects.end());
+      wire.objects = entry.objects;
       handoff->entries.push_back(std::move(wire));
     }
     for (const auto& [dir_id, ns] : dir_store_.summaries()) {
@@ -512,7 +530,9 @@ void DirectoryPeer::ReplicationTick() {
   ranked.reserve(request_counts_.size());
   for (const auto& [obj, count] : request_counts_) {
     // Offer only objects actually present in this overlay.
-    if (!dir_store_.AnyHolder(obj) && !content_.Contains(obj)) continue;
+    if (!dir_store_.AnyHolder(site_->SlotOf(obj)) && !content_.Contains(obj)) {
+      continue;
+    }
     ranked.emplace_back(count, obj);
   }
   if (ranked.empty()) return;
@@ -534,7 +554,7 @@ void DirectoryPeer::HandleReplicationOffer(const ReplicationOfferMsg& offer,
                                            PeerAddress from) {
   auto req = std::make_unique<ReplicationRequestMsg>();
   for (ObjectId o : offer.objects) {
-    if (!dir_store_.AnyHolder(o) && !content_.Contains(o)) {
+    if (!dir_store_.AnyHolder(site_->SlotOf(o)) && !content_.Contains(o)) {
       req->wanted.push_back(o);
     }
   }
@@ -554,12 +574,12 @@ void DirectoryPeer::HandleReplicationRequest(
     const ReplicationRequestMsg& req) {
   for (ObjectId o : req.wanted) {
     // Prefer a content peer holding the object; fall back to own content.
-    std::vector<PeerAddress> holders;
-    for (const auto& [addr, entry] : dir_store_.entries()) {
-      if (entry.objects.count(o) > 0) holders.push_back(addr);
-    }
-    if (!holders.empty()) {
-      PeerAddress holder = holders[rng_.Index(holders.size())];
+    // The inverted index lists holders in the same ascending-address
+    // order the entry scan produced, so the draw is unchanged.
+    const ObjectSlot slot = site_->SlotOf(o);
+    const std::vector<PeerAddress>* holders = dir_store_.HoldersOf(slot);
+    if (holders != nullptr && !holders->empty()) {
+      PeerAddress holder = (*holders)[rng_.Index(holders->size())];
       ctx_->network->Send(this, holder,
                           std::make_unique<ReplicaTransferCmd>(
                               o, req.deposit_target));
@@ -617,7 +637,7 @@ void DirectoryPeer::HandleMessage(MessagePtr msg) {
     // cache), and RedirectViaViewSummaries would otherwise pick the same
     // target forever.
     if (nf->query != nullptr) {
-      AddObjectsToEntry(raw->sender, {}, {nf->object});
+      AddObjectsToEntry(raw->sender, {}, {site_->SlotOf(nf->object)});
       view_.Remove(raw->sender);
       ++redirect_failures_;
       // Back under local processing: a kDirToDir stage left on the

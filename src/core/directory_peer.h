@@ -73,7 +73,9 @@ class DirectoryPeer : public DRingNode, public KbrApp {
   uint32_t instance() const { return instance_; }
   size_t IndexSize() const { return dir_store_.size(); }
   bool IndexHas(PeerAddress addr) const { return dir_store_.Contains(addr); }
-  const std::set<ObjectId>* IndexObjectsOf(PeerAddress addr) const;
+  /// Sorted ObjectSlots claimed by `addr`'s index entry (slot order ==
+  /// id order; convert via site()->IdAtSlot). Null when absent.
+  const std::vector<ObjectSlot>* IndexObjectsOf(PeerAddress addr) const;
   size_t NumSummaries() const { return dir_store_.summaries().size(); }
   bool HasSummaryFrom(Key dir_id) const {
     return dir_store_.HasSummaryFrom(dir_id);
@@ -107,9 +109,10 @@ class DirectoryPeer : public DRingNode, public KbrApp {
   // Admission of new clients in this locality.
   void MaybeAdmitClient(const FlowerQueryMsg& query);
 
-  // Index maintenance.
-  void AddObjectsToEntry(PeerAddress peer, const std::vector<ObjectId>& add,
-                         const std::vector<ObjectId>& remove);
+  // Index maintenance (slot-valued: pushes arrive slot-encoded and the
+  // index stores slots; ids convert at this peer's other boundaries).
+  void AddObjectsToEntry(PeerAddress peer, const std::vector<ObjectSlot>& add,
+                         const std::vector<ObjectSlot>& remove);
   void RemoveEntry(PeerAddress peer);
   void AgeTick();  // Algorithm 6 active behavior + T_dead expiry
   /// Folds a DirectoryStore::Delta into summary bookkeeping and metrics

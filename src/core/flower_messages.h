@@ -216,6 +216,11 @@ class GossipReplyMsg : public Message {
 /// Content peer -> directory peer: delta of the content list since the last
 /// push (paper Algorithm 5). Deletions listed separately (unused while the
 /// experiments run without cache eviction, but part of the protocol).
+///
+/// The payload carries flyweight ObjectSlots (the sender and receiver share
+/// the website's slot table); the wire still charges the full object-id
+/// width per entry — the slot is an in-memory compression, not a protocol
+/// change.
 class PushMsg : public Message {
  public:
   uint64_t SizeBits() const override {
@@ -223,8 +228,8 @@ class PushMsg : public Message {
   }
   TrafficClass traffic_class() const override { return TrafficClass::kPush; }
 
-  std::vector<ObjectId> added;
-  std::vector<ObjectId> removed;
+  std::vector<ObjectSlot> added;
+  std::vector<ObjectSlot> removed;
 
   FLOWER_DUPLICATE_AS_COPY(PushMsg)
 };
@@ -299,11 +304,13 @@ class DirectorySummaryMsg : public Message {
 /// successor content peer (paper Sec 5.2).
 class DirectoryHandoffMsg : public Message {
  public:
+  /// `objects` carries flyweight ObjectSlots (see PushMsg); SizeBits
+  /// still charges the full object-id width per claimed object.
   struct IndexEntryWire {
     PeerAddress addr;
     int age;
     SimTime joined_at;
-    std::vector<ObjectId> objects;
+    std::vector<ObjectSlot> objects;
   };
 
   uint64_t SizeBits() const override {

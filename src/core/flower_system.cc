@@ -119,36 +119,29 @@ DirectoryPeer* FlowerSystem::CreateDirectory(const Website* site,
   auto dir = std::make_unique<DirectoryPeer>(&ctx_, site, locality, instance,
                                              rng_.Next());
   if (!dir->Start(node)) return nullptr;
-  DirectoryPeer* raw = dir.get();
-  directories_[static_cast<size_t>(lane)][node] = std::move(dir);
-  return raw;
+  return directories_[static_cast<size_t>(lane)].Insert(node,
+                                                        std::move(dir));
 }
 
 void FlowerSystem::SubmitQuery(NodeId node, WebsiteId website,
                                ObjectId object) {
   const size_t lane = static_cast<size_t>(LaneOf(node));
   // Directory peers are participants too.
-  auto& dir_map = directories_[lane];
-  auto dit = dir_map.find(node);
-  if (dit != dir_map.end()) {
-    if (dit->second->alive()) {
-      dit->second->RequestObject(object);
+  if (DirectoryPeer* dir = directories_[lane].Find(node)) {
+    if (dir->alive()) {
+      dir->RequestObject(object);
       return;
     }
-    graveyards_[lane].push_back(std::move(dit->second));
-    dir_map.erase(dit);
+    graveyards_[lane].push_back(directories_[lane].Take(node));
     sim_->Schedule(0, [this, lane]() { graveyards_[lane].clear(); });
   }
-  auto& peer_map = content_peers_[lane];
-  auto it = peer_map.find(node);
-  if (it != peer_map.end()) {
-    if (it->second->alive()) {
-      it->second->RequestObject(object);
+  if (ContentPeer* existing = content_peers_[lane].Find(node)) {
+    if (existing->alive()) {
+      existing->RequestObject(object);
       return;
     }
     // The peer churned out earlier; the node comes back as a new client.
-    graveyards_[lane].push_back(std::move(it->second));
-    peer_map.erase(it);
+    graveyards_[lane].push_back(content_peers_[lane].Take(node));
     sim_->Schedule(0, [this, lane]() { graveyards_[lane].clear(); });
   }
   const Website* site = &catalog_->site(website);
@@ -161,8 +154,7 @@ void FlowerSystem::SubmitQuery(NodeId node, WebsiteId website,
   auto peer = std::make_unique<ContentPeer>(&ctx_, site, locality,
                                             client_seed);
   peer->Activate(node);
-  ContentPeer* raw = peer.get();
-  peer_map[node] = std::move(peer);
+  ContentPeer* raw = content_peers_[lane].Insert(node, std::move(peer));
   ++clients_created_[lane];
   raw->RequestObject(object);
 }
@@ -192,9 +184,7 @@ DirectoryPeer* FlowerSystem::FindDirectory(WebsiteId website,
 }
 
 ContentPeer* FlowerSystem::FindContentPeer(NodeId node) const {
-  const auto& peer_map = content_peers_[static_cast<size_t>(LaneOf(node))];
-  auto it = peer_map.find(node);
-  return it == peer_map.end() ? nullptr : it->second.get();
+  return content_peers_[static_cast<size_t>(LaneOf(node))].Find(node);
 }
 
 OriginServer* FlowerSystem::FindServer(WebsiteId website) const {
@@ -202,22 +192,24 @@ OriginServer* FlowerSystem::FindServer(WebsiteId website) const {
   return servers_[website].get();
 }
 
-// The peer partitions are hash maps, so every harvest below sorts its
-// result by node id before returning it. Consumers draw RNGs per element
-// (churn) or emit in element order (stats, tests): handing them
-// bucket-order lists would make behavior depend on the standard
-// library's hash layout — exactly the class of bug `tools/detlint.py`
-// (rule unordered-iteration) exists to keep out.
+// PeerTable slot order is churn-history-dependent (swap-with-last), so
+// every harvest below sorts its result by node id before returning it.
+// Consumers draw RNGs per element (churn) or emit in element order
+// (stats, tests): handing them slot-order lists would make behavior
+// depend on removal history — the same class of bug `tools/detlint.py`
+// (rule unordered-iteration) exists to keep out of hash-map walks.
 
 std::vector<PeerAddress> FlowerSystem::ParticipantAddresses() const {
   std::vector<PeerAddress> out;
-  for (const auto& peer_map : content_peers_) {
-    for (const auto& [node, peer] : peer_map) {
+  for (const auto& table : content_peers_) {
+    for (size_t i = 0; i < table.size(); ++i) {
+      const ContentPeer* peer = table.at(i);
       if (peer->alive() && peer->joined()) out.push_back(peer->address());
     }
   }
-  for (const auto& dir_map : directories_) {
-    for (const auto& [node, dir] : dir_map) {
+  for (const auto& table : directories_) {
+    for (size_t i = 0; i < table.size(); ++i) {
+      const DirectoryPeer* dir = table.at(i);
       if (dir->alive()) out.push_back(dir->address());
     }
   }
@@ -227,9 +219,9 @@ std::vector<PeerAddress> FlowerSystem::ParticipantAddresses() const {
 
 std::vector<ContentPeer*> FlowerSystem::LiveContentPeers() const {
   std::vector<ContentPeer*> out;
-  for (const auto& peer_map : content_peers_) {
-    for (const auto& [node, peer] : peer_map) {
-      if (peer->alive()) out.push_back(peer.get());
+  for (const auto& table : content_peers_) {
+    for (size_t i = 0; i < table.size(); ++i) {
+      if (table.at(i)->alive()) out.push_back(table.at(i));
     }
   }
   std::sort(out.begin(), out.end(),
@@ -241,9 +233,9 @@ std::vector<ContentPeer*> FlowerSystem::LiveContentPeers() const {
 
 std::vector<DirectoryPeer*> FlowerSystem::LiveDirectories() const {
   std::vector<DirectoryPeer*> out;
-  for (const auto& dir_map : directories_) {
-    for (const auto& [node, dir] : dir_map) {
-      if (dir->alive()) out.push_back(dir.get());
+  for (const auto& table : directories_) {
+    for (size_t i = 0; i < table.size(); ++i) {
+      if (table.at(i)->alive()) out.push_back(table.at(i));
     }
   }
   std::sort(out.begin(), out.end(),
@@ -255,8 +247,9 @@ std::vector<DirectoryPeer*> FlowerSystem::LiveDirectories() const {
 
 std::vector<ContentPeer*> FlowerSystem::LiveContentPeersIn(int lane) const {
   std::vector<ContentPeer*> out;
-  for (const auto& [node, peer] : content_peers_[static_cast<size_t>(lane)]) {
-    if (peer->alive()) out.push_back(peer.get());
+  const auto& table = content_peers_[static_cast<size_t>(lane)];
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (table.at(i)->alive()) out.push_back(table.at(i));
   }
   std::sort(out.begin(), out.end(),
             [](const ContentPeer* a, const ContentPeer* b) {
@@ -267,8 +260,9 @@ std::vector<ContentPeer*> FlowerSystem::LiveContentPeersIn(int lane) const {
 
 std::vector<DirectoryPeer*> FlowerSystem::LiveDirectoriesIn(int lane) const {
   std::vector<DirectoryPeer*> out;
-  for (const auto& [node, dir] : directories_[static_cast<size_t>(lane)]) {
-    if (dir->alive()) out.push_back(dir.get());
+  const auto& table = directories_[static_cast<size_t>(lane)];
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (table.at(i)->alive()) out.push_back(table.at(i));
   }
   std::sort(out.begin(), out.end(),
             [](const DirectoryPeer* a, const DirectoryPeer* b) {
@@ -358,13 +352,11 @@ PeerAddress FlowerSystem::PromoteReplacement(ContentPeer* candidate,
                          state.joined_at);
   ++promotions_[lane];
 
-  auto& peer_map = content_peers_[lane];
-  auto it = peer_map.find(node);
-  assert(it != peer_map.end());
-  graveyards_[lane].push_back(std::move(it->second));
-  peer_map.erase(it);
+  std::unique_ptr<ContentPeer> buried = content_peers_[lane].Take(node);
+  assert(buried != nullptr);
+  graveyards_[lane].push_back(std::move(buried));
   PeerAddress new_addr = dir->address();
-  directories_[lane][node] = std::move(dir);
+  directories_[lane].Insert(node, std::move(dir));
   sim_->Schedule(0, [this, lane]() { graveyards_[lane].clear(); });
   return new_addr;
 }
@@ -379,8 +371,8 @@ bool FlowerSystem::PromoteWithHandoff(
   // PromoteReplacement moved the candidate to the graveyard; the new
   // directory lives at the same node.
   const size_t lane = static_cast<size_t>(LaneOf(candidate->node()));
-  auto it = directories_[lane].find(candidate->node());
-  if (it != directories_[lane].end()) it->second->InstallHandoff(*handoff);
+  DirectoryPeer* dir = directories_[lane].Find(candidate->node());
+  if (dir != nullptr) dir->InstallHandoff(*handoff);
   return true;
 }
 

@@ -20,7 +20,6 @@
 #define FLOWERCDN_CORE_FLOWER_SYSTEM_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
@@ -31,6 +30,7 @@
 #include "core/flower_context.h"
 #include "core/flower_ids.h"
 #include "core/origin_server.h"
+#include "core/peer_table.h"
 #include "core/website.h"
 #include "dht/chord_ring.h"
 #include "net/network.h"
@@ -150,17 +150,13 @@ class FlowerSystem {
 
   std::vector<std::unique_ptr<OriginServer>> servers_;
   // All client/content/directory peers keyed by topology node, stored in
-  // one partition per simulation lane (a single partition on a serial
-  // simulator, so serial behavior — including churn's map iteration
-  // order — is exactly the historical one). A lane's events only touch
-  // that lane's partition, which is what makes the parallel shard
-  // executor safe.
-  LANE_CONFINED std::vector<
-      std::unordered_map<NodeId, std::unique_ptr<ContentPeer>>>
-      content_peers_;
-  LANE_CONFINED std::vector<
-      std::unordered_map<NodeId, std::unique_ptr<DirectoryPeer>>>
-      directories_;
+  // one dense PeerTable partition per simulation lane (a single
+  // partition on a serial simulator). Every iteration the simulation
+  // observes is sorted by node id before use, so behavior is independent
+  // of the tables' slot layout. A lane's events only touch that lane's
+  // partition, which is what makes the parallel shard executor safe.
+  LANE_CONFINED std::vector<PeerTable<ContentPeer>> content_peers_;
+  LANE_CONFINED std::vector<PeerTable<DirectoryPeer>> directories_;
   // Deferred deletions, one graveyard per lane (cleanup events run on
   // the lane that buried the peer).
   LANE_CONFINED std::vector<std::vector<std::unique_ptr<Peer>>> graveyards_;

@@ -1,0 +1,95 @@
+// Dense per-lane peer tables: the structure-of-arrays registry behind
+// FlowerSystem's peer bookkeeping, sized for 100k+ peer runs.
+//
+// The registry this replaces — one unordered_map<NodeId, unique_ptr<T>>
+// per lane — pays a heap-allocated bucket node (~56 bytes) per peer and
+// walks pointer-chased buckets on every harvest (churn, stats and
+// background-traffic accounting iterate the whole population every
+// period). Here the population lives in two parallel dense vectors:
+//
+//   nodes_[i]  - the NodeId occupying slot i            (hot: scanned)
+//   peers_[i]  - owning pointer to that node's peer     (hot: scanned)
+//   index_     - NodeId -> slot, 4-byte values          (cold: lookups)
+//
+// Harvests stream the two arrays linearly and never touch the map; keyed
+// lookups (queries arriving at a node) go through the thin index. Removal
+// is swap-with-last, so slots stay dense under churn; the peers
+// themselves sit behind unique_ptr, so raw Peer* handed to the network
+// layer stay stable across slot moves. Slot order is NOT meaningful —
+// every iteration the simulation observes is sorted by node id by the
+// caller (see flower_system.cc), which is what keeps behavior independent
+// of churn history and of this container's layout.
+#ifndef FLOWERCDN_CORE_PEER_TABLE_H_
+#define FLOWERCDN_CORE_PEER_TABLE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flower {
+
+template <typename T>
+class PeerTable {
+ public:
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  bool Contains(NodeId node) const { return index_.count(node) > 0; }
+
+  /// The peer registered at `node`, or nullptr.
+  T* Find(NodeId node) const {
+    auto it = index_.find(node);
+    return it == index_.end() ? nullptr : peers_[it->second].get();
+  }
+
+  /// Registers `peer` at `node` (which must be vacant). Returns the raw
+  /// pointer, which stays valid until Take() releases the peer.
+  T* Insert(NodeId node, std::unique_ptr<T> peer) {
+    assert(peer != nullptr);
+    assert(index_.count(node) == 0 && "node already occupied");
+    index_.emplace(node, static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(node);
+    peers_.push_back(std::move(peer));
+    return peers_.back().get();
+  }
+
+  /// Releases ownership of the peer at `node` (nullptr when vacant).
+  /// Swap-with-last keeps the arrays dense; other peers' raw pointers
+  /// are unaffected.
+  std::unique_ptr<T> Take(NodeId node) {
+    auto it = index_.find(node);
+    if (it == index_.end()) return nullptr;
+    const uint32_t i = it->second;
+    std::unique_ptr<T> out = std::move(peers_[i]);
+    const uint32_t last = static_cast<uint32_t>(nodes_.size()) - 1;
+    if (i != last) {
+      nodes_[i] = nodes_[last];
+      peers_[i] = std::move(peers_[last]);
+      index_[nodes_[i]] = i;  // existing key: no rehash, `it` stays valid
+    }
+    nodes_.pop_back();
+    peers_.pop_back();
+    index_.erase(it);
+    return out;
+  }
+
+  /// Slot-indexed access for linear harvests (slot order is arbitrary;
+  /// sort whatever you emit).
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  T* at(size_t i) const { return peers_[i].get(); }
+
+ private:
+  std::vector<NodeId> nodes_;
+  std::vector<std::unique_ptr<T>> peers_;
+  std::unordered_map<NodeId, uint32_t> index_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWERCDN_CORE_PEER_TABLE_H_

@@ -33,6 +33,16 @@ uint64_t DrawSizeBits(const SimConfig& config, const std::string& object_url) {
 
 }  // namespace
 
+void Website::BuildIdTable(
+    const std::vector<std::pair<ObjectId, uint64_t>>& sizes) {
+  id_table.Build(objects);
+  size_bits_by_slot.assign(id_table.size(), default_size_bits);
+  for (const auto& [id, bits] : sizes) {
+    ObjectSlot slot = SlotOf(id);
+    if (slot != kInvalidSlot) size_bits_by_slot[slot] = bits;
+  }
+}
+
 WebsiteCatalog::WebsiteCatalog(const SimConfig& config,
                                const DRingIdScheme& scheme) {
   sites_.resize(static_cast<size_t>(config.num_websites));
@@ -43,12 +53,15 @@ WebsiteCatalog::WebsiteCatalog(const SimConfig& config,
     site.dring_hash = scheme.HashWebsite(site.url);
     site.default_size_bits = config.object_size_bits;
     site.objects.reserve(static_cast<size_t>(config.num_objects_per_website));
+    std::vector<std::pair<ObjectId, uint64_t>> sizes;
+    sizes.reserve(static_cast<size_t>(config.num_objects_per_website));
     for (int o = 0; o < config.num_objects_per_website; ++o) {
       std::string object_url = site.url + "/obj" + std::to_string(o);
       ObjectId id = Fnv1a64(object_url);
       site.objects.push_back(id);
-      site.size_bits_by_id[id] = DrawSizeBits(config, object_url);
+      sizes.emplace_back(id, DrawSizeBits(config, object_url));
     }
+    site.BuildIdTable(sizes);
   }
 }
 

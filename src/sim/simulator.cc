@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/payload_arena.h"
+
 namespace flower {
 
 namespace {
@@ -95,6 +97,10 @@ void Simulator::RunLoop(SimTime bound) {
 void Simulator::Run() {
   assert(shard_ == nullptr && "sharded runs go through ShardedSimulator");
   RunLoop(kMaxSimTime);
+  // Event drain is an arena safe point: no message is in flight, so the
+  // envelope pool of this thread can hand its slabs back (no-op if the
+  // workload still holds messages).
+  PayloadArena::TrimThread();
 }
 
 void Simulator::RunUntil(SimTime t) {

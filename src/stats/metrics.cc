@@ -14,25 +14,27 @@ constexpr size_t kLookupBuckets = 240;
 constexpr double kTransferBucketMs = 25.0;
 constexpr size_t kTransferBuckets = 60;
 
-SimConfig WindowOnlyConfig(SimTime window) {
+SimConfig WindowOnlyConfig(SimTime window, size_t max_points) {
   SimConfig c;
   c.metrics_window = window;
+  c.metrics_max_points = max_points;
   return c;
 }
 }  // namespace
 
 Metrics::Metrics(const SimConfig& config)
     : window_(config.metrics_window),
-      hit_series_(config.metrics_window),
-      lookup_series_(config.metrics_window),
-      transfer_series_(config.metrics_window),
+      max_points_(config.metrics_max_points),
+      hit_series_(config.metrics_window, config.metrics_max_points),
+      lookup_series_(config.metrics_window, config.metrics_max_points),
+      transfer_series_(config.metrics_window, config.metrics_max_points),
       lookup_hist_(kLookupBucketMs, kLookupBuckets),
       transfer_hist_(kTransferBucketMs, kTransferBuckets) {}
 
 void Metrics::EnableLanes(int locality_lanes) {
   assert(lanes_.empty() && "lanes already enabled");
   assert(locality_lanes >= 1);
-  const SimConfig config = WindowOnlyConfig(window_);
+  const SimConfig config = WindowOnlyConfig(window_, max_points_);
   lanes_.reserve(static_cast<size_t>(locality_lanes) + 1);
   for (int l = 0; l < locality_lanes + 1; ++l) {
     lanes_.push_back(std::make_unique<Metrics>(config));
@@ -84,7 +86,8 @@ const Metrics& Metrics::Folded() const {
   // object is reused in place so series references handed out by earlier
   // reads stay valid.
   if (folded_ == nullptr) {
-    folded_ = std::make_unique<Metrics>(WindowOnlyConfig(window_));
+    folded_ = std::make_unique<Metrics>(
+        WindowOnlyConfig(window_, max_points_));
   } else {
     folded_->hit_series_.Clear();
     folded_->lookup_series_.Clear();

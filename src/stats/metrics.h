@@ -250,7 +250,25 @@ class Metrics {
     return total;
   }
 
+  // --- Memory contract (audited for long / large runs) ----------------------
+  // Every collector below is either O(1) in run length or bounded by an
+  // explicit config knob; nothing here may grow with event count:
+  //  * hit_series_ / lookup_series_ / transfer_series_ —
+  //    O(duration / metrics_window) cells by default; bounded to
+  //    O(metrics_max_points) cells via pairwise window decimation when
+  //    the `metrics_max_points` config key is set (see time_series.h).
+  //  * lookup_hist_ / transfer_hist_ — fixed bucket arrays sized at
+  //    construction (240 / 60 buckets + one overflow cell); Add() never
+  //    allocates, so they are O(1) regardless of sample count.
+  //  * scalar counters / serves_by_kind_ / stale_redirects_by_source_ —
+  //    fixed-size PODs.
+  //  * lanes_ — one sub-collector per locality lane plus control, sized
+  //    by topology (num_localities + 1), not by events; folded_ is a
+  //    single scratch collector reused across read bursts.
+  // New collectors must state their bound here and use a config-gated
+  // cap if they would otherwise grow with events.
   SimTime window_;
+  size_t max_points_ = 0;
   RatioSeries hit_series_;
   TimeSeries lookup_series_;
   TimeSeries transfer_series_;

@@ -77,11 +77,15 @@ TEST_F(CacheIntegrationTest, EvictionDeltaReachesDirectoryIndex) {
   ASSERT_NE(a, nullptr);
   DirectoryPeer* dir = system_.FindDirectory(0, a->locality());
   ASSERT_NE(dir, nullptr);
-  const std::set<ObjectId>* claimed = dir->IndexObjectsOf(a->address());
+  const std::vector<ObjectSlot>* claimed = dir->IndexObjectsOf(a->address());
   ASSERT_NE(claimed, nullptr);
-  EXPECT_EQ(claimed->count(obj_(0)), 0u)
+  auto claims = [&](ObjectId id) {
+    return std::binary_search(claimed->begin(), claimed->end(),
+                              system_.catalog().site(0).SlotOf(id));
+  };
+  EXPECT_FALSE(claims(obj_(0)))
       << "the eviction must propagate to the directory as a removal delta";
-  EXPECT_EQ(claimed->count(obj_(2)), 1u);
+  EXPECT_TRUE(claims(obj_(2)));
 }
 
 // Same world, but with gossip exchanges disabled (one enormous period):
@@ -176,13 +180,17 @@ TEST_F(BatchedPushTest, EvictThenRefetchInOnePushWindowKeepsIndexClaim) {
 
   DirectoryPeer* dir = system_.FindDirectory(0, a->locality());
   ASSERT_NE(dir, nullptr);
-  const std::set<ObjectId>* claimed = dir->IndexObjectsOf(a->address());
+  const std::vector<ObjectSlot>* claimed = dir->IndexObjectsOf(a->address());
   ASSERT_NE(claimed, nullptr);
-  EXPECT_EQ(claimed->count(obj_(1)), 1u)
+  auto claims = [&](ObjectId id) {
+    return std::binary_search(claimed->begin(), claimed->end(),
+                              system_.catalog().site(0).SlotOf(id));
+  };
+  EXPECT_TRUE(claims(obj_(1)))
       << "a held object must stay claimed after an evict+refetch push";
   for (size_t rank = 0; rank < 5; ++rank) {
     if (a->content().Contains(obj_(rank))) continue;
-    EXPECT_EQ(claimed->count(obj_(rank)), 0u)
+    EXPECT_FALSE(claims(obj_(rank)))
         << "rank " << rank << " was evicted and must not stay claimed";
   }
 }

@@ -14,15 +14,19 @@
 namespace flower {
 namespace {
 
-/// Walks the store and asserts holder_counts_ is exactly the reference
-/// counts of the entries' object sets — the invariant directory
-/// summaries are built on.
+/// Walks the store and asserts the holder refcounts are exactly the
+/// reference counts of the entries' object lists — the invariant
+/// directory summaries are built on.
 void ExpectHolderCountsConsistent(const DirectoryStore& store) {
-  std::map<ObjectId, int> expected;
+  std::map<ObjectSlot, int> expected;
   for (const auto& [addr, entry] : store.entries()) {
-    for (ObjectId o : entry.objects) ++expected[o];
+    for (ObjectSlot o : entry.objects) ++expected[o];
   }
-  EXPECT_EQ(store.holder_counts(), expected);
+  std::map<ObjectSlot, int> actual;
+  for (size_t i = 0; i < store.holder_slots().size(); ++i) {
+    actual[store.holder_slots()[i]] = store.holder_count_at(i);
+  }
+  EXPECT_EQ(actual, expected);
 }
 
 TEST(DirectoryStoreTest, FootprintAccounting) {
@@ -46,17 +50,17 @@ TEST(DirectoryStoreTest, DeltaReportsNewAndOrphanedIds) {
   ASSERT_TRUE(store.Admit(1, 0, 0, &d));
   ASSERT_TRUE(store.Admit(2, 0, 0, &d));
   store.Update(1, {100, 101}, {}, &d);
-  EXPECT_EQ(d.new_ids, (std::vector<ObjectId>{100, 101}));
+  EXPECT_EQ(d.new_slots, (std::vector<ObjectSlot>{100, 101}));
 
   d = {};
   store.Update(2, {100}, {}, &d);
-  EXPECT_TRUE(d.new_ids.empty()) << "100 already had a holder";
+  EXPECT_TRUE(d.new_slots.empty()) << "100 already had a holder";
 
   d = {};
   store.Update(1, {}, {100}, &d);
-  EXPECT_TRUE(d.orphaned_ids.empty()) << "peer 2 still claims 100";
+  EXPECT_TRUE(d.orphaned_slots.empty()) << "peer 2 still claims 100";
   store.Update(2, {}, {100}, &d);
-  EXPECT_EQ(d.orphaned_ids, (std::vector<ObjectId>{100}));
+  EXPECT_EQ(d.orphaned_slots, (std::vector<ObjectSlot>{100}));
   ExpectHolderCountsConsistent(store);
 }
 
@@ -93,7 +97,7 @@ TEST(DirectoryStoreTest, EvictionReleasesHolderCounts) {
   d = {};
   ASSERT_TRUE(store.Admit(3, 0, 0, &d));
   EXPECT_EQ(d.evicted, (std::vector<PeerAddress>{1}));
-  EXPECT_EQ(d.orphaned_ids, (std::vector<ObjectId>{101}));
+  EXPECT_EQ(d.orphaned_slots, (std::vector<ObjectSlot>{101}));
   EXPECT_TRUE(store.AnyHolder(100));
   EXPECT_FALSE(store.AnyHolder(101));
   ExpectHolderCountsConsistent(store);

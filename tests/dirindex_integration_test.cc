@@ -19,11 +19,15 @@ namespace {
 /// entries — directory summaries rebuild from this map, so consistency
 /// here is what keeps post-eviction summaries honest.
 void ExpectStoreConsistent(const DirectoryStore& store) {
-  std::map<ObjectId, int> expected;
+  std::map<ObjectSlot, int> expected;
   for (const auto& [addr, entry] : store.entries()) {
-    for (ObjectId o : entry.objects) ++expected[o];
+    for (ObjectSlot o : entry.objects) ++expected[o];
   }
-  EXPECT_EQ(store.holder_counts(), expected);
+  std::map<ObjectSlot, int> actual;
+  for (size_t i = 0; i < store.holder_slots().size(); ++i) {
+    actual[store.holder_slots()[i]] = store.holder_count_at(i);
+  }
+  EXPECT_EQ(actual, expected);
   if (store.bounded()) {
     EXPECT_LE(store.bytes_used(), store.capacity_bytes());
     uint64_t footprint = 0;
@@ -107,11 +111,16 @@ TEST(DirIndexIntegrationTest, StaleRedirectsAttributedToDirectoryChannel) {
   ASSERT_NE(a, nullptr);
   DirectoryPeer* dir = system.FindDirectory(0, a->locality());
   ASSERT_NE(dir, nullptr);
-  const std::set<ObjectId>* claimed = dir->IndexObjectsOf(a->address());
+  const std::vector<ObjectSlot>* claimed = dir->IndexObjectsOf(a->address());
   ASSERT_NE(claimed, nullptr);
+  const Website& site = system.catalog().site(0);
+  auto claims = [&](ObjectId id) {
+    return std::binary_search(claimed->begin(), claimed->end(),
+                              site.SlotOf(id));
+  };
   size_t stale_rank = 5;
   for (size_t rank = 0; rank < 5; ++rank) {
-    if (!a->content().Contains(obj(rank)) && claimed->count(obj(rank)) > 0) {
+    if (!a->content().Contains(obj(rank)) && claims(obj(rank))) {
       stale_rank = rank;
       break;
     }

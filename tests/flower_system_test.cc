@@ -56,9 +56,11 @@ TEST_F(FlowerSystemTest, ClientIsAdmittedToDirectoryIndex) {
   DirectoryPeer* dir = system_.FindDirectory(0, 1);
   ASSERT_NE(dir, nullptr);
   EXPECT_TRUE(dir->IndexHas(client));
-  const std::set<ObjectId>* objs = dir->IndexObjectsOf(client);
+  const std::vector<ObjectSlot>* objs = dir->IndexObjectsOf(client);
   ASSERT_NE(objs, nullptr);
-  EXPECT_EQ(objs->count(obj), 1u);  // optimistic add (Sec 3.4)
+  // Optimistic add (Sec 3.4); the index stores the site-local slot.
+  EXPECT_TRUE(std::binary_search(objs->begin(), objs->end(),
+                                 Site(0).SlotOf(obj)));
 
   ContentPeer* peer = system_.FindContentPeer(client);
   ASSERT_NE(peer, nullptr);
@@ -186,7 +188,7 @@ TEST_F(FlowerSystemTest, PushUpdatesDirectoryIndex) {
     world_.sim()->RunFor(kMinute);
   }
   DirectoryPeer* dir = system_.FindDirectory(0, 0);
-  const std::set<ObjectId>* objs = dir->IndexObjectsOf(a);
+  const std::vector<ObjectSlot>* objs = dir->IndexObjectsOf(a);
   ASSERT_NE(objs, nullptr);
   EXPECT_GE(objs->size(), 4u);
 }

@@ -1,0 +1,94 @@
+#include "common/interner.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace flower {
+namespace {
+
+TEST(InternerTest, HandlesAreDenseAndValueOrdered) {
+  Interner<uint64_t> table;
+  table.Build({50, 10, 40, 20, 30});
+  ASSERT_EQ(table.size(), 5u);
+  // Handle h == rank of the value: ascending values, ascending handles.
+  EXPECT_EQ(table.HandleOf(10), 0u);
+  EXPECT_EQ(table.HandleOf(20), 1u);
+  EXPECT_EQ(table.HandleOf(30), 2u);
+  EXPECT_EQ(table.HandleOf(40), 3u);
+  EXPECT_EQ(table.HandleOf(50), 4u);
+}
+
+TEST(InternerTest, RoundTrip) {
+  Interner<uint64_t> table;
+  table.Build({7, 3, 11});
+  for (uint64_t v : {3u, 7u, 11u}) {
+    EXPECT_EQ(table.ValueOf(table.HandleOf(v)), v);
+  }
+}
+
+TEST(InternerTest, AbsentValuesGetInvalidHandle) {
+  Interner<uint64_t> table;
+  table.Build({10, 20});
+  EXPECT_EQ(table.HandleOf(5), Interner<uint64_t>::kInvalidHandle);
+  EXPECT_EQ(table.HandleOf(15), Interner<uint64_t>::kInvalidHandle);
+  EXPECT_EQ(table.HandleOf(25), Interner<uint64_t>::kInvalidHandle);
+  EXPECT_FALSE(table.Contains(15));
+  EXPECT_TRUE(table.Contains(20));
+}
+
+TEST(InternerTest, BuildDedupsAndReplaces) {
+  Interner<uint64_t> table;
+  table.Build({5, 5, 5, 9, 9});
+  EXPECT_EQ(table.size(), 2u);
+  table.Build({1, 2, 3});
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.HandleOf(5), Interner<uint64_t>::kInvalidHandle);
+  EXPECT_EQ(table.HandleOf(3), 2u);
+}
+
+TEST(InternerTest, EmptyUniverse) {
+  Interner<uint64_t> table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.HandleOf(1), Interner<uint64_t>::kInvalidHandle);
+  table.Build({});
+  EXPECT_EQ(table.size(), 0u);
+}
+
+// The production table keys object-id hashes (Fnv1a64 of object URLs).
+// One million distinct URL ids must intern collision-free: every id
+// gets its own handle, every handle round-trips, and handles stay
+// isomorphic to id order — the property the determinism contract
+// (sorted handle iteration == sorted id iteration) rests on.
+TEST(InternerTest, MillionObjectIdsCollisionFree) {
+  constexpr size_t kIds = 1'000'000;
+  std::vector<ObjectId> ids;
+  ids.reserve(kIds);
+  for (size_t i = 0; i < kIds; ++i) {
+    ids.push_back(Fnv1a64("site" + std::to_string(i % 997) + "/obj" +
+                          std::to_string(i)));
+  }
+  ObjectIdTable table;
+  table.Build(ids);  // copy: keep the original (unsorted) draw order
+  ASSERT_EQ(table.size(), kIds) << "hash collision in the id universe";
+  ObjectIdTable::Handle prev = 0;
+  for (size_t i = 0; i < kIds; ++i) {
+    const ObjectIdTable::Handle h = table.HandleOf(ids[i]);
+    ASSERT_NE(h, ObjectIdTable::kInvalidHandle);
+    ASSERT_EQ(table.ValueOf(h), ids[i]);
+  }
+  // Ascending handles enumerate ascending ids.
+  for (ObjectIdTable::Handle h = 1; h < table.size(); ++h) {
+    ASSERT_LT(table.ValueOf(h - 1), table.ValueOf(h));
+    prev = h;
+  }
+  EXPECT_EQ(prev + 1, table.size());
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,93 @@
+#include "core/peer_table.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace flower {
+namespace {
+
+struct FakePeer {
+  explicit FakePeer(NodeId n) : id(n) {}
+  NodeId id;
+};
+
+TEST(PeerTableTest, InsertFindTake) {
+  PeerTable<FakePeer> table;
+  EXPECT_TRUE(table.empty());
+  FakePeer* a = table.Insert(7, std::make_unique<FakePeer>(7));
+  FakePeer* b = table.Insert(3, std::make_unique<FakePeer>(3));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Find(7), a);
+  EXPECT_EQ(table.Find(3), b);
+  EXPECT_EQ(table.Find(99), nullptr);
+  std::unique_ptr<FakePeer> out = table.Take(7);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out.get(), a);
+  EXPECT_EQ(table.Find(7), nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Take(7), nullptr);
+}
+
+// The contract FlowerSystem leans on: raw Peer* handed to the network
+// layer stay valid across arbitrary join/leave churn, even though slots
+// compact via swap-with-last underneath.
+TEST(PeerTableTest, PointersStableAcrossChurn) {
+  PeerTable<FakePeer> table;
+  std::vector<FakePeer*> raw(100);
+  for (NodeId n = 0; n < 100; ++n) {
+    raw[n] = table.Insert(n, std::make_unique<FakePeer>(n));
+  }
+  // Remove every third peer (forces many swap-with-last moves).
+  for (NodeId n = 0; n < 100; n += 3) table.Take(n);
+  for (NodeId n = 0; n < 100; ++n) {
+    if (n % 3 == 0) {
+      EXPECT_EQ(table.Find(n), nullptr);
+    } else {
+      ASSERT_EQ(table.Find(n), raw[n]) << "peer " << n << " moved";
+      EXPECT_EQ(table.Find(n)->id, n);
+    }
+  }
+}
+
+// Dense-slot invariant: after any removal sequence the arrays hold
+// exactly the live population, nodes()[i] matches at(i), and a node
+// re-inserted after removal is reachable again.
+TEST(PeerTableTest, SlotsStayDenseAndConsistentUnderChurn) {
+  PeerTable<FakePeer> table;
+  for (NodeId n = 0; n < 50; ++n) {
+    table.Insert(n, std::make_unique<FakePeer>(n));
+  }
+  // Interleave removals and re-joins, including the last slot (no-swap
+  // path) and slot 0 (max-distance swap).
+  table.Take(49);
+  table.Take(0);
+  table.Take(25);
+  table.Insert(0, std::make_unique<FakePeer>(0));
+  table.Take(10);
+  EXPECT_EQ(table.size(), 47u);
+  std::vector<NodeId> seen;
+  for (size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table.at(i)->id, table.nodes()[i]);
+    seen.push_back(table.nodes()[i]);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+  for (NodeId n : {49u, 25u, 10u}) {
+    EXPECT_FALSE(table.Contains(n));
+  }
+  EXPECT_TRUE(table.Contains(0));
+  // Every live node is findable through the index and agrees with its slot.
+  for (NodeId n : seen) {
+    FakePeer* p = table.Find(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->id, n);
+  }
+}
+
+}  // namespace
+}  // namespace flower

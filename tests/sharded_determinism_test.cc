@@ -252,6 +252,44 @@ TEST(ShardedDeterminismGolden, SquirrelShardsAreDeterministic) {
   EXPECT_EQ(s2.result.events_processed, s4.result.events_processed);
 }
 
+// Satellite (ISSUE 10): the flyweight peer-state layer at scale. 16k
+// peers exercise the dense PeerTable (slot compaction under the churn
+// below), interned object slots and the payload arena far past the
+// population every other suite touches; sink bytes must still be
+// independent of the shard count and the run must stay reproducible.
+TEST(ShardedDeterminismGolden, SixteenThousandPeerStress) {
+  SimConfig base = TinyConfig();
+  base.num_topology_nodes = 16000;
+  base.num_localities = 6;
+  base.locality_weights = {};  // uniform across the six localities
+  base.max_content_overlay_size = 800;
+  base.queries_per_second = 40.0;
+  base.duration = 30 * kMinute;
+  base.churn_enabled = true;
+  base.churn_mean_session = 20 * kMinute;
+  base.churn_mean_downtime = 10 * kMinute;
+  base.metrics_max_points = 64;
+
+  SimConfig two = base;
+  two.shards = 2;
+  SinkOutput s2 = RunWithSinks(two, "peers16k_s2");
+
+  SimConfig four = base;
+  four.shards = 4;
+  SinkOutput s4 = RunWithSinks(four, "peers16k_s4");
+
+  EXPECT_FALSE(s2.json.empty());
+  EXPECT_EQ(s2.text, s4.text);
+  EXPECT_EQ(s2.json, s4.json);
+  EXPECT_EQ(s2.result.events_processed, s4.result.events_processed);
+  EXPECT_EQ(s2.result.events_by_lane, s4.result.events_by_lane);
+  EXPECT_GT(s2.result.participants, 1000u)
+      << "population never reached flyweight-relevant scale";
+
+  SinkOutput again = RunWithSinks(two, "peers16k_s2_again");
+  EXPECT_EQ(s2.json, again.json);
+}
+
 TEST(ShardedDeterminismGolden, ShardsComposeWithParallelSweeps) {
   // shards=N inside jobs=M: every sweep point runs its own sharded
   // simulator on a pool worker; sink bytes must match the serial sweep.

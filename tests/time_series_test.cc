@@ -78,5 +78,76 @@ TEST(RatioSeriesTest, Totals) {
   EXPECT_EQ(rs.total_successes(), 2u);
 }
 
+// Bounded mode: sums and counts at the coarse granularity are exactly
+// what the unbounded series would report, cell for cell — decimation
+// trades resolution, never mass.
+TEST(TimeSeriesTest, DecimationPreservesSumsAndCounts) {
+  TimeSeries bounded(10, /*max_windows=*/4);
+  TimeSeries exact(10);
+  // 16 base windows of distinct masses -> must coalesce to 4 cells.
+  for (int w = 0; w < 16; ++w) {
+    for (int k = 0; k <= w % 3; ++k) {
+      bounded.Add(w * 10 + k, 1.0 + w);
+      exact.Add(w * 10 + k, 1.0 + w);
+    }
+  }
+  ASSERT_EQ(bounded.decimation(), 4u);
+  ASSERT_EQ(bounded.NumWindows(), 4u);
+  ASSERT_EQ(exact.NumWindows(), 16u);
+  for (size_t cell = 0; cell < bounded.NumWindows(); ++cell) {
+    double sum = 0;
+    uint64_t count = 0;
+    for (size_t base = cell * 4; base < cell * 4 + 4; ++base) {
+      sum += exact.WindowSum(base);
+      count += exact.WindowCount(base);
+    }
+    EXPECT_DOUBLE_EQ(bounded.WindowSum(cell), sum) << "cell " << cell;
+    EXPECT_EQ(bounded.WindowCount(cell), count) << "cell " << cell;
+    EXPECT_EQ(bounded.WindowStart(cell), static_cast<SimTime>(cell * 40));
+  }
+}
+
+// The default (max_windows == 0) never decimates: the exact per-window
+// figures the paper plots are byte-identical with the cap code in place.
+TEST(TimeSeriesTest, UnboundedModeNeverDecimates) {
+  TimeSeries ts(10);
+  for (int w = 0; w < 1000; ++w) ts.Add(w * 10, 1.0);
+  EXPECT_EQ(ts.decimation(), 1u);
+  EXPECT_EQ(ts.NumWindows(), 1000u);
+}
+
+// Pinned end-to-end values for one concrete decimation step.
+TEST(TimeSeriesTest, DecimationPinnedValues) {
+  TimeSeries ts(100, /*max_windows=*/2);
+  ts.Add(0, 2.0);     // base window 0
+  ts.Add(150, 4.0);   // base window 1
+  EXPECT_EQ(ts.decimation(), 1u);
+  ts.Add(250, 6.0);   // base window 2: past the cap -> coalesce to x2
+  EXPECT_EQ(ts.decimation(), 2u);
+  ASSERT_EQ(ts.NumWindows(), 2u);
+  EXPECT_DOUBLE_EQ(ts.WindowSum(0), 6.0);   // windows 0+1
+  EXPECT_EQ(ts.WindowCount(0), 2u);
+  EXPECT_DOUBLE_EQ(ts.WindowSum(1), 6.0);   // windows 2+3
+  EXPECT_EQ(ts.WindowCount(1), 1u);
+  EXPECT_EQ(ts.WindowStart(1), 200);
+  EXPECT_DOUBLE_EQ(ts.WindowMean(0), 3.0);
+}
+
+// RatioSeries decimates its trials and successes in lockstep, so window
+// ratios at the coarse granularity stay exact.
+TEST(RatioSeriesTest, DecimationKeepsRatiosExact) {
+  RatioSeries rs(10, /*max_windows=*/2);
+  for (int i = 0; i < 10; ++i) rs.Add(i, i % 2 == 0);        // w0: 5/10
+  for (int i = 10; i < 20; ++i) rs.Add(i, true);             // w1: 10/10
+  for (int i = 20; i < 30; ++i) rs.Add(i, false);            // w2: 0/10
+  for (int i = 30; i < 40; ++i) rs.Add(i, i % 5 == 0);       // w3: 2/10
+  ASSERT_EQ(rs.NumWindows(), 2u);
+  EXPECT_DOUBLE_EQ(rs.WindowRatio(0), 15.0 / 20.0);
+  EXPECT_DOUBLE_EQ(rs.WindowRatio(1), 2.0 / 20.0);
+  EXPECT_DOUBLE_EQ(rs.CumulativeRatio(), 17.0 / 40.0);
+  EXPECT_EQ(rs.total_trials(), 40u);
+  EXPECT_EQ(rs.total_successes(), 17u);
+}
+
 }  // namespace
 }  // namespace flower

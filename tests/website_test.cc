@@ -53,7 +53,8 @@ TEST(WebsiteCatalogTest, FixedDistributionUsesNominalSize) {
   DRingIdScheme scheme(c.chord_id_bits, c.locality_id_bits, 0);
   WebsiteCatalog catalog(c, scheme);
   const Website& s = catalog.site(0);
-  ASSERT_EQ(s.size_bits_by_id.size(), s.objects.size());
+  ASSERT_EQ(s.size_bits_by_slot.size(), s.objects.size());
+  ASSERT_EQ(s.num_slots(), s.objects.size());
   for (size_t r = 0; r < s.objects.size(); ++r) {
     EXPECT_EQ(s.SizeBitsOfRank(r), c.object_size_bits);
     EXPECT_EQ(s.ObjectSizeBits(s.objects[r]), c.object_size_bits);
